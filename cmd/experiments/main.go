@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's figures as measured
+// results (experiments E1–E11 of DESIGN.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -exp e5    # run one experiment
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plabi/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp != "" {
+		res, err := experiments.Run(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		return
+	}
+	all, err := experiments.RunAll()
+	for _, res := range all {
+		fmt.Println(res)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command placheck parses and validates PLA DSL files, reports conflicts
+// between agreements, and optionally checks a report query against them.
+//
+// Usage:
+//
+//	placheck file.pla [file2.pla ...]
+//	placheck -query "SELECT ..." -role analyst -tables prescriptions file.pla
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"plabi/internal/enforce"
+	"plabi/internal/policy"
+	"plabi/internal/provenance"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/sql"
+)
+
+func main() {
+	query := flag.String("query", "", "report query to check against the PLAs")
+	role := flag.String("role", "analyst", "consumer role for the check")
+	purpose := flag.String("purpose", "", "consumer purpose for the check")
+	tables := flag.String("tables", "", "comma-separated table:col1:col2 schemas the query runs over")
+	asJSON := flag.Bool("json", false, "emit the parsed PLAs as JSON (for external auditing tools)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "placheck: no PLA files given")
+		os.Exit(2)
+	}
+	reg := policy.NewRegistry()
+	var all []*policy.PLA
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "placheck:", err)
+			os.Exit(1)
+		}
+		plas, err := policy.ParseFile(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		for _, p := range plas {
+			if err := reg.Add(p); err != nil {
+				fmt.Fprintf(os.Stderr, "placheck: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			all = append(all, p)
+			if !*asJSON {
+				fmt.Printf("ok: %s (owner=%s level=%s scope=%s atoms=%d)\n",
+					p.ID, p.Owner, p.Level, p.Scope, p.Atoms())
+			}
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "placheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	comp := policy.Compose(all...)
+	if len(comp.Conflicts) > 0 {
+		fmt.Println("\nconflicts:")
+		for _, c := range comp.Conflicts {
+			fmt.Println("  " + c.String())
+		}
+	} else {
+		fmt.Println("\nno conflicts between the agreements")
+	}
+
+	if *query == "" {
+		return
+	}
+	cat := sql.NewCatalog()
+	for _, spec := range strings.Split(*tables, ",") {
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		cols := make([]relation.Column, 0, len(parts)-1)
+		for _, c := range parts[1:] {
+			cols = append(cols, relation.Col(c, relation.TString))
+		}
+		cat.Register(relation.NewBase(parts[0], &relation.Schema{Columns: cols}))
+	}
+	enf := enforce.NewReportEnforcer(reg, cat, provenance.NewTracer())
+	def := &report.Definition{ID: "cli-check", Query: *query}
+	decisions, err := enf.StaticCheck(def, *role, *purpose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "placheck:", err)
+		os.Exit(1)
+	}
+	if len(decisions) == 0 {
+		fmt.Println("query is statically compliant for role " + *role)
+		return
+	}
+	fmt.Println("\nstatic findings:")
+	blocked := false
+	for _, d := range decisions {
+		fmt.Println("  " + d.String())
+		if d.Outcome == enforce.Block {
+			blocked = true
+		}
+	}
+	if blocked {
+		os.Exit(3)
+	}
+}

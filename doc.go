@@ -1,0 +1,12 @@
+// Package plabi is a from-scratch Go reproduction of "Engineering
+// Privacy Requirements in Business Intelligence Applications" (Chiasera,
+// Casati, Daniel, Velegrakis — SDM 2008): a privacy-aware BI engine in
+// which Privacy Level Agreements elicited from data-source owners are
+// modeled, enforced, tested and audited at four levels of the BI stack —
+// sources, warehouse/ETL, meta-reports, and delivered reports.
+//
+// The entry point is internal/core.Engine; see README.md for the tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-claim vs measured results. The root package holds the benchmark
+// harness (bench_test.go), one benchmark per experiment.
+package plabi

@@ -1,0 +1,61 @@
+// Anonymization: the paper's Fig. 2a release filter — a municipality
+// releases resident demographics to the BI provider only after
+// k-anonymization with l-diversity, plus pseudonymized identities; the
+// aggregate report computed downstream keeps its shape.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plabi/internal/anon"
+	"plabi/internal/core"
+	"plabi/internal/etl"
+	"plabi/internal/workload"
+)
+
+func main() {
+	ds := workload.Generate(workload.DefaultConfig(7))
+
+	engine := core.New()
+	engine.AddSource(etl.NewSource("municipality", "municipality", ds.Residents))
+	err := engine.AddPLAs(`
+pla "municipality-residents" {
+    owner "municipality"; level source; scope "residents";
+    allow attribute *;
+    anonymize attribute patient using pseudonym;
+    release kanonymity 5 quasi age, zip ldiversity 2 on municipality;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	released, rep, err := engine.SourceEnforcer().Release(ds.Residents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("released %d of %d rows (%d suppressed to honour k=5/l=2)\n",
+		released.NumRows(), rep.RowsIn, rep.RowsSuppressed)
+	fmt.Printf("equivalence classes: %d, average size %.1f, discernibility %d\n",
+		rep.KAnonStats.Partitions, rep.KAnonStats.AvgClassSize, rep.KAnonStats.Discernibility)
+	fmt.Printf("anonymized columns: %v\n\n", rep.ColumnsAnon)
+
+	// Show a few released rows: identities are pseudonyms, QI are ranges.
+	fmt.Println("sample of the BI-accessible data:")
+	sample := released.Clone()
+	if sample.NumRows() > 5 {
+		sample.Rows = sample.Rows[:5]
+	}
+	fmt.Println(sample)
+
+	// Verify the guarantees hold on what actually left the source.
+	okK, _, err := anon.CheckKAnonymity(released, 5, []string{"age", "zip"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	okL, err := anon.CheckLDiversity(released, 2, []string{"age", "zip"}, "municipality")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5-anonymity holds: %v, 2-diversity holds: %v\n", okK, okL)
+}

@@ -1,0 +1,55 @@
+// Quickstart: the smallest end-to-end use of the library — one source
+// table, one PLA elicited at the report level, one enforced report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plabi/internal/core"
+	"plabi/internal/etl"
+	"plabi/internal/report"
+	"plabi/internal/workload"
+)
+
+func main() {
+	// 1. An engine and a data source (the paper's Fig. 2b table).
+	engine := core.New()
+	engine.AddSource(etl.NewSource("hospital", "hospital", workload.PrescriptionsFixture()))
+
+	// 2. The privacy agreement, in the PLA DSL. The intensional
+	// condition reproduces the paper's §5 example: patient names are
+	// visible only where the supporting rows are not HIV-related.
+	err := engine.AddPLAs(`
+pla "hospital-prescriptions" {
+    owner "hospital"; level source; scope "prescriptions";
+    allow attribute drug;
+    allow attribute date;
+    allow attribute patient when disease <> 'HIV';
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A report over the source.
+	err = engine.DefineReport(&report.Definition{
+		ID:    "rx-list",
+		Title: "Prescriptions",
+		Query: "SELECT patient, drug, date FROM prescriptions ORDER BY date",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Render for an analyst: enforcement happens on the report
+	// itself, cell by cell, with provenance deciding the condition.
+	enforced, err := engine.Render("rx-list", report.Consumer{Name: "ana", Role: "analyst"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.FormatTable("Prescriptions (analyst view)", enforced.Table))
+	fmt.Printf("cells masked: %d\n", enforced.MaskedCells)
+	for _, d := range enforced.Decisions {
+		fmt.Println("decision:", d)
+	}
+}

@@ -1,0 +1,3 @@
+module plabi
+
+go 1.22

@@ -1,0 +1,142 @@
+package attack
+
+import (
+	"testing"
+
+	"plabi/internal/anon"
+	"plabi/internal/relation"
+	"plabi/internal/workload"
+)
+
+func TestGeneralizedMatch(t *testing.T) {
+	cases := []struct {
+		released relation.Value
+		raw      relation.Value
+		want     bool
+	}{
+		{relation.Str("*"), relation.Str("anything"), true},
+		{relation.Str("38122"), relation.Str("38122"), true},
+		{relation.Str("38122"), relation.Str("38123"), false},
+		{relation.Str("381**"), relation.Str("38122"), true},
+		{relation.Str("381**"), relation.Str("38222"), false},
+		{relation.Str("[20-30)"), relation.Int(25), true},
+		{relation.Str("[20-30)"), relation.Int(30), false},
+		{relation.Str("[20-30]"), relation.Int(30), true},
+		{relation.Str("[20-30)"), relation.Int(19), false},
+		{relation.Str("{a,b,c}"), relation.Str("b"), true},
+		{relation.Str("{a,b,c}"), relation.Str("d"), false},
+		{relation.Int(25), relation.Int(25), true},
+		{relation.Int(25), relation.Int(26), false},
+		{relation.Str("25"), relation.Int(25), true},
+		{relation.Null(), relation.Int(25), false},
+		{relation.Str("[x-y]"), relation.Int(1), false}, // unparseable range
+	}
+	for _, c := range cases {
+		if got := GeneralizedMatch(c.released, c.raw); got != c.want {
+			t.Errorf("GeneralizedMatch(%v, %v) = %v, want %v", c.released, c.raw, got, c.want)
+		}
+	}
+}
+
+func TestRawReleaseFullyReidentifiable(t *testing.T) {
+	ds := workload.Generate(workload.DefaultConfig(5))
+	l := Linkage{
+		Released: ds.Residents, External: ds.Residents,
+		QI: []string{"age", "zip"}, IdentityCol: "patient",
+	}
+	res, err := Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 500 residents over ~80 ages × 200 zips, most (age, zip)
+	// combinations are unique: the raw release is overwhelmingly
+	// re-identifiable.
+	if res.ReidentRate < 0.8 {
+		t.Errorf("raw release should be largely re-identifiable: %v", res)
+	}
+}
+
+func TestKAnonymizedReleaseDefeatsLinkage(t *testing.T) {
+	ds := workload.Generate(workload.DefaultConfig(5))
+	for _, k := range []int{2, 5, 10} {
+		released, _, err := anon.KAnonymize(ds.Residents, k, []string{"age", "zip"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Linkage{
+			Released: released, External: ds.Residents,
+			QI: []string{"age", "zip"}, IdentityCol: "patient",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reidentified != 0 {
+			t.Errorf("k=%d: %d rows re-identified (%v)", k, res.Reidentified, res)
+		}
+		// Every released row's candidate set covers its whole class.
+		if res.MinCandidates < k {
+			t.Errorf("k=%d: min candidates %d < k", k, res.MinCandidates)
+		}
+	}
+}
+
+func TestAttributeDisclosureStoppedByLDiversity(t *testing.T) {
+	// Homogeneous class: both members share the sensitive value — the
+	// attacker learns it for every candidate without re-identifying
+	// anyone.
+	released := relation.NewBase("released", relation.NewSchema(
+		relation.Col("age", relation.TString),
+		relation.Col("disease", relation.TString),
+	))
+	released.MustAppend(relation.Str("[20-30)"), relation.Str("HIV"))
+	released.MustAppend(relation.Str("[20-30)"), relation.Str("HIV"))
+	external := relation.NewBase("registry", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("age", relation.TInt),
+	))
+	external.MustAppend(relation.Str("Alice"), relation.Int(22))
+	external.MustAppend(relation.Str("Bob"), relation.Int(27))
+
+	res, err := Run(Linkage{
+		Released: released, External: external,
+		QI: []string{"age"}, IdentityCol: "patient", SensitiveCol: "disease",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reidentified != 0 {
+		t.Errorf("nobody should be re-identified: %v", res)
+	}
+	if res.AttributeDisclosed != 2 || res.AttributeRate != 1 {
+		t.Errorf("homogeneity should disclose both: %v", res)
+	}
+
+	// A 2-diverse class does not disclose.
+	released.Rows[1][1] = relation.Str("flu")
+	res, err = Run(Linkage{
+		Released: released, External: external,
+		QI: []string{"age"}, IdentityCol: "patient", SensitiveCol: "disease",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttributeDisclosed != 0 {
+		t.Errorf("diverse class should not disclose: %v", res)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := workload.Generate(workload.DefaultConfig(5))
+	if _, err := Run(Linkage{Released: ds.Residents, External: ds.Residents,
+		QI: []string{"ghost"}, IdentityCol: "patient"}); err == nil {
+		t.Error("bad QI must fail")
+	}
+	if _, err := Run(Linkage{Released: ds.Residents, External: ds.Residents,
+		QI: []string{"age"}, IdentityCol: "ghost"}); err == nil {
+		t.Error("bad identity column must fail")
+	}
+	if _, err := Run(Linkage{Released: ds.Residents, External: ds.Residents,
+		QI: []string{"age"}, IdentityCol: "patient", SensitiveCol: "ghost"}); err == nil {
+		t.Error("bad sensitive column must fail")
+	}
+}

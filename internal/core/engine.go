@@ -1,0 +1,255 @@
+// Package core is the public façade of the library: the Engine ties the
+// substrates together into the paper's workflow — register per-owner
+// sources, attach PLAs at any of the four levels, run guarded ETL into
+// the warehouse, define reports, derive and approve meta-reports, render
+// reports with full enforcement and auditing, check compliance statically,
+// generate PLA-derived test suites, and resolve disputes via provenance.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/audit"
+	"plabi/internal/enforce"
+	"plabi/internal/etl"
+	"plabi/internal/metadata"
+	"plabi/internal/metareport"
+	"plabi/internal/policy"
+	"plabi/internal/provenance"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/sql"
+)
+
+// Engine is one privacy-aware BI deployment.
+type Engine struct {
+	Sources  map[string]*etl.Source
+	Policies *policy.Registry
+	Metadata *metadata.Store
+	Catalog  *sql.Catalog
+	Tracer   *provenance.Tracer
+	Graph    *provenance.Graph
+	Reports  *report.Registry
+	Metas    []*metareport.MetaReport
+	Assign   map[string]string
+	Audit    *audit.Log
+
+	enforcer *enforce.ReportEnforcer
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	e := &Engine{
+		Sources:  map[string]*etl.Source{},
+		Policies: policy.NewRegistry(),
+		Metadata: metadata.NewStore(),
+		Catalog:  sql.NewCatalog(),
+		Tracer:   provenance.NewTracer(),
+		Graph:    provenance.NewGraph(),
+		Reports:  report.NewRegistry(),
+		Assign:   map[string]string{},
+		Audit:    audit.NewLog(),
+	}
+	e.enforcer = enforce.NewReportEnforcer(e.Policies, e.Catalog, e.Tracer)
+	e.enforcer.ExtraScopes = e.Assign2Scopes()
+	return e
+}
+
+// AddSource registers a data provider; its tables become traceable
+// provenance bases and queryable catalog entries.
+func (e *Engine) AddSource(src *etl.Source) {
+	e.Sources[strings.ToLower(src.Name)] = src
+	for _, t := range src.Tables {
+		e.Catalog.Register(t)
+		e.Tracer.RegisterBase(t)
+		e.Audit.Append(audit.Event{Kind: "register", Actor: src.Owner, Object: t.Name,
+			Detail: fmt.Sprintf("%d rows", t.NumRows())})
+	}
+}
+
+// AddPLAs parses a PLA DSL document and registers every block.
+func (e *Engine) AddPLAs(dsl string) error {
+	plas, err := policy.ParseFile(dsl)
+	if err != nil {
+		return err
+	}
+	for _, p := range plas {
+		if err := e.Policies.Add(p); err != nil {
+			return err
+		}
+		e.Audit.Append(audit.Event{Kind: "pla", Actor: p.Owner, Object: p.ID,
+			Detail: fmt.Sprintf("level=%s scope=%s atoms=%d", p.Level, p.Scope, p.Atoms())})
+	}
+	return nil
+}
+
+// RunETL executes a pipeline with the PLA guard, recording every step in
+// the audit log and registering staging outputs in the catalog and
+// tracer. When continueOnViolation is true, blocked steps are skipped and
+// recorded while the rest of the pipeline proceeds.
+func (e *Engine) RunETL(p *etl.Pipeline, continueOnViolation bool) (etl.Result, error) {
+	ctx := etl.NewContext(enforce.NewPLAGuard(e.Policies))
+	ctx.Graph = e.Graph
+	ctx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
+		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
+			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut)}
+		if err != nil {
+			ev.Kind = "violation"
+			ev.Detail = err.Error()
+		}
+		e.Audit.Append(ev)
+	}
+	res, err := p.Run(ctx, continueOnViolation)
+	// Register every staging output for reporting and tracing.
+	for name, t := range ctx.Staging {
+		reg := t
+		if reg.Name != name {
+			reg = t.Clone()
+			reg.Name = name
+		}
+		e.Catalog.Register(reg)
+		if reg.Base {
+			e.Tracer.RegisterBase(reg)
+		}
+	}
+	return res, err
+}
+
+// DefineReport registers a report definition.
+func (e *Engine) DefineReport(d *report.Definition) error {
+	if err := e.Reports.Create(d); err != nil {
+		return err
+	}
+	e.Audit.Append(audit.Event{Kind: "report", Object: d.ID, Detail: d.Query})
+	return nil
+}
+
+// DeriveMetaReports computes the minimal covering meta-report set for the
+// current portfolio and marks the metas approved (standing in for the
+// owners' sign-off).
+func (e *Engine) DeriveMetaReports() ([]*metareport.MetaReport, error) {
+	metas, assign, err := metareport.Derive(e.Catalog, e.Reports.All())
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range metas {
+		m.Approved = true
+	}
+	e.Metas = metas
+	e.Assign = assign
+	e.enforcer.ExtraScopes = e.Assign2Scopes()
+	for _, m := range metas {
+		e.Audit.Append(audit.Event{Kind: "metareport", Object: m.ID, Detail: m.Query})
+	}
+	return metas, nil
+}
+
+// Assign2Scopes converts the report->meta assignment into the enforcer's
+// extra-scope map.
+func (e *Engine) Assign2Scopes() map[string][]string {
+	out := map[string][]string{}
+	for rid, mid := range e.Assign {
+		out[rid] = append(out[rid], mid)
+	}
+	return out
+}
+
+// CheckReportCompliance statically checks a report (by id) for the given
+// consumer: derivability from an approved meta-report (when metas exist)
+// and PLA compliance of the definition.
+func (e *Engine) CheckReportCompliance(reportID string, c report.Consumer) ([]enforce.Decision, error) {
+	d, ok := e.Reports.Get(reportID)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown report %q", reportID)
+	}
+	var out []enforce.Decision
+	if len(e.Metas) > 0 {
+		covering, cont, err := metareport.CoveringMeta(e.Catalog, d, e.Metas)
+		if err != nil {
+			return nil, err
+		}
+		if covering == nil {
+			out = append(out, enforce.Decision{
+				Outcome: enforce.Block, Rule: "meta-derivability", Subject: d.ID,
+				Detail: strings.Join(cont.Reasons, "; "),
+			})
+		} else if e.Assign[d.ID] == "" {
+			e.Assign[d.ID] = covering.ID
+			e.enforcer.ExtraScopes = e.Assign2Scopes()
+		}
+	}
+	static, err := e.enforcer.StaticCheck(d, c.Role, c.Purpose)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, static...), nil
+}
+
+// Render renders a report with full enforcement for the consumer,
+// recording the render and every decision in the audit log.
+func (e *Engine) Render(reportID string, c report.Consumer) (*enforce.Enforced, error) {
+	d, ok := e.Reports.Get(reportID)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown report %q", reportID)
+	}
+	enf, err := e.enforcer.Render(d, c)
+	if err != nil {
+		return nil, err
+	}
+	if sel, perr := d.Parse(); perr == nil {
+		inputs := []string{strings.ToLower(sel.From.Name)}
+		for _, j := range sel.Joins {
+			inputs = append(inputs, strings.ToLower(j.Table.Name))
+		}
+		e.Graph.AddStep("render", inputs, d.ID, "consumer "+c.Name, 0, enf.Table.NumRows())
+	}
+	e.Audit.Append(audit.Event{Kind: "render", Actor: c.Name, Object: reportID,
+		Detail: fmt.Sprintf("role=%s purpose=%s rows=%d masked=%d suppressed=%d",
+			c.Role, c.Purpose, enf.Table.NumRows(), enf.MaskedCells, enf.SuppressedRows)})
+	for _, dec := range enf.Decisions {
+		e.Audit.Decision(c.Name, reportID, dec)
+	}
+	return enf, nil
+}
+
+// ComplianceSuite generates the PLA-derived test suite for one report and
+// consumer (§6: policies testable before operation).
+func (e *Engine) ComplianceSuite(reportID string, c report.Consumer) ([]metareport.ComplianceTest, error) {
+	d, ok := e.Reports.Get(reportID)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown report %q", reportID)
+	}
+	return metareport.GenerateTests(e.Policies, e.Catalog, e.Tracer, d, c, e.Assign2Scopes()[reportID])
+}
+
+// Auditor returns the dispute-resolution auditor over this engine's
+// state.
+func (e *Engine) Auditor() *audit.Auditor {
+	return &audit.Auditor{Registry: e.Policies, Tracer: e.Tracer, Graph: e.Graph}
+}
+
+// SourceEnforcer returns the Fig. 2a release filter over this engine's
+// policies and metadata.
+func (e *Engine) SourceEnforcer() *enforce.SourceEnforcer {
+	return &enforce.SourceEnforcer{Registry: e.Policies, Metadata: e.Metadata}
+}
+
+// QueryRewriter returns the VPD-style rewriter over this engine's
+// policies and catalog.
+func (e *Engine) QueryRewriter() *enforce.QueryRewriter {
+	return enforce.NewQueryRewriter(e.Policies, e.Catalog)
+}
+
+// ViewManager returns the §3 view-based access-control manager: per-role
+// views over the registered tables embodying the PLA rewriting.
+func (e *Engine) ViewManager() *enforce.ViewManager {
+	return enforce.NewViewManager(e.Policies, e.Catalog)
+}
+
+// Enforcer exposes the report enforcer (for advanced callers and the
+// experiment harness).
+func (e *Engine) Enforcer() *enforce.ReportEnforcer { return e.enforcer }
+
+// Table is a convenience accessor for any registered relation.
+func (e *Engine) Table(name string) (*relation.Table, bool) { return e.Catalog.Table(name) }

@@ -1,0 +1,131 @@
+package elicit
+
+import (
+	"fmt"
+
+	"plabi/internal/policy"
+	"plabi/internal/sql"
+)
+
+// LevelCost quantifies the initial elicitation at one PLA level — the
+// horizontal axis of Fig. 5 (ease of elicitation) and the §3
+// over-engineering claim (E6).
+type LevelCost struct {
+	Level policy.Level
+	// Artifacts is the number of schema artifacts discussed with the
+	// owners (source tables, the warehouse schema, meta-reports, or
+	// reports).
+	Artifacts int
+	// Vocabulary is the total number of attributes the owners must
+	// understand across those artifacts.
+	Vocabulary int
+	// VocabPerArtifact is the average size of one elicitation discussion.
+	VocabPerArtifact float64
+	// AbstractElements counts vocabulary discussed as bare schema, with
+	// no concrete data rendering in front of the owner: all of it at the
+	// source and warehouse levels (§3: "managers ... are unaware of the
+	// meaning of the data in the tables"), none at the meta-report and
+	// report levels, where the owner sees populated tables (§5).
+	AbstractElements int
+	// Atoms is the number of PLA atoms authored (closed world: one
+	// access atom per exposed attribute).
+	Atoms int
+	// UnusedAtoms covers attributes no delivered report ever uses.
+	UnusedAtoms int
+	// Burden is AbstractElements + VocabPerArtifact: the comprehension
+	// cost of one elicitation campaign. Ease is 1/Burden — higher is
+	// easier, matching Fig. 5's upward arrow toward reports.
+	Burden float64
+	Ease   float64
+	// OverEngineering is UnusedAtoms/Atoms (§3).
+	OverEngineering float64
+}
+
+// MeasureCosts computes the per-level elicitation costs for the scenario.
+func MeasureCosts(s *Scenario) ([]LevelCost, error) {
+	used, err := s.UsedColumns()
+	if err != nil {
+		return nil, err
+	}
+	var out []LevelCost
+
+	// Source level: every source table's full schema is on the table.
+	src := LevelCost{Level: policy.LevelSource, Artifacts: len(s.SourceTables)}
+	for _, tn := range s.SourceTables {
+		t, ok := s.Cat.Table(tn)
+		if !ok {
+			return nil, fmt.Errorf("elicit: unknown source table %q", tn)
+		}
+		for _, c := range t.Schema.ColumnNames() {
+			src.Vocabulary++
+			src.Atoms++
+			if !used[c] {
+				src.UnusedAtoms++
+			}
+		}
+	}
+	src.AbstractElements = src.Vocabulary // schema-only discussion (§3)
+	out = append(out, finishCost(src))
+
+	// Warehouse level: one artifact, the loaded schema.
+	dwh, ok := s.Cat.Table(s.Warehouse)
+	if !ok {
+		return nil, fmt.Errorf("elicit: unknown warehouse table %q", s.Warehouse)
+	}
+	wh := LevelCost{Level: policy.LevelWarehouse, Artifacts: 1}
+	for _, c := range dwh.Schema.ColumnNames() {
+		wh.Vocabulary++
+		wh.Atoms++
+		if !used[c] {
+			wh.UnusedAtoms++
+		}
+	}
+	wh.AbstractElements = wh.Vocabulary // integrated but still abstract (§4)
+	out = append(out, finishCost(wh))
+
+	// Meta-report level: the derived wide views.
+	mr := LevelCost{Level: policy.LevelMetaReport, Artifacts: len(s.Metas)}
+	for _, m := range s.Metas {
+		prof, err := sql.ProfileSQL(s.Cat, m.Query)
+		if err != nil {
+			return nil, err
+		}
+		for name := range prof.OutputNames {
+			mr.Vocabulary++
+			mr.Atoms++
+			if !used[name] {
+				mr.UnusedAtoms++
+			}
+		}
+	}
+	out = append(out, finishCost(mr))
+
+	// Report level: every delivered report individually.
+	reports := s.Reports.All()
+	rp := LevelCost{Level: policy.LevelReport, Artifacts: len(reports)}
+	for _, d := range reports {
+		prof, err := sql.ProfileSQL(s.Cat, d.Query)
+		if err != nil {
+			return nil, err
+		}
+		rp.Vocabulary += len(prof.OutputNames)
+		rp.Atoms += len(prof.OutputNames)
+		// By construction report atoms cover exactly what is shown.
+	}
+	out = append(out, finishCost(rp))
+	return out, nil
+}
+
+func finishCost(c LevelCost) LevelCost {
+	if c.Artifacts > 0 {
+		c.VocabPerArtifact = float64(c.Vocabulary) / float64(c.Artifacts)
+	}
+	c.Burden = float64(c.AbstractElements) + c.VocabPerArtifact
+	if c.Burden > 0 {
+		c.Ease = 1 / c.Burden
+	}
+	if c.Atoms > 0 {
+		c.OverEngineering = float64(c.UnusedAtoms) / float64(c.Atoms)
+	}
+	return c
+}

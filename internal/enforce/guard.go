@@ -1,0 +1,51 @@
+package enforce
+
+import (
+	"fmt"
+
+	"plabi/internal/policy"
+)
+
+// PLAGuard is the policy-backed etl.Guard: joins and integrations during
+// ETL are checked against the PLAs elicited for the involved base tables
+// at the source and warehouse levels (Fig. 3).
+type PLAGuard struct {
+	Registry *policy.Registry
+	// Levels are the PLA levels consulted; defaults to source+warehouse.
+	Levels []policy.Level
+}
+
+// NewPLAGuard builds a guard over the registry consulting source- and
+// warehouse-level PLAs.
+func NewPLAGuard(reg *policy.Registry) *PLAGuard {
+	return &PLAGuard{Registry: reg, Levels: []policy.Level{policy.LevelSource, policy.LevelWarehouse}}
+}
+
+func (g *PLAGuard) compositeFor(scope string) *policy.Composite {
+	var plas []*policy.PLA
+	for _, lvl := range g.Levels {
+		plas = append(plas, g.Registry.ForScope(lvl, scope).PLAs...)
+	}
+	return policy.Compose(plas...)
+}
+
+// CheckJoin implements etl.Guard: both sides' PLAs must permit joining
+// with the other.
+func (g *PLAGuard) CheckJoin(left, right string) error {
+	if ok, reason := g.compositeFor(left).JoinAllowed(right); !ok {
+		return fmt.Errorf("PLA %s forbids joining %s with %s", reason, left, right)
+	}
+	if ok, reason := g.compositeFor(right).JoinAllowed(left); !ok {
+		return fmt.Errorf("PLA %s forbids joining %s with %s", reason, right, left)
+	}
+	return nil
+}
+
+// CheckIntegration implements etl.Guard: the donor table's PLAs must
+// permit using its data for the beneficiary owner.
+func (g *PLAGuard) CheckIntegration(donorTable, beneficiaryOwner string) error {
+	if ok, reason := g.compositeFor(donorTable).IntegrationAllowed(beneficiaryOwner); !ok {
+		return fmt.Errorf("PLA %s forbids integration of %s for %s", reason, donorTable, beneficiaryOwner)
+	}
+	return nil
+}

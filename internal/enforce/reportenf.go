@@ -1,0 +1,459 @@
+package enforce
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/policy"
+	"plabi/internal/provenance"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/sql"
+)
+
+// ReportEnforcer enforces PLAs on delivered reports (§5, Fig. 4): static
+// compliance checking of report definitions, and runtime enforcement on
+// rendered results — attribute access per role/purpose, intensional
+// conditions resolved through provenance against the supporting source
+// rows (the paper's HIV example), aggregation thresholds counted on
+// lineage support, and row filters.
+type ReportEnforcer struct {
+	Registry *policy.Registry
+	Catalog  *sql.Catalog
+	Tracer   *provenance.Tracer
+	// Levels are the PLA levels consulted; defaults to source, warehouse
+	// and report.
+	Levels []policy.Level
+	// ExtraScopes maps a report id to additional PLA scopes that govern
+	// it (e.g. the meta-reports it derives from).
+	ExtraScopes map[string][]string
+}
+
+// NewReportEnforcer builds an enforcer consulting every level.
+func NewReportEnforcer(reg *policy.Registry, cat *sql.Catalog, tr *provenance.Tracer) *ReportEnforcer {
+	return &ReportEnforcer{
+		Registry: reg, Catalog: cat, Tracer: tr,
+		Levels: []policy.Level{policy.LevelSource, policy.LevelWarehouse,
+			policy.LevelMetaReport, policy.LevelReport},
+		ExtraScopes: map[string][]string{},
+	}
+}
+
+// Enforced is a rendered report after enforcement.
+type Enforced struct {
+	Def   *report.Definition
+	Table *relation.Table
+	// Decisions lists every non-permit decision taken.
+	Decisions []Decision
+	// MaskedCells / SuppressedRows count the runtime interventions.
+	MaskedCells    int
+	SuppressedRows int
+}
+
+// CompositeFor assembles the PLAs governing a report: source-level PLAs of
+// every base table it reads, warehouse-level PLAs of those tables,
+// meta-report PLAs of its registered scopes, and report-level PLAs of the
+// report id itself.
+func (e *ReportEnforcer) CompositeFor(def *report.Definition) (*policy.Composite, *sql.Profile, error) {
+	prof, err := sql.ProfileSQL(e.Catalog, def.Query)
+	if err != nil {
+		return nil, nil, fmt.Errorf("enforce: profile %s: %w", def.ID, err)
+	}
+	var plas []*policy.PLA
+	seen := map[string]bool{}
+	add := func(comp *policy.Composite) {
+		for _, p := range comp.PLAs {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				plas = append(plas, p)
+			}
+		}
+	}
+	for _, lvl := range e.levels() {
+		switch lvl {
+		case policy.LevelSource:
+			add(e.Registry.ForScopes(lvl, prof.BaseTables))
+		case policy.LevelWarehouse:
+			// Warehouse-level PLAs may be scoped either to the base
+			// tables or to the warehouse relations the query names in
+			// its FROM clause (e.g. the wide staging table).
+			add(e.Registry.ForScopes(lvl, prof.BaseTables))
+			if sel, perr := def.Parse(); perr == nil {
+				add(e.Registry.ForScopes(lvl, fromNames(sel)))
+			}
+		case policy.LevelMetaReport:
+			add(e.Registry.ForScopes(lvl, e.ExtraScopes[def.ID]))
+		case policy.LevelReport:
+			add(e.Registry.ForScope(lvl, def.ID))
+		}
+	}
+	return policy.Compose(plas...), prof, nil
+}
+
+func (e *ReportEnforcer) levels() []policy.Level {
+	if len(e.Levels) > 0 {
+		return e.Levels
+	}
+	return policy.Levels()
+}
+
+// StaticCheck verifies a report definition against the PLAs without
+// executing it: forbidden joins, denied attributes, and missing
+// aggregation for threshold-protected data are reported. An empty result
+// means the definition is statically compliant — the paper's "testable
+// before put in operation" property (§6).
+func (e *ReportEnforcer) StaticCheck(def *report.Definition, role, purpose string) ([]Decision, error) {
+	comp, prof, err := e.CompositeFor(def)
+	if err != nil {
+		return nil, err
+	}
+	var out []Decision
+
+	// Join permissions.
+	for _, jp := range prof.JoinPairs {
+		a := e.perTableComposite(jp.A)
+		b := e.perTableComposite(jp.B)
+		if ok, reason := a.JoinAllowed(jp.B); !ok {
+			out = append(out, Decision{Outcome: Block, Rule: "join-permission",
+				Subject: jp.A + " JOIN " + jp.B, Detail: reason})
+		} else if ok, reason := b.JoinAllowed(jp.A); !ok {
+			out = append(out, Decision{Outcome: Block, Rule: "join-permission",
+				Subject: jp.B + " JOIN " + jp.A, Detail: reason})
+		}
+	}
+
+	// Attribute access on non-aggregated output columns.
+	sel, err := def.Parse()
+	if err != nil {
+		return nil, err
+	}
+	aggCols := aggregateColumns(sel)
+	fromRels := fromNames(sel)
+	for name, origins := range prof.OutputNames {
+		if aggCols[name] {
+			continue
+		}
+		refs := e.columnRefs(fromRels, name, origins)
+		if d, _ := e.decideColumn(comp, refs, name, role, purpose); d != nil {
+			out = append(out, *d)
+		}
+	}
+
+	// Aggregation thresholds: a non-aggregated report exposing data under
+	// a threshold rule violates it statically.
+	if !prof.Aggregated {
+		for _, rule := range comp.AggregationRules() {
+			subject := rule.By
+			if subject == "" {
+				subject = "rows"
+			}
+			out = append(out, Decision{Outcome: Block, Rule: "aggregation-threshold",
+				Subject: subject,
+				Detail:  fmt.Sprintf("report is not aggregated but a min-%d threshold applies", rule.MinCount)})
+		}
+	}
+	return out, nil
+}
+
+func (e *ReportEnforcer) perTableComposite(table string) *policy.Composite {
+	var plas []*policy.PLA
+	for _, lvl := range []policy.Level{policy.LevelSource, policy.LevelWarehouse} {
+		plas = append(plas, e.Registry.ForScope(lvl, table).PLAs...)
+	}
+	return policy.Compose(plas...)
+}
+
+// attrRefs builds the scoped attribute references for one output column:
+// the output name (report vocabulary) plus every origin (base table +
+// column), so source-level PLAs only speak about their own columns.
+func attrRefs(name string, origins relation.ColRefSet) []policy.AttrRef {
+	refs := []policy.AttrRef{{Name: strings.ToLower(name)}}
+	for _, o := range origins {
+		refs = append(refs, policy.AttrRef{Name: o.Column, Table: o.Table})
+	}
+	return refs
+}
+
+// columnRefs extends attrRefs with warehouse-relation references: for
+// every relation the query names in FROM that carries a candidate column,
+// a (column, relation) ref is added so warehouse-level PLAs scoped to
+// e.g. the wide staging table can govern it.
+func (e *ReportEnforcer) columnRefs(fromRels []string, name string, origins relation.ColRefSet) []policy.AttrRef {
+	refs := attrRefs(name, origins)
+	candidates := map[string]bool{strings.ToLower(name): true}
+	for _, o := range origins {
+		candidates[o.Column] = true
+	}
+	for _, rel := range fromRels {
+		t, ok := e.Catalog.Table(rel)
+		if !ok {
+			continue
+		}
+		for c := range candidates {
+			if t.Schema.HasColumn(c) {
+				refs = append(refs, policy.AttrRef{Name: c, Table: rel})
+			}
+		}
+	}
+	return refs
+}
+
+// decideColumn returns the masking decision for one output column (nil
+// when access is permitted) and the intensional conditions attached to
+// the matching allow rules.
+func (e *ReportEnforcer) decideColumn(comp *policy.Composite, refs []policy.AttrRef, name, role, purpose string) (*Decision, []relation.Expr) {
+	d := comp.DecideAttributeRefs(refs, role, purpose)
+	if d.Effect == policy.Deny {
+		if len(d.Matched) > 0 {
+			return &Decision{Outcome: Mask, Rule: "access-deny", Subject: name,
+				Detail: fmt.Sprintf("attribute %q denied to role %q", name, role)}, nil
+		}
+		return &Decision{Outcome: Mask, Rule: "access-default-deny", Subject: name,
+			Detail: fmt.Sprintf("no PLA allows attribute %q for role %q (closed world)", name, role)}, nil
+	}
+	seen := map[string]bool{}
+	var conds []relation.Expr
+	for _, c := range d.Conditions {
+		if key := c.String(); !seen[key] {
+			seen[key] = true
+			conds = append(conds, c)
+		}
+	}
+	return nil, conds
+}
+
+// Render executes the report and enforces the PLAs on the result for the
+// given consumer.
+func (e *ReportEnforcer) Render(def *report.Definition, consumer report.Consumer) (*Enforced, error) {
+	comp, prof, err := e.CompositeFor(def)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := def.Parse()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := def.Render(e.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	enf := &Enforced{Def: def}
+
+	// Static blocks abort rendering entirely.
+	static, err := e.StaticCheck(def, consumer.Role, consumer.Purpose)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range static {
+		if d.Outcome == Block {
+			enf.Decisions = append(enf.Decisions, d)
+		}
+	}
+	if len(enf.Decisions) > 0 {
+		empty := raw.Clone()
+		empty.Rows = nil
+		empty.Lineage = nil
+		enf.Table = empty
+		return enf, nil
+	}
+
+	aggCols := aggregateColumns(sel)
+	out := raw.Clone()
+	out.Name = def.ID
+
+	// Column-level access decisions and per-column conditions.
+	type colPlan struct {
+		masked     bool
+		conditions []relation.Expr
+	}
+	plans := make([]colPlan, out.Schema.Len())
+	fromRels := fromNames(sel)
+	for ci, col := range out.Schema.Columns {
+		name := strings.ToLower(col.Name)
+		origins := raw.ColumnOrigin(ci)
+		if aggCols[name] {
+			continue // aggregate columns governed by thresholds
+		}
+		refs := e.columnRefs(fromRels, name, origins)
+		d, conds := e.decideColumn(comp, refs, name, consumer.Role, consumer.Purpose)
+		if d != nil {
+			plans[ci].masked = true
+			enf.Decisions = append(enf.Decisions, *d)
+			continue
+		}
+		plans[ci].conditions = conds
+	}
+
+	// Aggregation thresholds per output row (counted on lineage support).
+	minBy := map[string]int{}
+	for _, rule := range comp.AggregationRules() {
+		if prof.Aggregated {
+			key := strings.ToLower(rule.By)
+			if rule.MinCount > minBy[key] {
+				minBy[key] = rule.MinCount
+			}
+		}
+	}
+
+	// Row filters apply to non-aggregated reports via supporting rows.
+	filters := comp.Filters()
+
+	var keptRows []relation.Row
+	var keptLineage []relation.LineageSet
+	for ri := range out.Rows {
+		rt, err := e.Tracer.TraceRow(raw, ri)
+		if err != nil {
+			return nil, err
+		}
+		// Aggregation thresholds.
+		suppress := false
+		for by, k := range minBy {
+			var support int
+			if by == "" {
+				support = len(rt.Rows)
+			} else {
+				support = 0
+				for table := range rt.Support {
+					if n := e.Tracer.DistinctSupport(rt, table, by); n > support {
+						support = n
+					}
+				}
+			}
+			if support < k {
+				suppress = true
+				enf.Decisions = append(enf.Decisions, Decision{
+					Outcome: SuppressGroup, Rule: "aggregation-threshold",
+					Subject:  fmt.Sprintf("%s[%d]", def.ID, ri),
+					Detail:   fmt.Sprintf("support %d < min %d (by %q)", support, k, by),
+					Evidence: lineageEvidence(rt),
+				})
+				break
+			}
+		}
+		if suppress {
+			enf.SuppressedRows++
+			continue
+		}
+		// Row filters (non-aggregated reports): every supporting source
+		// row must satisfy every filter.
+		if !prof.Aggregated && len(filters) > 0 {
+			ok, evidence := e.supportSatisfies(rt, filters)
+			if !ok {
+				enf.SuppressedRows++
+				enf.Decisions = append(enf.Decisions, Decision{
+					Outcome: SuppressRow, Rule: "row-filter",
+					Subject:  fmt.Sprintf("%s[%d]", def.ID, ri),
+					Evidence: evidence,
+				})
+				continue
+			}
+		}
+		// Cell-level masking: denied columns, then intensional conditions
+		// evaluated against the supporting source rows (§5 HIV example).
+		row := out.Rows[ri].Clone()
+		for ci := range row {
+			if plans[ci].masked {
+				row[ci] = MaskValue
+				enf.MaskedCells++
+				continue
+			}
+			if len(plans[ci].conditions) == 0 {
+				continue
+			}
+			ok, evidence := e.supportSatisfies(rt, plans[ci].conditions)
+			if !ok {
+				row[ci] = MaskValue
+				enf.MaskedCells++
+				enf.Decisions = append(enf.Decisions, Decision{
+					Outcome: Mask, Rule: "condition",
+					Subject:  fmt.Sprintf("%s[%d].%s", def.ID, ri, out.Schema.Columns[ci].Name),
+					Evidence: evidence,
+				})
+			}
+		}
+		keptRows = append(keptRows, row)
+		keptLineage = append(keptLineage, raw.RowLineage(ri))
+	}
+	out.Rows = keptRows
+	out.Lineage = keptLineage
+	// Masked columns may hold strings now.
+	for ci := range out.Schema.Columns {
+		if plans[ci].masked {
+			out.Schema.Columns[ci].Type = relation.TString
+		}
+	}
+	enf.Table = out
+	return enf, nil
+}
+
+// supportSatisfies evaluates conditions on every source row supporting an
+// output row. A condition only applies to base rows whose table carries
+// all referenced columns; rows failing any applicable condition make the
+// whole support fail, and their provenance is returned as evidence.
+func (e *ReportEnforcer) supportSatisfies(rt provenance.RowTrace, conds []relation.Expr) (bool, []string) {
+	for _, cond := range conds {
+		refs := relation.ColumnsOf(cond)
+		for _, ref := range rt.Rows {
+			vals := make(relation.Row, len(refs))
+			applicable := true
+			for i, col := range refs {
+				v, ok := e.Tracer.BaseValue(ref, col)
+				if !ok {
+					applicable = false
+					break
+				}
+				vals[i] = v
+			}
+			if !applicable {
+				continue
+			}
+			schema := condSchema(refs, vals)
+			ok, err := relation.EvalPredicate(cond, vals, schema)
+			if err != nil || !ok {
+				return false, []string{fmt.Sprintf("%s fails %s", ref, cond)}
+			}
+		}
+	}
+	return true, nil
+}
+
+func condSchema(cols []string, vals relation.Row) *relation.Schema {
+	out := make([]relation.Column, len(cols))
+	for i, c := range cols {
+		out[i] = relation.Column{Name: c, Type: vals[i].Kind}
+	}
+	return &relation.Schema{Columns: out}
+}
+
+func lineageEvidence(rt provenance.RowTrace) []string {
+	out := make([]string, 0, len(rt.Rows))
+	for i, ref := range rt.Rows {
+		if i >= 8 {
+			out = append(out, fmt.Sprintf("... %d more", len(rt.Rows)-i))
+			break
+		}
+		out = append(out, ref.String())
+	}
+	return out
+}
+
+// fromNames returns the relation names a SELECT names in its FROM clause.
+func fromNames(sel *sql.SelectStmt) []string {
+	out := []string{strings.ToLower(sel.From.Name)}
+	for _, j := range sel.Joins {
+		out = append(out, strings.ToLower(j.Table.Name))
+	}
+	return out
+}
+
+// aggregateColumns returns the lowercase output names of aggregate select
+// items.
+func aggregateColumns(sel *sql.SelectStmt) map[string]bool {
+	out := map[string]bool{}
+	for _, it := range sel.Items {
+		if it.Agg != nil {
+			out[strings.ToLower(it.OutName())] = true
+		}
+	}
+	return out
+}

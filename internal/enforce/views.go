@@ -1,0 +1,70 @@
+package enforce
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/policy"
+	"plabi/internal/sql"
+)
+
+// ViewManager implements the third source-level mechanism of §3: access
+// to base tables is disallowed and consumers query per-role views
+// instead, each view being the PLA-compliant rewriting of SELECT * over
+// the base table ("define views on top of them with different
+// permissions and operators in each one").
+type ViewManager struct {
+	Registry *policy.Registry
+	Catalog  *sql.Catalog
+}
+
+// NewViewManager builds a view manager over the registry and catalog.
+func NewViewManager(reg *policy.Registry, cat *sql.Catalog) *ViewManager {
+	return &ViewManager{Registry: reg, Catalog: cat}
+}
+
+// ViewName returns the canonical per-role view name for a table.
+func ViewName(table, role string) string {
+	return strings.ToLower(table) + "__" + strings.ToLower(role)
+}
+
+// CreateRoleView registers the PLA-compliant view of one table for one
+// role and returns its name with the decisions the view embodies. The
+// view is defined, not materialized: it re-evaluates on every query, so
+// new rows are covered automatically.
+func (m *ViewManager) CreateRoleView(table, role, purpose string) (string, []Decision, error) {
+	if _, ok := m.Catalog.Table(table); !ok {
+		return "", nil, fmt.Errorf("enforce: unknown table %q", table)
+	}
+	rw := NewQueryRewriter(m.Registry, m.Catalog)
+	sel, err := sql.ParseSelect("SELECT * FROM " + table)
+	if err != nil {
+		return "", nil, err
+	}
+	rewritten, decisions, err := rw.Rewrite(sel, role, purpose)
+	if err != nil {
+		return "", nil, err
+	}
+	if rewritten == nil {
+		return "", decisions, fmt.Errorf("enforce: access to %q is blocked for role %q", table, role)
+	}
+	name := ViewName(table, role)
+	m.Catalog.RegisterView(name, rewritten)
+	return name, decisions, nil
+}
+
+// CreateRoleViews registers views for every base table and returns the
+// view names keyed by table. Tables whose access is blocked outright are
+// reported in blocked.
+func (m *ViewManager) CreateRoleViews(role, purpose string) (views map[string]string, blocked []string, err error) {
+	views = map[string]string{}
+	for _, table := range m.Catalog.TableNames() {
+		name, _, verr := m.CreateRoleView(table, role, purpose)
+		if verr != nil {
+			blocked = append(blocked, table)
+			continue
+		}
+		views[table] = name
+	}
+	return views, blocked, nil
+}

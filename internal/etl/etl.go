@@ -1,0 +1,189 @@
+// Package etl implements the extract-transform-load pipeline of the
+// outsourced BI scenario (§2, §4): extraction from per-owner sources into
+// a staging area, cleansing, entity resolution across sources, joins and
+// derivations, with every step recorded in the provenance transformation
+// graph and guarded by PLA enforcement hooks (join permissions,
+// integration permissions — Fig. 3).
+package etl
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/provenance"
+	"plabi/internal/relation"
+)
+
+// Source is one data provider: an owning institution and its tables.
+type Source struct {
+	Name   string // e.g. "hospital"
+	Owner  string // owning institution (often equal to Name)
+	Tables map[string]*relation.Table
+}
+
+// NewSource builds a source from tables, keyed by table name.
+func NewSource(name, owner string, tables ...*relation.Table) *Source {
+	s := &Source{Name: name, Owner: owner, Tables: map[string]*relation.Table{}}
+	for _, t := range tables {
+		s.Tables[strings.ToLower(t.Name)] = t
+	}
+	return s
+}
+
+// Table returns the named table of the source.
+func (s *Source) Table(name string) (*relation.Table, bool) {
+	t, ok := s.Tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Guard is consulted before privacy-relevant ETL operations. The enforce
+// package provides the PLA-backed implementation; AllowAll is the null
+// guard.
+type Guard interface {
+	// CheckJoin is consulted before joining data deriving from the two
+	// base tables.
+	CheckJoin(left, right string) error
+	// CheckIntegration is consulted before donor data is used to
+	// clean/resolve data belonging to the beneficiary owner (§5 v).
+	CheckIntegration(donorTable, beneficiaryOwner string) error
+}
+
+// AllowAll is a Guard that permits every operation.
+type AllowAll struct{}
+
+// CheckJoin implements Guard.
+func (AllowAll) CheckJoin(_, _ string) error { return nil }
+
+// CheckIntegration implements Guard.
+func (AllowAll) CheckIntegration(_, _ string) error { return nil }
+
+// Context carries pipeline state: the staging area, the provenance graph,
+// the guard, and an optional event sink.
+type Context struct {
+	Staging map[string]*relation.Table
+	Graph   *provenance.Graph
+	Guard   Guard
+	// Observe, when non-nil, receives one event per executed step.
+	Observe func(step, op, output string, rowsIn, rowsOut int, err error)
+}
+
+// NewContext returns a context with an empty staging area and the given
+// guard (nil means AllowAll).
+func NewContext(g Guard) *Context {
+	if g == nil {
+		g = AllowAll{}
+	}
+	return &Context{Staging: map[string]*relation.Table{}, Graph: provenance.NewGraph(), Guard: g}
+}
+
+// Get fetches a staging table.
+func (c *Context) Get(name string) (*relation.Table, error) {
+	t, ok := c.Staging[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("etl: staging table %q not found", name)
+	}
+	return t, nil
+}
+
+// Put stores a staging table under the given name.
+func (c *Context) Put(name string, t *relation.Table) {
+	c.Staging[strings.ToLower(name)] = t
+}
+
+// Step is one pipeline operation.
+type Step interface {
+	// Name identifies the step instance for annotations and audits.
+	Name() string
+	// Op is the operation kind (extract, cleanse, join, ...).
+	Op() string
+	// Inputs and Output name the staging relations involved.
+	Inputs() []string
+	Output() string
+	// Run executes the step against the context.
+	Run(c *Context) error
+}
+
+// Pipeline is an ordered list of steps. PLA annotations attach to steps by
+// name via the policy registry (scope = step name).
+type Pipeline struct {
+	Name  string
+	Steps []Step
+}
+
+// Result reports one pipeline run.
+type Result struct {
+	StepsRun int
+	// Violations collects the enforcement errors of failed steps
+	// (the run stops at the first one unless ContinueOnViolation).
+	Violations []error
+}
+
+// Run executes the pipeline. Enforcement errors (etl.ViolationError)
+// abort the offending step; when continueOnViolation is true the pipeline
+// carries on with the remaining steps (the blocked step's output is
+// absent), otherwise it stops.
+func (p *Pipeline) Run(c *Context, continueOnViolation bool) (Result, error) {
+	var res Result
+	for _, s := range p.Steps {
+		rowsIn := countRows(c, s.Inputs())
+		err := s.Run(c)
+		rowsOut := 0
+		if t, ok := c.Staging[strings.ToLower(s.Output())]; ok {
+			rowsOut = t.NumRows()
+		}
+		if c.Observe != nil {
+			c.Observe(s.Name(), s.Op(), s.Output(), rowsIn, rowsOut, err)
+		}
+		if err != nil {
+			if IsViolation(err) {
+				res.Violations = append(res.Violations, err)
+				if continueOnViolation {
+					continue
+				}
+				return res, err
+			}
+			return res, fmt.Errorf("etl: step %q: %w", s.Name(), err)
+		}
+		c.Graph.AddStep(s.Op(), s.Inputs(), s.Output(), s.Name(), rowsIn, rowsOut)
+		res.StepsRun++
+	}
+	return res, nil
+}
+
+func countRows(c *Context, names []string) int {
+	n := 0
+	for _, name := range names {
+		if t, ok := c.Staging[strings.ToLower(name)]; ok {
+			n += t.NumRows()
+		}
+	}
+	return n
+}
+
+// ViolationError marks a privacy-enforcement failure (as opposed to an
+// operational error).
+type ViolationError struct {
+	Step   string
+	Rule   string
+	Detail string
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("etl: privacy violation in step %q: %s: %s", e.Step, e.Rule, e.Detail)
+}
+
+// IsViolation reports whether err is (or wraps) a ViolationError.
+func IsViolation(err error) bool {
+	for err != nil {
+		if _, ok := err.(*ViolationError); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

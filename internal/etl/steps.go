@@ -1,0 +1,259 @@
+package etl
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/relation"
+)
+
+// baseStep carries the common step fields.
+type baseStep struct {
+	name string
+}
+
+// Name implements Step.
+func (b baseStep) Name() string { return b.name }
+
+// Extract copies a source table into the staging area. The staging table
+// keeps the source table's identity, so lineage traced from reports lands
+// on the original source rows.
+type Extract struct {
+	baseStep
+	Source *Source
+	Table  string
+	As     string // staging name; defaults to the table name
+}
+
+// NewExtract builds an extraction step.
+func NewExtract(name string, src *Source, table, as string) *Extract {
+	if as == "" {
+		as = table
+	}
+	return &Extract{baseStep: baseStep{name}, Source: src, Table: table, As: as}
+}
+
+// Op implements Step.
+func (e *Extract) Op() string { return "extract" }
+
+// Inputs implements Step.
+func (e *Extract) Inputs() []string { return []string{e.Source.Name + "." + e.Table} }
+
+// Output implements Step.
+func (e *Extract) Output() string { return e.As }
+
+// Run implements Step.
+func (e *Extract) Run(c *Context) error {
+	t, ok := e.Source.Table(e.Table)
+	if !ok {
+		return fmt.Errorf("source %q has no table %q", e.Source.Name, e.Table)
+	}
+	c.Put(e.As, t)
+	return nil
+}
+
+// Transform applies an arbitrary relational function to one staging table.
+// It is the generic building block for cleansing and standardization.
+type Transform struct {
+	baseStep
+	OpName string
+	Input  string
+	Out    string
+	Fn     func(*relation.Table) (*relation.Table, error)
+}
+
+// NewTransform builds a generic transformation step.
+func NewTransform(name, op, input, output string, fn func(*relation.Table) (*relation.Table, error)) *Transform {
+	return &Transform{baseStep: baseStep{name}, OpName: op, Input: input, Out: output, Fn: fn}
+}
+
+// Op implements Step.
+func (t *Transform) Op() string { return t.OpName }
+
+// Inputs implements Step.
+func (t *Transform) Inputs() []string { return []string{t.Input} }
+
+// Output implements Step.
+func (t *Transform) Output() string { return t.Out }
+
+// Run implements Step.
+func (t *Transform) Run(c *Context) error {
+	in, err := c.Get(t.Input)
+	if err != nil {
+		return err
+	}
+	out, err := t.Fn(in)
+	if err != nil {
+		return err
+	}
+	c.Put(t.Out, out)
+	return nil
+}
+
+// NewCleanse builds a transform that trims whitespace in the given string
+// columns — the canonical data-quality step.
+func NewCleanse(name, input, output string, cols ...string) *Transform {
+	return NewTransform(name, "cleanse", input, output, func(t *relation.Table) (*relation.Table, error) {
+		out := t
+		var err error
+		for _, col := range cols {
+			i := out.Schema.Index(col)
+			if i < 0 {
+				return nil, fmt.Errorf("cleanse: unknown column %q", col)
+			}
+			out, err = mapCol(out, i, func(v relation.Value) relation.Value {
+				if v.Kind != relation.TString {
+					return v
+				}
+				return relation.Str(strings.Join(strings.Fields(v.S), " "))
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	})
+}
+
+// NewFilter builds a row-filtering step.
+func NewFilter(name, input, output string, pred relation.Expr) *Transform {
+	return NewTransform(name, "filter", input, output, func(t *relation.Table) (*relation.Table, error) {
+		return relation.Select(t, pred)
+	})
+}
+
+// NewDerive builds a computed-column step.
+func NewDerive(name, input, output, col string, e relation.Expr) *Transform {
+	return NewTransform(name, "derive", input, output, func(t *relation.Table) (*relation.Table, error) {
+		return relation.Extend(t, col, e)
+	})
+}
+
+// NewProject builds a column-selection step.
+func NewProject(name, input, output string, cols ...string) *Transform {
+	return NewTransform(name, "project", input, output, func(t *relation.Table) (*relation.Table, error) {
+		return relation.ProjectCols(t, cols...)
+	})
+}
+
+// JoinStep joins two staging tables. Before running, the guard's
+// CheckJoin is consulted with the *base tables* each side derives from —
+// so a forbidden pair is caught even after intermediate transformations
+// (Fig. 3b: the ETL annotation forbidding Prescriptions ⋈ Familydoctor).
+type JoinStep struct {
+	baseStep
+	Left, Right string
+	On          relation.Expr
+	Kind        relation.JoinKind
+	Out         string
+}
+
+// NewJoin builds a guarded join step.
+func NewJoin(name, left, right string, on relation.Expr, kind relation.JoinKind, output string) *JoinStep {
+	return &JoinStep{baseStep: baseStep{name}, Left: left, Right: right, On: on, Kind: kind, Out: output}
+}
+
+// Op implements Step.
+func (j *JoinStep) Op() string { return "join" }
+
+// Inputs implements Step.
+func (j *JoinStep) Inputs() []string { return []string{j.Left, j.Right} }
+
+// Output implements Step.
+func (j *JoinStep) Output() string { return j.Out }
+
+// Run implements Step.
+func (j *JoinStep) Run(c *Context) error {
+	l, err := c.Get(j.Left)
+	if err != nil {
+		return err
+	}
+	r, err := c.Get(j.Right)
+	if err != nil {
+		return err
+	}
+	for _, lb := range baseTablesOf(l) {
+		for _, rb := range baseTablesOf(r) {
+			if lb == rb {
+				continue
+			}
+			if err := c.Guard.CheckJoin(lb, rb); err != nil {
+				return &ViolationError{Step: j.name, Rule: "join-permission",
+					Detail: fmt.Sprintf("%s join %s: %v", lb, rb, err)}
+			}
+		}
+	}
+	out, err := relation.Join(relation.Rename(l, "l"), relation.Rename(r, "r"), j.On, j.Kind)
+	if err != nil {
+		return err
+	}
+	if unq, uerr := out.Schema.Unqualify(); uerr == nil {
+		out.Schema = unq
+	}
+	out.Name = j.Out
+	c.Put(j.Out, out)
+	return nil
+}
+
+// baseTablesOf returns the base tables a relation derives from; for base
+// tables, the table itself.
+func baseTablesOf(t *relation.Table) []string {
+	if t.Base {
+		return []string{strings.ToLower(t.Name)}
+	}
+	return t.BaseTables()
+}
+
+// AggregateStep groups a staging table.
+type AggregateStep struct {
+	baseStep
+	Input string
+	Out   string
+	Keys  []string
+	Aggs  []relation.AggSpec
+}
+
+// NewAggregate builds an aggregation step.
+func NewAggregate(name, input, output string, keys []string, aggs []relation.AggSpec) *AggregateStep {
+	return &AggregateStep{baseStep: baseStep{name}, Input: input, Out: output, Keys: keys, Aggs: aggs}
+}
+
+// Op implements Step.
+func (a *AggregateStep) Op() string { return "aggregate" }
+
+// Inputs implements Step.
+func (a *AggregateStep) Inputs() []string { return []string{a.Input} }
+
+// Output implements Step.
+func (a *AggregateStep) Output() string { return a.Out }
+
+// Run implements Step.
+func (a *AggregateStep) Run(c *Context) error {
+	in, err := c.Get(a.Input)
+	if err != nil {
+		return err
+	}
+	out, err := relation.GroupBy(in, a.Keys, a.Aggs)
+	if err != nil {
+		return err
+	}
+	out.Name = a.Out
+	c.Put(a.Out, out)
+	return nil
+}
+
+// mapCol rewrites one column of a table, preserving lineage and origins.
+func mapCol(t *relation.Table, ci int, fn func(relation.Value) relation.Value) (*relation.Table, error) {
+	out := &relation.Table{Name: t.Name, Schema: t.Schema.Clone()}
+	out.ColOrigin = make([]relation.ColRefSet, t.Schema.Len())
+	for c := range out.ColOrigin {
+		out.ColOrigin[c] = t.ColumnOrigin(c)
+	}
+	for ri, r := range t.Rows {
+		nr := r.Clone()
+		nr[ci] = fn(r[ci])
+		out.Rows = append(out.Rows, nr)
+		out.Lineage = append(out.Lineage, t.RowLineage(ri))
+	}
+	return out, nil
+}

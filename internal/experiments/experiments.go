@@ -1,0 +1,101 @@
+// Package experiments regenerates every figure-level claim of the paper
+// as a measured result (DESIGN.md experiment index E1–E11). Each
+// experiment returns the text block recorded in EXPERIMENTS.md; the root
+// bench_test.go exposes one benchmark per experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// String renders the result block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l + "\n")
+	}
+	return b.String()
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// runner executes one experiment.
+type runner struct {
+	id    string
+	title string
+	fn    func() (*Result, error)
+}
+
+var registry = []runner{
+	{"e1", "Fig. 1 — end-to-end outsourced BI pipeline under PLAs", E1Pipeline},
+	{"e2", "Fig. 2 — source-level enforcement (metadata, intensional associations, release filter)", E2Source},
+	{"e3", "Fig. 3 — warehouse/ETL-level enforcement (join & integration permissions)", E3ETL},
+	{"e4", "Fig. 4 — report-level enforcement (golden drug-consumption reproduction)", E4Report},
+	{"e5", "Fig. 5 — ease-of-elicitation vs stability continuum", E5Continuum},
+	{"e6", "§3 — over-engineering by level", E6OverEngineering},
+	{"e7", "§5–6 — PLA-derived compliance tests detect injected bugs", E7TestGeneration},
+	{"e8", "§3 — anonymizing release: privacy vs aggregate utility", E8Anonymization},
+	{"e9", "§3–5 — enforcement placement ablation", E9Placement},
+	{"e10", "§5 — meta-report granularity ablation", E10Granularity},
+	{"e11", "§3 — linkage-attack evaluation of the anonymizing release", E11Linkage},
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string) (*Result, error) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, r := range registry {
+		if r.id == id {
+			res, err := r.fn()
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", id, err)
+			}
+			res.ID, res.Title = r.id, r.title
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// RunAll executes every experiment in order.
+func RunAll() ([]*Result, error) {
+	out := make([]*Result, 0, len(registry))
+	for _, r := range registry {
+		res, err := Run(r.id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

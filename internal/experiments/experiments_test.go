@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 11 || ids[0] != "e1" || ids[10] != "e11" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("e99"); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+// The fast experiments run as part of the test suite; the heavy ones
+// (E1, E5, E7, E8, E9) are covered by the root benchmarks.
+func TestFastExperiments(t *testing.T) {
+	for _, id := range []string{"e2", "e3", "e4"} {
+		res, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Lines) == 0 {
+			t.Errorf("%s: empty result", id)
+		}
+		if res.Title == "" || res.ID != id {
+			t.Errorf("%s: header = %q/%q", id, res.ID, res.Title)
+		}
+	}
+}
+
+func TestE4GoldenOutput(t *testing.T) {
+	res, err := Run("e4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.String()
+	for _, want := range []string{"DH    20", "DV    28", "DR    89", "DM    2", "PASS"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("E4 output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestE6Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Run("e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "PASS") {
+		t.Errorf("E6 did not pass:\n%s", res)
+	}
+}
+
+// Experiments must be bit-for-bit deterministic (their outputs are
+// recorded in EXPERIMENTS.md).
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"e3", "e4"} {
+		a, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s not deterministic", id)
+		}
+	}
+}

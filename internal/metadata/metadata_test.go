@@ -1,0 +1,189 @@
+package metadata
+
+import (
+	"testing"
+
+	"plabi/internal/relation"
+	"plabi/internal/sql"
+)
+
+func prescriptions() *relation.Table {
+	t := relation.NewBase("prescriptions", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("disease", relation.TString),
+	))
+	t.MustAppend(relation.Str("Alice"), relation.Str("HIV"))
+	t.MustAppend(relation.Str("Bob"), relation.Str("asthma"))
+	t.MustAppend(relation.Str("Math"), relation.Str("diabetes"))
+	return t
+}
+
+// policies is the paper's Fig. 2b Policies metadata table.
+func policies() *relation.Table {
+	t := relation.NewBase("policies", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("ShowName", relation.TBool),
+		relation.Col("ShowDisease", relation.TBool),
+	))
+	t.MustAppend(relation.Str("Alice"), relation.Bool(true), relation.Bool(false))
+	t.MustAppend(relation.Str("Bob"), relation.Bool(true), relation.Bool(false))
+	t.MustAppend(relation.Str("Math"), relation.Bool(false), relation.Bool(false))
+	return t
+}
+
+func hivAssociation(t *testing.T) *Association {
+	t.Helper()
+	pred, err := sql.ParseExpr("disease = 'HIV'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Association{
+		Name: "hiv-restriction",
+		Data: "prescriptions",
+		When: pred,
+		Metadata: map[string]relation.Value{
+			"ShowDisease": relation.Bool(false),
+			"ShowName":    relation.Bool(false),
+		},
+		PLARef: "hospital-prescriptions",
+	}
+}
+
+func TestIntensionalAssociation(t *testing.T) {
+	s := NewStore()
+	if err := s.AddAssociation(hivAssociation(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := prescriptions()
+
+	tags, err := s.RowMetadata(data, 0) // Alice, HIV
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 || tags[0].Source != "hiv-restriction" {
+		t.Errorf("tags = %v", tags)
+	}
+	tags, err = s.RowMetadata(data, 1) // Bob, asthma
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 0 {
+		t.Errorf("Bob should have no intensional tags: %v", tags)
+	}
+}
+
+// TestNewRowAutomaticallyCovered reproduces the paper's key property:
+// inserting a new HIV patient automatically associates the restriction,
+// with no metadata modification.
+func TestNewRowAutomaticallyCovered(t *testing.T) {
+	s := NewStore()
+	if err := s.AddAssociation(hivAssociation(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := prescriptions()
+	data.MustAppend(relation.Str("Dana"), relation.Str("HIV"))
+
+	tags, err := s.RowMetadata(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 {
+		t.Fatalf("new HIV row not covered: %v", tags)
+	}
+	rows, err := s.MatchingRows(data, "hiv-restriction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 3 {
+		t.Errorf("matching rows = %v", rows)
+	}
+}
+
+func TestKeyedMetadata(t *testing.T) {
+	s := NewStore()
+	if err := s.AddKeyed(&KeyedMetadata{
+		Name: "patient-policies", Data: "prescriptions", DataKey: "patient",
+		Meta: policies(), MetaKey: "patient",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := prescriptions()
+
+	v, ok, err := s.Lookup(data, 0, "ShowName") // Alice
+	if err != nil || !ok || !v.B {
+		t.Errorf("Alice ShowName = %v %v %v", v, ok, err)
+	}
+	v, ok, err = s.Lookup(data, 2, "ShowName") // Math
+	if err != nil || !ok || v.B {
+		t.Errorf("Math ShowName = %v %v %v", v, ok, err)
+	}
+	_, ok, err = s.Lookup(data, 0, "Nope")
+	if err != nil || ok {
+		t.Errorf("unknown key should not resolve")
+	}
+}
+
+func TestMostRestrictiveBooleanWins(t *testing.T) {
+	s := NewStore()
+	if err := s.AddAssociation(hivAssociation(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Keyed metadata says ShowName=true for Alice; intensional HIV rule
+	// says false. The restrictive false must win.
+	if err := s.AddKeyed(&KeyedMetadata{
+		Name: "patient-policies", Data: "prescriptions", DataKey: "patient",
+		Meta: policies(), MetaKey: "patient",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := prescriptions()
+	v, ok, err := s.Lookup(data, 0, "ShowName")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if v.B {
+		t.Error("restrictive false must win over true")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.AddAssociation(&Association{}); err == nil {
+		t.Error("empty association must fail")
+	}
+	a := hivAssociation(t)
+	if err := s.AddAssociation(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAssociation(hivAssociation(t)); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if err := s.AddKeyed(&KeyedMetadata{Name: "bad", Meta: policies(), MetaKey: "ghost"}); err == nil {
+		t.Error("bad meta key must fail")
+	}
+	if _, err := s.MatchingRows(prescriptions(), "unknown"); err == nil {
+		t.Error("unknown association must fail")
+	}
+	if _, err := s.RowMetadata(prescriptions(), 99); err == nil {
+		t.Error("row out of range must fail")
+	}
+}
+
+func TestAssociationScopedToTable(t *testing.T) {
+	s := NewStore()
+	if err := s.AddAssociation(hivAssociation(t)); err != nil {
+		t.Fatal(err)
+	}
+	other := relation.NewBase("labresults", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("disease", relation.TString),
+	))
+	other.MustAppend(relation.Str("Zoe"), relation.Str("HIV"))
+	tags, err := s.RowMetadata(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 0 {
+		t.Errorf("association must not leak across tables: %v", tags)
+	}
+}

@@ -1,0 +1,548 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"plabi/internal/sql"
+)
+
+// The PLA DSL is the textual form in which requirements elicited with the
+// source owners are recorded. Example:
+//
+//	pla "hospital-prescriptions" {
+//	    owner "hospital";
+//	    level source;
+//	    scope "prescriptions";
+//	    purpose "reimbursement", "quality";
+//
+//	    allow attribute patient to roles analyst when disease <> 'HIV';
+//	    deny attribute disease;
+//	    aggregate min 5 by patient;
+//	    anonymize attribute patient using pseudonym;
+//	    anonymize attribute date using generalize level 2;
+//	    release kanonymity 5 quasi age, zip ldiversity 2 on disease;
+//	    forbid join with familydoctor;
+//	    allow join with drugcost;
+//	    forbid integration for municipality;
+//	    retain 365 days;
+//	    filter when disease <> 'HIV';
+//	}
+//
+// "forbid" is an alias for "deny". Conditions after "when" use the SQL
+// expression syntax and refer to source attributes.
+
+type dslScanner struct {
+	src string
+	pos int
+}
+
+type dslTok struct {
+	kind byte // 'i' ident, 's' string, 'n' number, 'p' punct, 'e' EOF
+	text string
+	pos  int
+}
+
+func (s *dslScanner) skip() {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			s.pos++
+			continue
+		}
+		if c == '#' || (c == '-' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '-') {
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (s *dslScanner) next() (dslTok, error) {
+	s.skip()
+	if s.pos >= len(s.src) {
+		return dslTok{kind: 'e', pos: s.pos}, nil
+	}
+	start := s.pos
+	c := s.src[s.pos]
+	switch {
+	case c == '"':
+		s.pos++
+		var b strings.Builder
+		for s.pos < len(s.src) && s.src[s.pos] != '"' {
+			b.WriteByte(s.src[s.pos])
+			s.pos++
+		}
+		if s.pos >= len(s.src) {
+			return dslTok{}, fmt.Errorf("policy: unterminated string at %d", start)
+		}
+		s.pos++
+		return dslTok{kind: 's', text: b.String(), pos: start}, nil
+	case c >= '0' && c <= '9':
+		for s.pos < len(s.src) && s.src[s.pos] >= '0' && s.src[s.pos] <= '9' {
+			s.pos++
+		}
+		return dslTok{kind: 'n', text: s.src[start:s.pos], pos: start}, nil
+	case isDSLIdent(c):
+		for s.pos < len(s.src) && (isDSLIdent(s.src[s.pos]) || s.src[s.pos] >= '0' && s.src[s.pos] <= '9' || s.src[s.pos] == '.' || s.src[s.pos] == '-') {
+			s.pos++
+		}
+		return dslTok{kind: 'i', text: s.src[start:s.pos], pos: start}, nil
+	case c == '{' || c == '}' || c == ';' || c == ',' || c == '*':
+		s.pos++
+		return dslTok{kind: 'p', text: string(c), pos: start}, nil
+	default:
+		return dslTok{}, fmt.Errorf("policy: unexpected character %q at %d", c, start)
+	}
+}
+
+// rawUntilSemicolon captures the raw source text up to (not including) the
+// next top-level ';', respecting single-quoted SQL strings.
+func (s *dslScanner) rawUntilSemicolon() (string, error) {
+	s.skip()
+	start := s.pos
+	inStr := false
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if inStr {
+			if c == '\'' {
+				inStr = false
+			}
+			s.pos++
+			continue
+		}
+		if c == '\'' {
+			inStr = true
+			s.pos++
+			continue
+		}
+		if c == ';' {
+			return strings.TrimSpace(s.src[start:s.pos]), nil
+		}
+		s.pos++
+	}
+	return "", fmt.Errorf("policy: unterminated condition at %d", start)
+}
+
+func isDSLIdent(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+type dslParser struct {
+	sc  *dslScanner
+	tok dslTok
+}
+
+func (p *dslParser) advance() error {
+	t, err := p.sc.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *dslParser) errf(format string, args ...any) error {
+	return fmt.Errorf("policy: %s (near position %d, token %q)",
+		fmt.Sprintf(format, args...), p.tok.pos, p.tok.text)
+}
+
+func (p *dslParser) isKw(kw string) bool {
+	return p.tok.kind == 'i' && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *dslParser) acceptKw(kw string) (bool, error) {
+	if p.isKw(kw) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *dslParser) expectKw(kw string) error {
+	ok, err := p.acceptKw(kw)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return p.errf("expected %q", kw)
+	}
+	return nil
+}
+
+func (p *dslParser) expectPunct(ch string) error {
+	if p.tok.kind == 'p' && p.tok.text == ch {
+		return p.advance()
+	}
+	return p.errf("expected %q", ch)
+}
+
+// name accepts an identifier, a quoted string, or "*".
+func (p *dslParser) name() (string, error) {
+	switch {
+	case p.tok.kind == 'i' || p.tok.kind == 's':
+		n := p.tok.text
+		return n, p.advance()
+	case p.tok.kind == 'p' && p.tok.text == "*":
+		return "*", p.advance()
+	default:
+		return "", p.errf("expected name")
+	}
+}
+
+func (p *dslParser) nameList() ([]string, error) {
+	var out []string
+	for {
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		if p.tok.kind == 'p' && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *dslParser) number() (int, error) {
+	if p.tok.kind != 'n' {
+		return 0, p.errf("expected number")
+	}
+	n, err := strconv.Atoi(p.tok.text)
+	if err != nil {
+		return 0, p.errf("bad number %q", p.tok.text)
+	}
+	return n, p.advance()
+}
+
+// ParseFile parses a DSL document containing any number of PLA blocks.
+func ParseFile(src string) ([]*PLA, error) {
+	p := &dslParser{sc: &dslScanner{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []*PLA
+	for p.tok.kind != 'e' {
+		pla, err := p.parsePLA()
+		if err != nil {
+			return nil, err
+		}
+		if err := pla.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, pla)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("policy: no PLA blocks found")
+	}
+	return out, nil
+}
+
+// ParseOne parses exactly one PLA block.
+func ParseOne(src string) (*PLA, error) {
+	plas, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(plas) != 1 {
+		return nil, fmt.Errorf("policy: expected one PLA, found %d", len(plas))
+	}
+	return plas[0], nil
+}
+
+func (p *dslParser) parsePLA() (*PLA, error) {
+	if err := p.expectKw("pla"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != 's' && p.tok.kind != 'i' {
+		return nil, p.errf("expected PLA id")
+	}
+	pla := &PLA{ID: p.tok.text, Level: LevelReport}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind == 'p' && p.tok.text == "}" {
+			return pla, p.advance()
+		}
+		if p.tok.kind == 'e' {
+			return nil, p.errf("unterminated PLA block %q", pla.ID)
+		}
+		if err := p.parseClause(pla); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *dslParser) parseClause(pla *PLA) error {
+	switch {
+	case p.isKw("owner"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		n, err := p.name()
+		if err != nil {
+			return err
+		}
+		pla.Owner = n
+	case p.isKw("level"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		n, err := p.name()
+		if err != nil {
+			return err
+		}
+		lvl, err := ParseLevel(n)
+		if err != nil {
+			return err
+		}
+		pla.Level = lvl
+	case p.isKw("scope"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		n, err := p.name()
+		if err != nil {
+			return err
+		}
+		pla.Scope = n
+	case p.isKw("purpose"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		list, err := p.nameList()
+		if err != nil {
+			return err
+		}
+		pla.Purposes = append(pla.Purposes, list...)
+	case p.isKw("allow") || p.isKw("deny") || p.isKw("forbid"):
+		if err := p.parseEffectClause(pla); err != nil {
+			return err
+		}
+		return nil // effect clauses consume their own ';'
+	case p.isKw("aggregate"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKw("min"); err != nil {
+			return err
+		}
+		n, err := p.number()
+		if err != nil {
+			return err
+		}
+		rule := AggregationRule{MinCount: n}
+		if ok, err := p.acceptKw("by"); err != nil {
+			return err
+		} else if ok {
+			by, err := p.name()
+			if err != nil {
+				return err
+			}
+			rule.By = by
+		}
+		pla.Aggregations = append(pla.Aggregations, rule)
+	case p.isKw("anonymize"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKw("attribute"); err != nil {
+			return err
+		}
+		attr, err := p.name()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKw("using"); err != nil {
+			return err
+		}
+		mname, err := p.name()
+		if err != nil {
+			return err
+		}
+		method, err := ParseAnonMethod(mname)
+		if err != nil {
+			return err
+		}
+		rule := AnonymizeRule{Attribute: attr, Method: method}
+		if ok, err := p.acceptKw("level"); err != nil {
+			return err
+		} else if ok {
+			rule.Param, err = p.number()
+			if err != nil {
+				return err
+			}
+		} else if ok, err := p.acceptKw("noise"); err != nil {
+			return err
+		} else if ok {
+			rule.Param, err = p.number()
+			if err != nil {
+				return err
+			}
+		}
+		pla.Anonymize = append(pla.Anonymize, rule)
+	case p.isKw("release"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKw("kanonymity"); err != nil {
+			return err
+		}
+		k, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKw("quasi"); err != nil {
+			return err
+		}
+		quasi, err := p.nameList()
+		if err != nil {
+			return err
+		}
+		rule := ReleaseRule{K: k, Quasi: quasi}
+		if ok, err := p.acceptKw("ldiversity"); err != nil {
+			return err
+		} else if ok {
+			rule.L, err = p.number()
+			if err != nil {
+				return err
+			}
+			if err := p.expectKw("on"); err != nil {
+				return err
+			}
+			rule.Sensitive, err = p.name()
+			if err != nil {
+				return err
+			}
+		}
+		pla.Release = append(pla.Release, rule)
+	case p.isKw("retain"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		days, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKw("days"); err != nil {
+			return err
+		}
+		pla.Retention = &RetentionRule{Days: days}
+	case p.isKw("filter"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if !p.isKw("when") {
+			return p.errf("expected 'when' after 'filter'")
+		}
+		// Capture raw condition text; the current token is "when".
+		raw, err := p.sc.rawUntilSemicolon()
+		if err != nil {
+			return err
+		}
+		expr, err := sql.ParseExpr(raw)
+		if err != nil {
+			return fmt.Errorf("policy: bad filter condition %q: %w", raw, err)
+		}
+		pla.Filters = append(pla.Filters, RowFilterRule{When: expr})
+		if err := p.advance(); err != nil { // move onto ';'
+			return err
+		}
+	default:
+		return p.errf("unknown clause")
+	}
+	return p.expectPunct(";")
+}
+
+// parseEffectClause handles allow/deny/forbid for attributes, joins and
+// integrations, consuming the trailing semicolon.
+func (p *dslParser) parseEffectClause(pla *PLA) error {
+	effect := Allow
+	if p.isKw("deny") || p.isKw("forbid") {
+		effect = Deny
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	switch {
+	case p.isKw("attribute"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		attr, err := p.name()
+		if err != nil {
+			return err
+		}
+		rule := AccessRule{Effect: effect, Attribute: attr}
+		if ok, err := p.acceptKw("to"); err != nil {
+			return err
+		} else if ok {
+			if err := p.expectKw("roles"); err != nil {
+				return err
+			}
+			rule.Roles, err = p.nameList()
+			if err != nil {
+				return err
+			}
+		}
+		if ok, err := p.acceptKw("purpose"); err != nil {
+			return err
+		} else if ok {
+			rule.Purposes, err = p.nameList()
+			if err != nil {
+				return err
+			}
+		}
+		if p.isKw("when") {
+			raw, err := p.sc.rawUntilSemicolon()
+			if err != nil {
+				return err
+			}
+			rule.When, err = sql.ParseExpr(raw)
+			if err != nil {
+				return fmt.Errorf("policy: bad access condition %q: %w", raw, err)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		pla.Access = append(pla.Access, rule)
+	case p.isKw("join"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKw("with"); err != nil {
+			return err
+		}
+		other, err := p.name()
+		if err != nil {
+			return err
+		}
+		pla.Joins = append(pla.Joins, JoinRule{Effect: effect, Other: other})
+	case p.isKw("integration"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKw("for"); err != nil {
+			return err
+		}
+		b, err := p.name()
+		if err != nil {
+			return err
+		}
+		pla.Integrations = append(pla.Integrations, IntegrationRule{Effect: effect, Beneficiary: b})
+	default:
+		return p.errf("expected 'attribute', 'join' or 'integration' after effect")
+	}
+	return p.expectPunct(";")
+}

@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"plabi/internal/sql"
+)
+
+// The JSON form of a PLA is the interchange format for third-party
+// auditing tools (the paper's auditing agencies, §2): conditions are
+// carried as SQL expression strings, everything else structurally.
+
+type accessJSON struct {
+	Effect    string   `json:"effect"`
+	Attribute string   `json:"attribute"`
+	Roles     []string `json:"roles,omitempty"`
+	Purposes  []string `json:"purposes,omitempty"`
+	When      string   `json:"when,omitempty"`
+}
+
+type aggregationJSON struct {
+	MinCount int    `json:"min_count"`
+	By       string `json:"by,omitempty"`
+}
+
+type anonymizeJSON struct {
+	Attribute string `json:"attribute"`
+	Method    string `json:"method"`
+	Param     int    `json:"param,omitempty"`
+}
+
+type releaseJSON struct {
+	K         int      `json:"k"`
+	L         int      `json:"l,omitempty"`
+	Quasi     []string `json:"quasi"`
+	Sensitive string   `json:"sensitive,omitempty"`
+}
+
+type effectOtherJSON struct {
+	Effect string `json:"effect"`
+	Other  string `json:"other"`
+}
+
+type plaJSON struct {
+	ID           string            `json:"id"`
+	Owner        string            `json:"owner,omitempty"`
+	Level        string            `json:"level"`
+	Scope        string            `json:"scope"`
+	Purposes     []string          `json:"purposes,omitempty"`
+	Access       []accessJSON      `json:"access,omitempty"`
+	Aggregations []aggregationJSON `json:"aggregations,omitempty"`
+	Anonymize    []anonymizeJSON   `json:"anonymize,omitempty"`
+	Release      []releaseJSON     `json:"release,omitempty"`
+	Joins        []effectOtherJSON `json:"joins,omitempty"`
+	Integrations []effectOtherJSON `json:"integrations,omitempty"`
+	Retention    int               `json:"retention_days,omitempty"`
+	Filters      []string          `json:"filters,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *PLA) MarshalJSON() ([]byte, error) {
+	out := plaJSON{
+		ID: p.ID, Owner: p.Owner, Level: p.Level.String(), Scope: p.Scope,
+		Purposes: p.Purposes,
+	}
+	for _, r := range p.Access {
+		a := accessJSON{Effect: r.Effect.String(), Attribute: r.Attribute,
+			Roles: r.Roles, Purposes: r.Purposes}
+		if r.When != nil {
+			a.When = r.When.String()
+		}
+		out.Access = append(out.Access, a)
+	}
+	for _, r := range p.Aggregations {
+		out.Aggregations = append(out.Aggregations, aggregationJSON{MinCount: r.MinCount, By: r.By})
+	}
+	for _, r := range p.Anonymize {
+		out.Anonymize = append(out.Anonymize, anonymizeJSON{
+			Attribute: r.Attribute, Method: r.Method.String(), Param: r.Param})
+	}
+	for _, r := range p.Release {
+		out.Release = append(out.Release, releaseJSON{K: r.K, L: r.L, Quasi: r.Quasi, Sensitive: r.Sensitive})
+	}
+	for _, r := range p.Joins {
+		out.Joins = append(out.Joins, effectOtherJSON{Effect: r.Effect.String(), Other: r.Other})
+	}
+	for _, r := range p.Integrations {
+		out.Integrations = append(out.Integrations, effectOtherJSON{Effect: r.Effect.String(), Other: r.Beneficiary})
+	}
+	if p.Retention != nil {
+		out.Retention = p.Retention.Days
+	}
+	for _, f := range p.Filters {
+		out.Filters = append(out.Filters, f.When.String())
+	}
+	return json.Marshal(out)
+}
+
+func parseEffect(s string) (Effect, error) {
+	switch s {
+	case "allow":
+		return Allow, nil
+	case "deny", "forbid":
+		return Deny, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown effect %q", s)
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the result is validated.
+func (p *PLA) UnmarshalJSON(data []byte) error {
+	var in plaJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	lvl, err := ParseLevel(in.Level)
+	if err != nil {
+		return err
+	}
+	out := PLA{ID: in.ID, Owner: in.Owner, Level: lvl, Scope: in.Scope, Purposes: in.Purposes}
+	for _, a := range in.Access {
+		eff, err := parseEffect(a.Effect)
+		if err != nil {
+			return err
+		}
+		rule := AccessRule{Effect: eff, Attribute: a.Attribute, Roles: a.Roles, Purposes: a.Purposes}
+		if a.When != "" {
+			rule.When, err = sql.ParseExpr(a.When)
+			if err != nil {
+				return fmt.Errorf("policy: access condition %q: %w", a.When, err)
+			}
+		}
+		out.Access = append(out.Access, rule)
+	}
+	for _, a := range in.Aggregations {
+		out.Aggregations = append(out.Aggregations, AggregationRule{MinCount: a.MinCount, By: a.By})
+	}
+	for _, a := range in.Anonymize {
+		m, err := ParseAnonMethod(a.Method)
+		if err != nil {
+			return err
+		}
+		out.Anonymize = append(out.Anonymize, AnonymizeRule{Attribute: a.Attribute, Method: m, Param: a.Param})
+	}
+	for _, r := range in.Release {
+		out.Release = append(out.Release, ReleaseRule{K: r.K, L: r.L, Quasi: r.Quasi, Sensitive: r.Sensitive})
+	}
+	for _, j := range in.Joins {
+		eff, err := parseEffect(j.Effect)
+		if err != nil {
+			return err
+		}
+		out.Joins = append(out.Joins, JoinRule{Effect: eff, Other: j.Other})
+	}
+	for _, j := range in.Integrations {
+		eff, err := parseEffect(j.Effect)
+		if err != nil {
+			return err
+		}
+		out.Integrations = append(out.Integrations, IntegrationRule{Effect: eff, Beneficiary: j.Other})
+	}
+	if in.Retention > 0 {
+		out.Retention = &RetentionRule{Days: in.Retention}
+	}
+	for _, f := range in.Filters {
+		e, err := sql.ParseExpr(f)
+		if err != nil {
+			return fmt.Errorf("policy: filter %q: %w", f, err)
+		}
+		out.Filters = append(out.Filters, RowFilterRule{When: e})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*p = out
+	return nil
+}

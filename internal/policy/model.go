@@ -1,0 +1,364 @@
+// Package policy defines the Privacy Level Agreement (PLA) model — the
+// paper's unit of privacy requirements — together with a textual DSL for
+// authoring PLAs, a pretty-printer, validation, and the composition
+// (integration) of PLAs from multiple sources under most-restrictive-wins
+// semantics (§2 challenge ii).
+//
+// A PLA is attached at one of the four abstraction levels the paper
+// studies (source, warehouse/ETL, meta-report, report) and carries the
+// annotation kinds of §5: attribute access rules, aggregation thresholds,
+// anonymization requirements, join permissions/prohibitions, integration
+// (cleaning) permissions, retention, and intensional row conditions.
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/relation"
+)
+
+// Level is the abstraction level a PLA is attached to. The paper's Fig. 5
+// orders these by increasing ease of elicitation and decreasing stability.
+type Level int
+
+// PLA attachment levels.
+const (
+	LevelSource Level = iota
+	LevelWarehouse
+	LevelMetaReport
+	LevelReport
+)
+
+var levelNames = map[Level]string{
+	LevelSource:     "source",
+	LevelWarehouse:  "warehouse",
+	LevelMetaReport: "metareport",
+	LevelReport:     "report",
+}
+
+// String returns the DSL spelling of the level.
+func (l Level) String() string { return levelNames[l] }
+
+// ParseLevel parses a DSL level name.
+func ParseLevel(s string) (Level, error) {
+	for l, n := range levelNames {
+		if strings.EqualFold(s, n) {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown level %q", s)
+}
+
+// Levels lists all levels in continuum order (Fig. 5).
+func Levels() []Level {
+	return []Level{LevelSource, LevelWarehouse, LevelMetaReport, LevelReport}
+}
+
+// Effect is the polarity of a rule.
+type Effect int
+
+// Rule effects.
+const (
+	Allow Effect = iota
+	Deny
+)
+
+// String returns "allow" or "deny".
+func (e Effect) String() string {
+	if e == Deny {
+		return "deny"
+	}
+	return "allow"
+}
+
+// AccessRule grants or denies visibility of one attribute to a set of
+// roles, optionally restricted to purposes and an intensional condition
+// evaluated on the source rows supporting the value (§5 i, and the HIV
+// example of §5).
+type AccessRule struct {
+	Effect    Effect
+	Attribute string
+	Roles     []string // empty = every role
+	Purposes  []string // empty = every purpose
+	When      relation.Expr
+}
+
+// Matches reports whether the rule applies to the attribute/role/purpose
+// triple (the condition is evaluated separately, against source rows).
+func (r AccessRule) Matches(attr, role, purpose string) bool {
+	if !strings.EqualFold(r.Attribute, attr) && r.Attribute != "*" {
+		return false
+	}
+	if len(r.Roles) > 0 && !containsFold(r.Roles, role) {
+		return false
+	}
+	if len(r.Purposes) > 0 && purpose != "" && !containsFold(r.Purposes, purpose) {
+		return false
+	}
+	return true
+}
+
+// AggregationRule requires each released aggregate row to be supported by
+// at least MinCount base elements (§5 ii). When By is set, the threshold
+// counts distinct values of that source attribute (e.g. distinct
+// patients); otherwise it counts supporting rows.
+type AggregationRule struct {
+	MinCount int
+	By       string
+}
+
+// AnonMethod enumerates per-attribute anonymization methods (§5 iii).
+type AnonMethod int
+
+// Anonymization methods.
+const (
+	AnonSuppress   AnonMethod = iota // replace with NULL
+	AnonPseudonym                    // keyed pseudonym (HMAC)
+	AnonGeneralize                   // climb a generalization hierarchy
+	AnonPerturb                      // numeric noise, aggregate-preserving
+)
+
+var anonNames = map[AnonMethod]string{
+	AnonSuppress: "suppress", AnonPseudonym: "pseudonym",
+	AnonGeneralize: "generalize", AnonPerturb: "perturb",
+}
+
+// String returns the DSL spelling of the method.
+func (m AnonMethod) String() string { return anonNames[m] }
+
+// ParseAnonMethod parses a DSL anonymization method name.
+func ParseAnonMethod(s string) (AnonMethod, error) {
+	for m, n := range anonNames {
+		if strings.EqualFold(s, n) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown anonymization method %q", s)
+}
+
+// AnonymizeRule requires an attribute to be anonymized before release.
+// Param is method-specific: generalization level for AnonGeneralize,
+// noise magnitude (percent) for AnonPerturb.
+type AnonymizeRule struct {
+	Attribute string
+	Method    AnonMethod
+	Param     int
+}
+
+// ReleaseRule imposes a table-level anonymity requirement on data released
+// by a source (§3, Fig. 2a): k-anonymity over the quasi-identifier set
+// and optionally distinct l-diversity on a sensitive attribute.
+type ReleaseRule struct {
+	K         int
+	L         int // 0 = no l-diversity requirement
+	Quasi     []string
+	Sensitive string
+}
+
+// JoinRule permits or forbids joining the scoped data with another
+// relation or source (§5 iv).
+type JoinRule struct {
+	Effect Effect
+	Other  string
+}
+
+// IntegrationRule permits or forbids using the scoped data to clean or
+// resolve (entity-match) data belonging to another owner (§5 v).
+type IntegrationRule struct {
+	Effect      Effect
+	Beneficiary string // owner name; "*" = any
+}
+
+// RetentionRule bounds how long the data may be retained by the BI
+// provider.
+type RetentionRule struct {
+	Days int
+}
+
+// RowFilterRule is a VPD-style row restriction: only rows satisfying the
+// condition may be released or shown.
+type RowFilterRule struct {
+	When relation.Expr
+}
+
+// PLA is one privacy level agreement between a source owner and the BI
+// provider.
+type PLA struct {
+	ID       string
+	Owner    string
+	Level    Level
+	Scope    string // table / ETL step / meta-report / report identifier
+	Purposes []string
+
+	Access       []AccessRule
+	Aggregations []AggregationRule
+	Anonymize    []AnonymizeRule
+	Release      []ReleaseRule
+	Joins        []JoinRule
+	Integrations []IntegrationRule
+	Retention    *RetentionRule
+	Filters      []RowFilterRule
+}
+
+// Atoms counts the individual requirement statements in the PLA — the
+// elicitation-effort unit used by the Fig. 5 experiments.
+func (p *PLA) Atoms() int {
+	n := len(p.Access) + len(p.Aggregations) + len(p.Anonymize) +
+		len(p.Release) + len(p.Joins) + len(p.Integrations) + len(p.Filters)
+	if p.Retention != nil {
+		n++
+	}
+	return n
+}
+
+// Validate checks internal consistency: positive thresholds, known
+// methods, non-empty scope.
+func (p *PLA) Validate() error {
+	if p.ID == "" {
+		return fmt.Errorf("policy: PLA without id")
+	}
+	if p.Scope == "" {
+		return fmt.Errorf("policy %s: empty scope", p.ID)
+	}
+	for _, a := range p.Aggregations {
+		if a.MinCount < 1 {
+			return fmt.Errorf("policy %s: aggregation threshold must be >= 1, got %d", p.ID, a.MinCount)
+		}
+	}
+	for _, r := range p.Release {
+		if r.K < 2 {
+			return fmt.Errorf("policy %s: k-anonymity requires k >= 2, got %d", p.ID, r.K)
+		}
+		if r.L < 0 || (r.L > 0 && r.Sensitive == "") {
+			return fmt.Errorf("policy %s: l-diversity requires a sensitive attribute", p.ID)
+		}
+		if len(r.Quasi) == 0 {
+			return fmt.Errorf("policy %s: release rule without quasi-identifiers", p.ID)
+		}
+	}
+	for _, a := range p.Anonymize {
+		if a.Attribute == "" {
+			return fmt.Errorf("policy %s: anonymize rule without attribute", p.ID)
+		}
+		if a.Method == AnonGeneralize && a.Param < 1 {
+			return fmt.Errorf("policy %s: generalize requires level >= 1", p.ID)
+		}
+	}
+	if p.Retention != nil && p.Retention.Days < 1 {
+		return fmt.Errorf("policy %s: retention must be >= 1 day", p.ID)
+	}
+	return nil
+}
+
+// AccessDecision summarizes attribute-level access under a PLA.
+type AccessDecision struct {
+	Effect Effect
+	// Conditions collects the intensional conditions of every matching
+	// allow rule; all must hold on the supporting source rows.
+	Conditions []relation.Expr
+	// Matched lists the rules that fired, for audit evidence.
+	Matched []AccessRule
+}
+
+// DecideAttribute evaluates the PLA's access rules for one attribute/role/
+// purpose. Deny rules dominate; with no matching rule the default is deny
+// (closed-world: only elicited permissions release data).
+func (p *PLA) DecideAttribute(attr, role, purpose string) AccessDecision {
+	d := AccessDecision{Effect: Deny}
+	anyAllow := false
+	for _, r := range p.Access {
+		if !r.Matches(attr, role, purpose) {
+			continue
+		}
+		d.Matched = append(d.Matched, r)
+		if r.Effect == Deny {
+			return AccessDecision{Effect: Deny, Matched: []AccessRule{r}}
+		}
+		anyAllow = true
+		if r.When != nil {
+			d.Conditions = append(d.Conditions, r.When)
+		}
+	}
+	if anyAllow {
+		d.Effect = Allow
+	}
+	return d
+}
+
+// JoinAllowed reports whether joining with the named relation is
+// permitted. Default is deny when any join rule exists (eliciting one join
+// permission closes the world); with no join rules at all, joins are
+// unconstrained by this PLA.
+func (p *PLA) JoinAllowed(other string) (bool, *JoinRule) {
+	if len(p.Joins) == 0 {
+		return true, nil
+	}
+	allowed := false
+	for i := range p.Joins {
+		r := &p.Joins[i]
+		if strings.EqualFold(r.Other, other) || r.Other == "*" {
+			if r.Effect == Deny {
+				return false, r
+			}
+			allowed = true
+			if strings.EqualFold(r.Other, other) {
+				return true, r
+			}
+		}
+	}
+	if allowed {
+		return true, nil
+	}
+	return false, nil
+}
+
+// IntegrationAllowed reports whether using the data to clean/resolve the
+// named beneficiary owner's data is permitted. Semantics mirror
+// JoinAllowed.
+func (p *PLA) IntegrationAllowed(beneficiary string) (bool, *IntegrationRule) {
+	if len(p.Integrations) == 0 {
+		return true, nil
+	}
+	allowed := false
+	for i := range p.Integrations {
+		r := &p.Integrations[i]
+		if strings.EqualFold(r.Beneficiary, beneficiary) || r.Beneficiary == "*" {
+			if r.Effect == Deny {
+				return false, r
+			}
+			allowed = true
+			if strings.EqualFold(r.Beneficiary, beneficiary) {
+				return true, r
+			}
+		}
+	}
+	if allowed {
+		return true, nil
+	}
+	return false, nil
+}
+
+// MinAggregation returns the strongest aggregation threshold for the given
+// distinct-count attribute ("" matches row-count rules), or 0 when none
+// applies.
+func (p *PLA) MinAggregation(by string) int {
+	best := 0
+	for _, a := range p.Aggregations {
+		if (by == "" && a.By == "") || strings.EqualFold(a.By, by) || by == "*" {
+			if a.MinCount > best {
+				best = a.MinCount
+			}
+		}
+	}
+	return best
+}
+
+func containsFold(list []string, s string) bool {
+	for _, v := range list {
+		if strings.EqualFold(v, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the PLA in DSL syntax; ParseOne(p.String()) round-trips.
+func (p *PLA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pla %q {\n", p.ID)
+	if p.Owner != "" {
+		fmt.Fprintf(&b, "    owner %q;\n", p.Owner)
+	}
+	fmt.Fprintf(&b, "    level %s;\n", p.Level)
+	fmt.Fprintf(&b, "    scope %q;\n", p.Scope)
+	if len(p.Purposes) > 0 {
+		fmt.Fprintf(&b, "    purpose %s;\n", quoteList(p.Purposes))
+	}
+	for _, r := range p.Access {
+		fmt.Fprintf(&b, "    %s attribute %s", r.Effect, dslName(r.Attribute))
+		if len(r.Roles) > 0 {
+			fmt.Fprintf(&b, " to roles %s", quoteList(r.Roles))
+		}
+		if len(r.Purposes) > 0 {
+			fmt.Fprintf(&b, " purpose %s", quoteList(r.Purposes))
+		}
+		if r.When != nil {
+			fmt.Fprintf(&b, " when %s", r.When)
+		}
+		b.WriteString(";\n")
+	}
+	for _, r := range p.Aggregations {
+		fmt.Fprintf(&b, "    aggregate min %d", r.MinCount)
+		if r.By != "" {
+			fmt.Fprintf(&b, " by %s", dslName(r.By))
+		}
+		b.WriteString(";\n")
+	}
+	for _, r := range p.Anonymize {
+		fmt.Fprintf(&b, "    anonymize attribute %s using %s", dslName(r.Attribute), r.Method)
+		switch r.Method {
+		case AnonGeneralize:
+			fmt.Fprintf(&b, " level %d", r.Param)
+		case AnonPerturb:
+			if r.Param > 0 {
+				fmt.Fprintf(&b, " noise %d", r.Param)
+			}
+		}
+		b.WriteString(";\n")
+	}
+	for _, r := range p.Release {
+		fmt.Fprintf(&b, "    release kanonymity %d quasi %s", r.K, nameList(r.Quasi))
+		if r.L > 0 {
+			fmt.Fprintf(&b, " ldiversity %d on %s", r.L, dslName(r.Sensitive))
+		}
+		b.WriteString(";\n")
+	}
+	for _, r := range p.Joins {
+		eff := "allow"
+		if r.Effect == Deny {
+			eff = "forbid"
+		}
+		fmt.Fprintf(&b, "    %s join with %s;\n", eff, dslName(r.Other))
+	}
+	for _, r := range p.Integrations {
+		eff := "allow"
+		if r.Effect == Deny {
+			eff = "forbid"
+		}
+		fmt.Fprintf(&b, "    %s integration for %s;\n", eff, dslName(r.Beneficiary))
+	}
+	if p.Retention != nil {
+		fmt.Fprintf(&b, "    retain %d days;\n", p.Retention.Days)
+	}
+	for _, f := range p.Filters {
+		fmt.Fprintf(&b, "    filter when %s;\n", f.When)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dslName renders a name, quoting when it is not a bare identifier.
+func dslName(s string) string {
+	if s == "*" {
+		return "*"
+	}
+	bare := len(s) > 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if isDSLIdent(c) || (i > 0 && (c >= '0' && c <= '9' || c == '.' || c == '-')) {
+			continue
+		}
+		bare = false
+		break
+	}
+	// Avoid bare names colliding with clause keywords.
+	switch strings.ToLower(s) {
+	case "when", "to", "roles", "purpose", "by", "using", "level", "noise",
+		"quasi", "ldiversity", "on", "days", "with", "for", "min":
+		bare = false
+	}
+	if bare {
+		return s
+	}
+	return fmt.Sprintf("%q", s)
+}
+
+func quoteList(list []string) string {
+	parts := make([]string, len(list))
+	for i, s := range list {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func nameList(list []string) string {
+	parts := make([]string, len(list))
+	for i, s := range list {
+		parts[i] = dslName(s)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,307 @@
+// Package provenance builds on the relation engine's lineage propagation to
+// offer the tracing facilities the paper requires for compliance checking
+// and dispute resolution (§2 iv, §4): given any cell of a delivered report,
+// trace back to the exact source cells it was computed from, and explain
+// the chain of transformations that produced it. It implements
+// where-provenance at cell granularity and a transformation graph over ETL
+// steps (cf. Cui–Widom lineage and DBNotes-style annotation propagation).
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"plabi/internal/relation"
+)
+
+// SourceCell is one concrete base-table cell with its current value.
+type SourceCell struct {
+	Table  string
+	Row    int
+	Column string
+	Value  relation.Value
+}
+
+// String renders the cell as table#row.column=value.
+func (s SourceCell) String() string {
+	return fmt.Sprintf("%s#%d.%s=%v", s.Table, s.Row, s.Column, s.Value)
+}
+
+// CellTrace is the full where-provenance of one derived cell.
+type CellTrace struct {
+	Column  string
+	Row     int
+	Value   relation.Value
+	Origins relation.ColRefSet // base columns the value derives from
+	Rows    relation.LineageSet
+	Cells   []SourceCell // intersection of origin columns and lineage rows
+}
+
+// String renders a one-line explanation suitable for audit evidence.
+func (c CellTrace) String() string {
+	parts := make([]string, len(c.Cells))
+	for i, s := range c.Cells {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("cell[%d].%s=%v <- {%s}", c.Row, c.Column, c.Value, strings.Join(parts, ", "))
+}
+
+// RowTrace is the row-level lineage of one derived row, with per-table
+// support counts (the quantity aggregation thresholds are enforced on).
+type RowTrace struct {
+	Row     int
+	Rows    relation.LineageSet
+	Support map[string]int // base table -> number of contributing rows
+}
+
+// DistinctSupport returns the number of distinct values of column col among
+// the base rows of table that support this row — e.g. the number of
+// distinct patients behind an aggregate group.
+func (t *Tracer) DistinctSupport(rt RowTrace, table, col string) int {
+	base, ok := t.base(table)
+	if !ok {
+		return 0
+	}
+	ci := base.Schema.Index(col)
+	if ci < 0 {
+		return 0
+	}
+	seen := map[string]bool{}
+	for _, ref := range rt.Rows {
+		if ref.Table != table || ref.Row < 0 || ref.Row >= base.NumRows() {
+			continue
+		}
+		seen[base.Rows[ref.Row][ci].Key()] = true
+	}
+	return len(seen)
+}
+
+// Tracer resolves lineage references against registered base tables.
+// It is safe for concurrent use.
+type Tracer struct {
+	mu    sync.RWMutex
+	bases map[string]*relation.Table
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{bases: map[string]*relation.Table{}}
+}
+
+// RegisterBase registers (or replaces) a base table so its cells can be
+// resolved during tracing.
+func (t *Tracer) RegisterBase(tb *relation.Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bases[strings.ToLower(tb.Name)] = tb
+}
+
+func (t *Tracer) base(name string) (*relation.Table, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b, ok := t.bases[strings.ToLower(name)]
+	return b, ok
+}
+
+// TraceCell computes the where-provenance of cell (row, col) of tab.
+func (t *Tracer) TraceCell(tab *relation.Table, row int, col string) (CellTrace, error) {
+	ci := tab.Schema.Index(col)
+	if ci < 0 {
+		return CellTrace{}, fmt.Errorf("provenance: unknown column %q", col)
+	}
+	if row < 0 || row >= tab.NumRows() {
+		return CellTrace{}, fmt.Errorf("provenance: row %d out of range", row)
+	}
+	trace := CellTrace{
+		Column:  col,
+		Row:     row,
+		Value:   tab.Rows[row][ci],
+		Origins: tab.ColumnOrigin(ci),
+		Rows:    tab.RowLineage(row),
+	}
+	for _, ref := range trace.Rows {
+		base, ok := t.base(ref.Table)
+		if !ok {
+			continue
+		}
+		for _, origin := range trace.Origins {
+			if origin.Table != ref.Table {
+				continue
+			}
+			bci := base.Schema.Index(origin.Column)
+			if bci < 0 || ref.Row < 0 || ref.Row >= base.NumRows() {
+				continue
+			}
+			trace.Cells = append(trace.Cells, SourceCell{
+				Table:  ref.Table,
+				Row:    ref.Row,
+				Column: origin.Column,
+				Value:  base.Rows[ref.Row][bci],
+			})
+		}
+	}
+	return trace, nil
+}
+
+// TraceRow computes the row-level lineage of row i of tab.
+func (t *Tracer) TraceRow(tab *relation.Table, i int) (RowTrace, error) {
+	if i < 0 || i >= tab.NumRows() {
+		return RowTrace{}, fmt.Errorf("provenance: row %d out of range", i)
+	}
+	rt := RowTrace{Row: i, Rows: tab.RowLineage(i), Support: map[string]int{}}
+	for _, ref := range rt.Rows {
+		rt.Support[ref.Table]++
+	}
+	return rt, nil
+}
+
+// BaseValue fetches a registered base cell's current value; ok reports
+// whether the reference resolved.
+func (t *Tracer) BaseValue(ref relation.RowRef, col string) (relation.Value, bool) {
+	base, ok := t.base(ref.Table)
+	if !ok {
+		return relation.Null(), false
+	}
+	ci := base.Schema.Index(col)
+	if ci < 0 || ref.Row < 0 || ref.Row >= base.NumRows() {
+		return relation.Null(), false
+	}
+	return base.Rows[ref.Row][ci], true
+}
+
+// Step records one transformation in the ETL/reporting pipeline: an
+// operation reading input relations and producing an output relation.
+type Step struct {
+	ID      int
+	Op      string
+	Inputs  []string
+	Output  string
+	Note    string
+	RowsIn  int
+	RowsOut int
+}
+
+// String renders the step as "op(inputs) -> output".
+func (s Step) String() string {
+	return fmt.Sprintf("#%d %s(%s) -> %s [%d->%d rows]%s",
+		s.ID, s.Op, strings.Join(s.Inputs, ", "), s.Output, s.RowsIn, s.RowsOut, noteSuffix(s.Note))
+}
+
+func noteSuffix(n string) string {
+	if n == "" {
+		return ""
+	}
+	return " // " + n
+}
+
+// Graph is an append-only transformation graph. It is safe for concurrent
+// use.
+type Graph struct {
+	mu       sync.RWMutex
+	steps    []Step
+	byOutput map[string][]int
+}
+
+// NewGraph returns an empty transformation graph.
+func NewGraph() *Graph {
+	return &Graph{byOutput: map[string][]int{}}
+}
+
+// AddStep appends a transformation step and returns its id.
+func (g *Graph) AddStep(op string, inputs []string, output, note string, rowsIn, rowsOut int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := len(g.steps)
+	s := Step{ID: id, Op: op, Inputs: append([]string(nil), inputs...), Output: output,
+		Note: note, RowsIn: rowsIn, RowsOut: rowsOut}
+	g.steps = append(g.steps, s)
+	key := strings.ToLower(output)
+	g.byOutput[key] = append(g.byOutput[key], id)
+	return id
+}
+
+// Steps returns a copy of all recorded steps in order.
+func (g *Graph) Steps() []Step {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]Step(nil), g.steps...)
+}
+
+// Upstream returns every step that transitively feeds the named output, in
+// topological (insertion) order.
+func (g *Graph) Upstream(output string) []Step {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seenStep := map[int]bool{}
+	seenRel := map[string]bool{}
+	var visit func(rel string)
+	visit = func(rel string) {
+		rel = strings.ToLower(rel)
+		if seenRel[rel] {
+			return
+		}
+		seenRel[rel] = true
+		for _, id := range g.byOutput[rel] {
+			if seenStep[id] {
+				continue
+			}
+			seenStep[id] = true
+			for _, in := range g.steps[id].Inputs {
+				visit(in)
+			}
+		}
+	}
+	visit(output)
+	ids := make([]int, 0, len(seenStep))
+	for id := range seenStep {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Step, len(ids))
+	for i, id := range ids {
+		out[i] = g.steps[id]
+	}
+	return out
+}
+
+// Explain renders a human-readable derivation of the named output — the
+// textual analogue of the elicitation tool's provenance display (§5).
+func (g *Graph) Explain(output string) string {
+	steps := g.Upstream(output)
+	if len(steps) == 0 {
+		return fmt.Sprintf("%s: base relation (no recorded transformations)", output)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "derivation of %s:\n", output)
+	for _, s := range steps {
+		b.WriteString("  " + s.String() + "\n")
+	}
+	return b.String()
+}
+
+// SourceTables returns the set of relations that appear only as inputs
+// (never as outputs) upstream of the named output — i.e. the original data
+// sources feeding it.
+func (g *Graph) SourceTables(output string) []string {
+	steps := g.Upstream(output)
+	produced := map[string]bool{}
+	for _, s := range steps {
+		produced[strings.ToLower(s.Output)] = true
+	}
+	srcSet := map[string]bool{}
+	for _, s := range steps {
+		for _, in := range s.Inputs {
+			if !produced[strings.ToLower(in)] {
+				srcSet[strings.ToLower(in)] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(srcSet))
+	for s := range srcSet {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

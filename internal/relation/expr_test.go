@@ -1,0 +1,252 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func exprSchema() *Schema {
+	return NewSchema(
+		Col("name", TString),
+		Col("age", TInt),
+		Col("weight", TFloat),
+		Col("disease", TString),
+		Col("visit", TDate),
+	)
+}
+
+func exprRow() Row {
+	return Row{Str("Alice"), Int(34), Float(61.5), Str("HIV"), DateYMD(2007, 2, 12)}
+}
+
+func evalExpr(t *testing.T, e Expr) Value {
+	t.Helper()
+	v, err := e.Eval(exprRow(), exprSchema())
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestComparisonOperators(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Eq(ColRefExpr("age"), Lit(Int(34))), true},
+		{Bin(OpNe, ColRefExpr("age"), Lit(Int(34))), false},
+		{Bin(OpLt, ColRefExpr("age"), Lit(Int(40))), true},
+		{Bin(OpGe, ColRefExpr("weight"), Lit(Float(61.5))), true},
+		{Bin(OpGt, ColRefExpr("weight"), Lit(Int(61))), true},
+		{ColEqStr("disease", "HIV"), true},
+		{ColEqStr("disease", "asthma"), false},
+		{Bin(OpLt, ColRefExpr("visit"), Lit(DateYMD(2008, 1, 1))), true},
+	}
+	for _, c := range cases {
+		v := evalExpr(t, c.e)
+		if v.Kind != TBool || v.B != c.want {
+			t.Errorf("%s = %v, want %v", c.e, v, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	null := Lit(Null())
+	tru := Lit(Bool(true))
+	fal := Lit(Bool(false))
+	cases := []struct {
+		e    Expr
+		want Value
+	}{
+		{And(tru, null), Null()},
+		{And(fal, null), Bool(false)},
+		{And(null, fal), Bool(false)},
+		{Or(tru, null), Bool(true)},
+		{Or(null, tru), Bool(true)},
+		{Or(fal, null), Null()},
+		{Not(null), Null()},
+		{Eq(null, null), Null()},
+		{Eq(ColRefExpr("age"), null), Null()},
+	}
+	for _, c := range cases {
+		v := evalExpr(t, c.e)
+		if v.Kind != c.want.Kind || (v.Kind == TBool && v.B != c.want.B) {
+			t.Errorf("%s = %v, want %v", c.e, v, c.want)
+		}
+	}
+}
+
+func TestNullPredicateDoesNotSelect(t *testing.T) {
+	ok, err := EvalPredicate(Eq(ColRefExpr("age"), Lit(Null())), exprRow(), exprSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("NULL predicate must not select a row")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want Value
+	}{
+		{Bin(OpAdd, Lit(Int(2)), Lit(Int(3))), Int(5)},
+		{Bin(OpSub, Lit(Int(2)), Lit(Int(3))), Int(-1)},
+		{Bin(OpMul, ColRefExpr("age"), Lit(Int(2))), Int(68)},
+		{Bin(OpDiv, Lit(Int(7)), Lit(Int(2))), Int(3)},
+		{Bin(OpDiv, Lit(Float(7)), Lit(Int(2))), Float(3.5)},
+		{Bin(OpDiv, Lit(Int(7)), Lit(Int(0))), Null()},
+		{Bin(OpMod, Lit(Int(7)), Lit(Int(3))), Int(1)},
+		{Neg(Lit(Int(5))), Int(-5)},
+		{Bin(OpConcat, Lit(Str("a")), Lit(Str("b"))), Str("ab")},
+	}
+	for _, c := range cases {
+		v := evalExpr(t, c.e)
+		if v.String() != c.want.String() || v.Kind != c.want.Kind {
+			t.Errorf("%s = %v (%v), want %v (%v)", c.e, v, v.Kind, c.want, c.want.Kind)
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"Alice", "A%", true},
+		{"Alice", "%ce", true},
+		{"Alice", "%li%", true},
+		{"Alice", "a_ice", true}, // case-insensitive
+		{"Alice", "B%", false},
+		{"Alice", "Alice", true},
+		{"Alice", "Ali", false},
+		{"", "%", true},
+		{"abc", "a%c", true},
+		{"abc", "a_c", true},
+		{"ac", "a_c", false},
+	}
+	for _, c := range cases {
+		e := Bin(OpLike, Lit(Str(c.s)), Lit(Str(c.pat)))
+		v := evalExpr(t, e)
+		if v.B != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pat, v.B, c.want)
+		}
+	}
+}
+
+func TestInExpr(t *testing.T) {
+	e := In(ColRefExpr("disease"), Lit(Str("HIV")), Lit(Str("asthma")))
+	if v := evalExpr(t, e); !v.B {
+		t.Error("disease IN (HIV, asthma) should be true")
+	}
+	e2 := In(ColRefExpr("disease"), Lit(Str("diabetes")))
+	if v := evalExpr(t, e2); v.B {
+		t.Error("disease IN (diabetes) should be false")
+	}
+	e3 := &InExpr{E: ColRefExpr("disease"), List: []Expr{Lit(Str("diabetes"))}, Negate: true}
+	if v := evalExpr(t, e3); !v.B {
+		t.Error("disease NOT IN (diabetes) should be true")
+	}
+	// Unmatched with NULL in list -> NULL.
+	e4 := In(ColRefExpr("disease"), Lit(Str("diabetes")), Lit(Null()))
+	if v := evalExpr(t, e4); !v.IsNull() {
+		t.Errorf("IN with NULL = %v, want NULL", v)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	if v := evalExpr(t, IsNull(Lit(Null()))); !v.B {
+		t.Error("NULL IS NULL should be true")
+	}
+	if v := evalExpr(t, IsNotNull(ColRefExpr("name"))); !v.B {
+		t.Error("name IS NOT NULL should be true")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Fn("UPPER", ColRefExpr("name")), "ALICE"},
+		{Fn("LOWER", ColRefExpr("name")), "alice"},
+		{Fn("LENGTH", ColRefExpr("name")), "5"},
+		{Fn("TRIM", Lit(Str("  x "))), "x"},
+		{Fn("SUBSTR", ColRefExpr("name"), Lit(Int(1)), Lit(Int(2))), "Al"},
+		{Fn("SUBSTR", ColRefExpr("name"), Lit(Int(4)), Lit(Int(10))), "ce"},
+		{Fn("COALESCE", Lit(Null()), ColRefExpr("name")), "Alice"},
+		{Fn("ABS", Lit(Int(-4))), "4"},
+		{Fn("ROUND", Lit(Float(2.6))), "3"},
+		{Fn("YEAR", ColRefExpr("visit")), "2007"},
+		{Fn("MONTH", ColRefExpr("visit")), "2"},
+		{Fn("DAY", ColRefExpr("visit")), "12"},
+		{Fn("QUARTER", ColRefExpr("visit")), "1"},
+		{Fn("CAST_INT", Lit(Str("9"))), "9"},
+		{Fn("CAST_STRING", Lit(Int(9))), "9"},
+	}
+	for _, c := range cases {
+		v := evalExpr(t, c.e)
+		if v.String() != c.want {
+			t.Errorf("%s = %v, want %s", c.e, v, c.want)
+		}
+	}
+}
+
+func TestUnknownFunctionErrors(t *testing.T) {
+	_, err := Fn("NOPE", Lit(Int(1))).Eval(exprRow(), exprSchema())
+	if err == nil {
+		t.Error("expected error for unknown function")
+	}
+}
+
+func TestUnknownColumnErrors(t *testing.T) {
+	_, err := ColRefExpr("ghost").Eval(exprRow(), exprSchema())
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("expected unknown-column error, got %v", err)
+	}
+}
+
+func TestColumnsOf(t *testing.T) {
+	e := And(ColEqStr("disease", "HIV"), Bin(OpGt, ColRefExpr("age"), ColRefExpr("age")))
+	cols := ColumnsOf(e)
+	if len(cols) != 2 || cols[0] != "disease" || cols[1] != "age" {
+		t.Errorf("ColumnsOf = %v", cols)
+	}
+	if ColumnsOf(nil) != nil {
+		t.Error("ColumnsOf(nil) should be nil")
+	}
+}
+
+func TestInferType(t *testing.T) {
+	s := exprSchema()
+	cases := []struct {
+		e    Expr
+		want Type
+	}{
+		{ColRefExpr("age"), TInt},
+		{ColRefExpr("name"), TString},
+		{Eq(ColRefExpr("age"), Lit(Int(1))), TBool},
+		{Bin(OpAdd, ColRefExpr("age"), Lit(Int(1))), TInt},
+		{Bin(OpAdd, ColRefExpr("weight"), Lit(Int(1))), TFloat},
+		{Fn("YEAR", ColRefExpr("visit")), TInt},
+		{Fn("UPPER", ColRefExpr("name")), TString},
+		{Bin(OpConcat, ColRefExpr("name"), Lit(Str("x"))), TString},
+	}
+	for _, c := range cases {
+		if got := InferType(c.e, s); got != c.want {
+			t.Errorf("InferType(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := And(ColEqStr("disease", "HIV"), Bin(OpGt, ColRefExpr("age"), Lit(Int(30))))
+	want := "((disease = 'HIV') AND (age > 30))"
+	if e.String() != want {
+		t.Errorf("String() = %q, want %q", e.String(), want)
+	}
+	if s := Lit(Str("o'hara")).String(); s != "'o''hara'" {
+		t.Errorf("literal escaping: %q", s)
+	}
+}

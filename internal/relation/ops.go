@@ -1,0 +1,579 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Select returns the rows of t satisfying pred, preserving lineage and
+// column origins.
+func Select(t *Table, pred Expr) (*Table, error) {
+	out := t.derived(t.Name + "_sel")
+	for i, r := range t.Rows {
+		ok, err := EvalPredicate(pred, r, t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, r)
+			out.Lineage = append(out.Lineage, t.RowLineage(i))
+		}
+	}
+	return out, nil
+}
+
+// ProjCol describes one output column of a projection: an expression and an
+// output name ("" derives the name from the expression).
+type ProjCol struct {
+	Expr Expr
+	As   string
+}
+
+// P is a convenience constructor for a simple column projection.
+func P(col string) ProjCol { return ProjCol{Expr: ColRefExpr(col)} }
+
+// PAs is a convenience constructor for an aliased projection.
+func PAs(e Expr, as string) ProjCol { return ProjCol{Expr: e, As: as} }
+
+// outName computes the column name of a projection item.
+func (p ProjCol) outName() string {
+	if p.As != "" {
+		return p.As
+	}
+	if c, ok := p.Expr.(*ColExpr); ok {
+		return baseName(c.Name)
+	}
+	return p.Expr.String()
+}
+
+// Project evaluates the given projections for each row. Column origins of
+// each output column are the union of origins of every input column the
+// expression references; row lineage is preserved.
+func Project(t *Table, cols ...ProjCol) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation: empty projection")
+	}
+	out := &Table{Name: t.Name + "_proj"}
+	schemaCols := make([]Column, len(cols))
+	out.ColOrigin = make([]ColRefSet, len(cols))
+	for i, p := range cols {
+		schemaCols[i] = Column{Name: p.outName(), Type: InferType(p.Expr, t.Schema)}
+		var origin ColRefSet
+		for _, ref := range ColumnsOf(p.Expr) {
+			ci := t.Schema.Index(ref)
+			if ci < 0 {
+				return nil, fmt.Errorf("relation: projection references unknown column %q", ref)
+			}
+			origin = append(origin, t.ColumnOrigin(ci)...)
+		}
+		out.ColOrigin[i] = origin.normalize()
+	}
+	out.Schema = &Schema{Columns: schemaCols}
+	for i, r := range t.Rows {
+		nr := make(Row, len(cols))
+		for j, p := range cols {
+			v, err := p.Expr.Eval(r, t.Schema)
+			if err != nil {
+				return nil, err
+			}
+			nr[j] = v
+			if out.Schema.Columns[j].Type == TNull && !v.IsNull() {
+				out.Schema.Columns[j].Type = v.Kind
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+		out.Lineage = append(out.Lineage, t.RowLineage(i))
+	}
+	return out, nil
+}
+
+// ProjectCols projects named columns in order.
+func ProjectCols(t *Table, names ...string) (*Table, error) {
+	cols := make([]ProjCol, len(names))
+	for i, n := range names {
+		cols[i] = P(n)
+	}
+	return Project(t, cols...)
+}
+
+// Extend appends one computed column to every row.
+func Extend(t *Table, name string, e Expr) (*Table, error) {
+	out := t.derived(t.Name + "_ext")
+	out.Schema.Columns = append(out.Schema.Columns, Column{Name: name, Type: InferType(e, t.Schema)})
+	var origin ColRefSet
+	for _, ref := range ColumnsOf(e) {
+		ci := t.Schema.Index(ref)
+		if ci < 0 {
+			return nil, fmt.Errorf("relation: extend references unknown column %q", ref)
+		}
+		origin = append(origin, t.ColumnOrigin(ci)...)
+	}
+	out.ColOrigin = append(out.ColOrigin, origin.normalize())
+	for i, r := range t.Rows {
+		v, err := e.Eval(r, t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		nr := make(Row, len(r)+1)
+		copy(nr, r)
+		nr[len(r)] = v
+		out.Rows = append(out.Rows, nr)
+		out.Lineage = append(out.Lineage, t.RowLineage(i))
+	}
+	return out, nil
+}
+
+// Rename returns t with the table renamed and columns qualified by the new
+// name; lineage and origins are preserved.
+func Rename(t *Table, name string) *Table {
+	out := t.derived(name)
+	out.Schema = t.Schema.Qualify(name)
+	out.Rows = t.Rows
+	if t.Base || t.Lineage == nil {
+		out.Lineage = make([]LineageSet, len(t.Rows))
+		for i := range t.Rows {
+			out.Lineage[i] = t.RowLineage(i)
+		}
+	} else {
+		out.Lineage = t.Lineage
+	}
+	return out
+}
+
+// JoinKind selects the join variant.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+)
+
+// Join performs a (hash-partitioned when possible) join of l and r on pred.
+// Output columns are l's columns followed by r's; lineage of each output
+// row is the union of the matched input rows' lineage.
+func Join(l, r *Table, pred Expr, kind JoinKind) (*Table, error) {
+	out := &Table{Name: l.Name + "_join_" + r.Name}
+	cols := make([]Column, 0, l.Schema.Len()+r.Schema.Len())
+	cols = append(cols, l.Schema.Columns...)
+	cols = append(cols, r.Schema.Columns...)
+	out.Schema = &Schema{Columns: cols}
+	out.ColOrigin = make([]ColRefSet, 0, len(cols))
+	for c := range l.Schema.Columns {
+		out.ColOrigin = append(out.ColOrigin, l.ColumnOrigin(c))
+	}
+	for c := range r.Schema.Columns {
+		out.ColOrigin = append(out.ColOrigin, r.ColumnOrigin(c))
+	}
+
+	joined := out.Schema
+	// Fast path: equi-join on a simple column pair.
+	if lc, rc, ok := equiJoinCols(pred, l.Schema, r.Schema); ok {
+		idx := make(map[string][]int, len(r.Rows))
+		for j, rr := range r.Rows {
+			if rr[rc].IsNull() {
+				continue
+			}
+			k := rr[rc].Key()
+			idx[k] = append(idx[k], j)
+		}
+		for i, lr := range l.Rows {
+			matched := false
+			if !lr[lc].IsNull() {
+				for _, j := range idx[lr[lc].Key()] {
+					nr := make(Row, 0, len(cols))
+					nr = append(nr, lr...)
+					nr = append(nr, r.Rows[j]...)
+					out.Rows = append(out.Rows, nr)
+					out.Lineage = append(out.Lineage, mergeLineage(l.RowLineage(i), r.RowLineage(j)))
+					matched = true
+				}
+			}
+			if !matched && kind == LeftJoin {
+				nr := make(Row, len(cols))
+				copy(nr, lr)
+				out.Rows = append(out.Rows, nr)
+				out.Lineage = append(out.Lineage, l.RowLineage(i))
+			}
+		}
+		return out, nil
+	}
+
+	// General nested-loop join.
+	for i, lr := range l.Rows {
+		matched := false
+		for j, rr := range r.Rows {
+			nr := make(Row, 0, len(cols))
+			nr = append(nr, lr...)
+			nr = append(nr, rr...)
+			ok, err := EvalPredicate(pred, nr, joined)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Rows = append(out.Rows, nr)
+				out.Lineage = append(out.Lineage, mergeLineage(l.RowLineage(i), r.RowLineage(j)))
+				matched = true
+			}
+		}
+		if !matched && kind == LeftJoin {
+			nr := make(Row, len(cols))
+			copy(nr, lr)
+			out.Rows = append(out.Rows, nr)
+			out.Lineage = append(out.Lineage, l.RowLineage(i))
+		}
+	}
+	return out, nil
+}
+
+// equiJoinCols recognizes predicates of the form lcol = rcol where lcol is
+// in l's schema and rcol in r's (either order).
+func equiJoinCols(pred Expr, l, r *Schema) (lc, rc int, ok bool) {
+	be, isBin := pred.(*BinExpr)
+	if !isBin || be.Op != OpEq {
+		return 0, 0, false
+	}
+	a, aok := be.L.(*ColExpr)
+	b, bok := be.R.(*ColExpr)
+	if !aok || !bok {
+		return 0, 0, false
+	}
+	if li, ri := l.Index(a.Name), r.Index(b.Name); li >= 0 && ri >= 0 && l.Index(b.Name) < 0 {
+		return li, ri, true
+	}
+	if li, ri := l.Index(b.Name), r.Index(a.Name); li >= 0 && ri >= 0 && l.Index(a.Name) < 0 {
+		return li, ri, true
+	}
+	return 0, 0, false
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota // COUNT(*) when Col == ""
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggCountDistinct
+)
+
+var aggNames = map[AggKind]string{
+	AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG",
+	AggMin: "MIN", AggMax: "MAX", AggCountDistinct: "COUNT_DISTINCT",
+}
+
+// String returns the SQL spelling of the aggregate.
+func (k AggKind) String() string { return aggNames[k] }
+
+// AggSpec describes one aggregate output column.
+type AggSpec struct {
+	Kind AggKind
+	Col  string // input column; "" only for COUNT(*)
+	As   string // output name; "" derives one
+}
+
+func (a AggSpec) outName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Col == "" {
+		return "count"
+	}
+	return strings.ToLower(a.Kind.String()) + "_" + baseName(a.Col)
+}
+
+func (a AggSpec) outType(s *Schema) Type {
+	switch a.Kind {
+	case AggCount, AggCountDistinct:
+		return TInt
+	case AggAvg:
+		return TFloat
+	default:
+		if i := s.Index(a.Col); i >= 0 {
+			return s.Columns[i].Type
+		}
+		return TFloat
+	}
+}
+
+type aggState struct {
+	n        int64
+	sum      float64
+	sumInt   int64
+	allInt   bool
+	min, max Value
+	distinct map[string]bool
+}
+
+// GroupBy groups t by the key columns and computes the aggregates. The
+// output schema is keys followed by aggregates. Row lineage of each group
+// is the union of its members' lineage — the basis for the paper's
+// aggregation-threshold enforcement (a group's base-row support is exactly
+// the size of its patient-level lineage).
+func GroupBy(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		idx := t.Schema.Index(k)
+		if idx < 0 {
+			return nil, fmt.Errorf("relation: group key %q not in %s", k, t.Schema)
+		}
+		keyIdx[i] = idx
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "" {
+			if a.Kind != AggCount {
+				return nil, fmt.Errorf("relation: aggregate %s requires a column", a.Kind)
+			}
+			aggIdx[i] = -1
+			continue
+		}
+		idx := t.Schema.Index(a.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("relation: aggregate column %q not in %s", a.Col, t.Schema)
+		}
+		aggIdx[i] = idx
+	}
+
+	type group struct {
+		key     Row
+		states  []*aggState
+		lineage LineageSet
+		members int
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	for ri, r := range t.Rows {
+		var kb strings.Builder
+		keyVals := make(Row, len(keyIdx))
+		for i, ki := range keyIdx {
+			keyVals[i] = r[ki]
+			kb.WriteString(r[ki].Key())
+			kb.WriteByte('|')
+		}
+		gk := kb.String()
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{key: keyVals, states: make([]*aggState, len(aggs))}
+			for i := range aggs {
+				g.states[i] = &aggState{allInt: true, distinct: map[string]bool{}}
+			}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		g.members++
+		// Accumulate raw refs; normalized once per group on emit (an
+		// incremental sorted merge is quadratic in the group size).
+		g.lineage = append(g.lineage, t.RowLineage(ri)...)
+		for i, a := range aggs {
+			st := g.states[i]
+			if aggIdx[i] < 0 { // COUNT(*)
+				st.n++
+				continue
+			}
+			v := r[aggIdx[i]]
+			if v.IsNull() {
+				continue
+			}
+			st.n++
+			switch a.Kind {
+			case AggSum, AggAvg:
+				if v.Kind == TInt {
+					st.sumInt += v.I
+					st.sum += float64(v.I)
+				} else if f, ok := v.AsFloat(); ok {
+					st.allInt = false
+					st.sum += f
+				}
+			case AggMin:
+				if st.min.IsNull() {
+					st.min = v
+				} else if c, ok := v.Compare(st.min); ok && c < 0 {
+					st.min = v
+				}
+			case AggMax:
+				if st.max.IsNull() {
+					st.max = v
+				} else if c, ok := v.Compare(st.max); ok && c > 0 {
+					st.max = v
+				}
+			case AggCountDistinct:
+				st.distinct[v.Key()] = true
+			}
+		}
+	}
+
+	out := &Table{Name: t.Name + "_grp"}
+	cols := make([]Column, 0, len(keys)+len(aggs))
+	out.ColOrigin = make([]ColRefSet, 0, cap(cols))
+	for i, k := range keys {
+		cols = append(cols, Column{Name: baseName(k), Type: t.Schema.Columns[keyIdx[i]].Type})
+		out.ColOrigin = append(out.ColOrigin, t.ColumnOrigin(keyIdx[i]))
+	}
+	for i, a := range aggs {
+		cols = append(cols, Column{Name: a.outName(), Type: a.outType(t.Schema)})
+		if aggIdx[i] >= 0 {
+			out.ColOrigin = append(out.ColOrigin, t.ColumnOrigin(aggIdx[i]))
+		} else {
+			// COUNT(*) derives from the whole row; attribute it to all
+			// input columns so provenance over-approximates rather than
+			// under-approximates.
+			out.ColOrigin = append(out.ColOrigin, t.AllColumnOrigins())
+		}
+	}
+	out.Schema = &Schema{Columns: cols}
+
+	for _, gk := range order {
+		g := groups[gk]
+		nr := make(Row, 0, len(cols))
+		nr = append(nr, g.key...)
+		for i, a := range aggs {
+			st := g.states[i]
+			switch a.Kind {
+			case AggCount:
+				nr = append(nr, Int(st.n))
+			case AggSum:
+				if st.n == 0 {
+					nr = append(nr, Null())
+				} else if st.allInt {
+					nr = append(nr, Int(st.sumInt))
+				} else {
+					nr = append(nr, Float(st.sum))
+				}
+			case AggAvg:
+				if st.n == 0 {
+					nr = append(nr, Null())
+				} else {
+					nr = append(nr, Float(st.sum/float64(st.n)))
+				}
+			case AggMin:
+				nr = append(nr, st.min)
+			case AggMax:
+				nr = append(nr, st.max)
+			case AggCountDistinct:
+				nr = append(nr, Int(int64(len(st.distinct))))
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+		out.Lineage = append(out.Lineage, g.lineage.normalize())
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate rows; the surviving row's lineage is the union
+// of all duplicates' lineage (the duplicates all "support" the output row).
+func Distinct(t *Table) *Table {
+	out := t.derived(t.Name + "_dist")
+	index := map[string]int{}
+	for i, r := range t.Rows {
+		var kb strings.Builder
+		for _, v := range r {
+			kb.WriteString(v.Key())
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		if j, ok := index[k]; ok {
+			out.Lineage[j] = append(out.Lineage[j], t.RowLineage(i)...)
+			continue
+		}
+		index[k] = len(out.Rows)
+		out.Rows = append(out.Rows, r)
+		out.Lineage = append(out.Lineage, append(LineageSet(nil), t.RowLineage(i)...))
+	}
+	for j := range out.Lineage {
+		out.Lineage[j] = out.Lineage[j].normalize()
+	}
+	return out
+}
+
+// Union appends the rows of b to a (schemas must be compatible), keeping
+// duplicates (UNION ALL semantics); wrap with Distinct for set union.
+func Union(a, b *Table) (*Table, error) {
+	if a.Schema.Len() != b.Schema.Len() {
+		return nil, fmt.Errorf("relation: union arity mismatch: %s vs %s", a.Schema, b.Schema)
+	}
+	out := a.derived(a.Name + "_union")
+	for c := range out.ColOrigin {
+		out.ColOrigin[c] = out.ColOrigin[c].Union(b.ColumnOrigin(c))
+	}
+	for i, r := range a.Rows {
+		out.Rows = append(out.Rows, r)
+		out.Lineage = append(out.Lineage, a.RowLineage(i))
+	}
+	for i, r := range b.Rows {
+		out.Rows = append(out.Rows, r)
+		out.Lineage = append(out.Lineage, b.RowLineage(i))
+	}
+	return out, nil
+}
+
+// SortKey describes one ORDER BY term.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// Sort orders the table by the given keys (stable).
+func Sort(t *Table, keys ...SortKey) (*Table, error) {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		ci := t.Schema.Index(k.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("relation: sort key %q not in %s", k.Col, t.Schema)
+		}
+		idx[i] = ci
+	}
+	out := t.derived(t.Name + "_sort")
+	perm := make([]int, len(t.Rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra, rb := t.Rows[perm[a]], t.Rows[perm[b]]
+		for i, ci := range idx {
+			va, vb := ra[ci], rb[ci]
+			// NULLs sort first.
+			if va.IsNull() && vb.IsNull() {
+				continue
+			}
+			if va.IsNull() {
+				return !keys[i].Desc
+			}
+			if vb.IsNull() {
+				return keys[i].Desc
+			}
+			c, ok := va.Compare(vb)
+			if !ok || c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for _, p := range perm {
+		out.Rows = append(out.Rows, t.Rows[p])
+		out.Lineage = append(out.Lineage, t.RowLineage(p))
+	}
+	return out, nil
+}
+
+// Limit returns the first n rows.
+func Limit(t *Table, n int) *Table {
+	out := t.derived(t.Name + "_lim")
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	for i := 0; i < n; i++ {
+		out.Rows = append(out.Rows, t.Rows[i])
+		out.Lineage = append(out.Lineage, t.RowLineage(i))
+	}
+	return out
+}

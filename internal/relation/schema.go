@@ -1,0 +1,133 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns. Column names are matched
+// case-insensitively, and may optionally be qualified ("table.column");
+// an unqualified lookup matches the unqualified part.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from name/type pairs.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols}
+}
+
+// Col is a convenience constructor for a Column.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// baseName strips an optional qualifier from a column name.
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// Index returns the position of the named column, or -1 if absent.
+// Qualified lookups ("t.c") match only columns with that exact qualified
+// name (case-insensitive); unqualified lookups match the first column whose
+// unqualified name matches.
+func (s *Schema) Index(name string) int {
+	if strings.ContainsRune(name, '.') {
+		for i, c := range s.Columns {
+			if strings.EqualFold(c.Name, name) {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, c := range s.Columns {
+		if strings.EqualFold(baseName(c.Name), name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasColumn reports whether the named column exists.
+func (s *Schema) HasColumn(name string) bool { return s.Index(name) >= 0 }
+
+// ColumnNames returns the column names in order.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	return &Schema{Columns: cols}
+}
+
+// Qualify returns a copy of the schema with every column name prefixed by
+// the given qualifier (existing qualifiers are replaced).
+func (s *Schema) Qualify(q string) *Schema {
+	cols := make([]Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = Column{Name: q + "." + baseName(c.Name), Type: c.Type}
+	}
+	return &Schema{Columns: cols}
+}
+
+// Unqualify returns a copy of the schema with all qualifiers stripped.
+// It returns an error if stripping would create duplicate names.
+func (s *Schema) Unqualify() (*Schema, error) {
+	seen := make(map[string]bool, len(s.Columns))
+	cols := make([]Column, len(s.Columns))
+	for i, c := range s.Columns {
+		n := strings.ToLower(baseName(c.Name))
+		if seen[n] {
+			return nil, fmt.Errorf("relation: unqualify would duplicate column %q", n)
+		}
+		seen[n] = true
+		cols[i] = Column{Name: baseName(c.Name), Type: c.Type}
+	}
+	return &Schema{Columns: cols}, nil
+}
+
+// String renders the schema as "(a STRING, b INT)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical column names (ignoring
+// case and qualifiers) and types, in order.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if !strings.EqualFold(baseName(s.Columns[i].Name), baseName(o.Columns[i].Name)) ||
+			s.Columns[i].Type != o.Columns[i].Type {
+			return false
+		}
+	}
+	return true
+}

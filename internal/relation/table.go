@@ -1,0 +1,328 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one tuple of a relation.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// RowRef identifies a row of a named base table. Base rows are the units of
+// row-level lineage (Cui–Widom style): every derived row carries the set of
+// base rows that contributed to it.
+type RowRef struct {
+	Table string
+	Row   int
+}
+
+// String renders the reference as "table#row".
+func (r RowRef) String() string { return fmt.Sprintf("%s#%d", r.Table, r.Row) }
+
+// LineageSet is a set of base-row references, kept sorted and deduplicated.
+type LineageSet []RowRef
+
+// mergeLineage unions two sorted LineageSets.
+func mergeLineage(a, b LineageSet) LineageSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(LineageSet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch cmpRef(a[i], b[j]) {
+		case -1:
+			out = append(out, a[i])
+			i++
+		case 1:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func cmpRef(a, b RowRef) int {
+	if a.Table != b.Table {
+		if a.Table < b.Table {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Row < b.Row:
+		return -1
+	case a.Row > b.Row:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// normalize sorts and deduplicates the set in place, returning it.
+func (l LineageSet) normalize() LineageSet {
+	sort.Slice(l, func(i, j int) bool { return cmpRef(l[i], l[j]) < 0 })
+	out := l[:0]
+	for i, r := range l {
+		if i == 0 || cmpRef(r, out[len(out)-1]) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the set contains ref.
+func (l LineageSet) Contains(ref RowRef) bool {
+	i := sort.Search(len(l), func(i int) bool { return cmpRef(l[i], ref) >= 0 })
+	return i < len(l) && l[i] == ref
+}
+
+// ColRef identifies a column of a named base table; the unit of
+// column-level where-provenance.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference as "table.column".
+func (c ColRef) String() string { return c.Table + "." + c.Column }
+
+// ColRefSet is a set of column references, kept sorted and deduplicated.
+type ColRefSet []ColRef
+
+func cmpColRef(a, b ColRef) int {
+	if a.Table != b.Table {
+		if a.Table < b.Table {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Column < b.Column:
+		return -1
+	case a.Column > b.Column:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (c ColRefSet) normalize() ColRefSet {
+	sort.Slice(c, func(i, j int) bool { return cmpColRef(c[i], c[j]) < 0 })
+	out := c[:0]
+	for i, r := range c {
+		if i == 0 || cmpColRef(r, out[len(out)-1]) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the set contains ref.
+func (c ColRefSet) Contains(ref ColRef) bool {
+	i := sort.Search(len(c), func(i int) bool { return cmpColRef(c[i], ref) >= 0 })
+	return i < len(c) && c[i] == ref
+}
+
+// Normalize sorts and deduplicates the set in place, returning it.
+func (c ColRefSet) Normalize() ColRefSet { return c.normalize() }
+
+// Union returns the union of two ColRefSets.
+func (c ColRefSet) Union(o ColRefSet) ColRefSet {
+	out := make(ColRefSet, 0, len(c)+len(o))
+	out = append(out, c...)
+	out = append(out, o...)
+	return out.normalize()
+}
+
+// Table is an in-memory relation with provenance. A Table is *base* when
+// Base is true: its rows are the units of lineage and its columns the units
+// of where-provenance. Derived tables carry explicit Lineage (one set per
+// row) and ColOrigin (one set per column).
+type Table struct {
+	Name   string
+	Schema *Schema
+	Rows   []Row
+
+	// Base marks the table as a provenance origin.
+	Base bool
+
+	// Lineage holds, for each row, the set of base rows it derives from.
+	// For base tables it is nil and computed on demand.
+	Lineage []LineageSet
+
+	// ColOrigin holds, for each column, the set of base (table, column)
+	// pairs it derives from. For base tables it is nil.
+	ColOrigin []ColRefSet
+}
+
+// NewBase creates an empty base table with the given name and schema.
+func NewBase(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, Base: true}
+}
+
+// Append adds a row to the table, validating arity. For derived tables the
+// caller must maintain Lineage alongside; Append is intended for base
+// tables and simple construction.
+func (t *Table) Append(r Row) error {
+	if len(r) != t.Schema.Len() {
+		return fmt.Errorf("relation: row arity %d does not match schema %s", len(r), t.Schema)
+	}
+	t.Rows = append(t.Rows, r)
+	return nil
+}
+
+// MustAppend is Append that panics on arity mismatch; for fixtures and
+// generators where the arity is statically known.
+func (t *Table) MustAppend(vals ...Value) {
+	if err := t.Append(Row(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// RowLineage returns the lineage set of row i. For base tables this is the
+// singleton {t#i}.
+func (t *Table) RowLineage(i int) LineageSet {
+	if t.Base || t.Lineage == nil {
+		return LineageSet{{Table: t.Name, Row: i}}
+	}
+	return t.Lineage[i]
+}
+
+// ColumnOrigin returns the where-provenance of column c. For base tables
+// this is the singleton {t.col}.
+func (t *Table) ColumnOrigin(c int) ColRefSet {
+	if t.Base || t.ColOrigin == nil {
+		return ColRefSet{{Table: t.Name, Column: baseName(t.Schema.Columns[c].Name)}}
+	}
+	return t.ColOrigin[c]
+}
+
+// AllColumnOrigins returns the union of the origins of every column.
+func (t *Table) AllColumnOrigins() ColRefSet {
+	var all ColRefSet
+	for c := range t.Schema.Columns {
+		all = append(all, t.ColumnOrigin(c)...)
+	}
+	return all.normalize()
+}
+
+// BaseTables returns the sorted set of base table names this table derives
+// from (via column origins).
+func (t *Table) BaseTables() []string {
+	seen := map[string]bool{}
+	for _, r := range t.AllColumnOrigins() {
+		seen[r.Table] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy of the table (rows, lineage and origins).
+func (t *Table) Clone() *Table {
+	c := &Table{Name: t.Name, Schema: t.Schema.Clone(), Base: t.Base}
+	c.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		c.Rows[i] = r.Clone()
+	}
+	if t.Lineage != nil {
+		c.Lineage = make([]LineageSet, len(t.Lineage))
+		for i, l := range t.Lineage {
+			c.Lineage[i] = append(LineageSet(nil), l...)
+		}
+	}
+	if t.ColOrigin != nil {
+		c.ColOrigin = make([]ColRefSet, len(t.ColOrigin))
+		for i, o := range t.ColOrigin {
+			c.ColOrigin[i] = append(ColRefSet(nil), o...)
+		}
+	}
+	return c
+}
+
+// derived builds a derived-table shell from t, preserving column origins by
+// default (operators override as needed).
+func (t *Table) derived(name string) *Table {
+	d := &Table{Name: name, Schema: t.Schema.Clone()}
+	d.ColOrigin = make([]ColRefSet, t.Schema.Len())
+	for c := range d.ColOrigin {
+		d.ColOrigin[c] = t.ColumnOrigin(c)
+	}
+	return d
+}
+
+// Get returns the value at (row, col name). It returns NULL for unknown
+// columns, which keeps report rendering total.
+func (t *Table) Get(row int, col string) Value {
+	i := t.Schema.Index(col)
+	if i < 0 || row < 0 || row >= len(t.Rows) {
+		return Null()
+	}
+	return t.Rows[row][i]
+}
+
+// String renders the table as an aligned text grid (used by reports, the
+// CLI tools and tests).
+func (t *Table) String() string {
+	names := t.Schema.ColumnNames()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			s := v.String()
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for c, v := range vals {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			b.WriteString(strings.Repeat(" ", widths[c]-len(v)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	sep := make([]string, len(names))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

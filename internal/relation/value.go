@@ -1,0 +1,306 @@
+// Package relation implements a typed, in-memory relational algebra with
+// row-level lineage and column-level where-provenance propagation through
+// every operator. It is the substrate on which the SQL engine, the ETL
+// pipeline, the warehouse, and the report engine are built.
+//
+// Tables are immutable from the point of view of operators: every operator
+// returns a new Table whose Lineage and ColOrigin fields record, for each
+// derived row, the set of base rows it was computed from, and, for each
+// derived column, the set of base (table, column) pairs it was derived from.
+// This is the machinery the paper's provenance-based auditing (§4) and
+// intensional report conditions (§5) rely on.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the column types supported by the engine.
+type Type int
+
+// Supported column types.
+const (
+	TNull Type = iota
+	TString
+	TInt
+	TFloat
+	TBool
+	TDate
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TString:
+		return "STRING"
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TBool:
+		return "BOOL"
+	case TDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// DateLayout is the textual layout used for DATE values throughout the
+// library. The paper's examples use day-first dates (e.g. 12/02/2007); we
+// normalize to ISO for unambiguity.
+const DateLayout = "2006-01-02"
+
+// Value is a dynamically typed cell value. The zero Value is NULL.
+type Value struct {
+	Kind Type
+	S    string
+	I    int64
+	F    float64
+	B    bool
+	T    time.Time
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Str returns a STRING value.
+func Str(s string) Value { return Value{Kind: TString, S: s} }
+
+// Int returns an INT value.
+func Int(i int64) Value { return Value{Kind: TInt, I: i} }
+
+// Float returns a FLOAT value.
+func Float(f float64) Value { return Value{Kind: TFloat, F: f} }
+
+// Bool returns a BOOL value.
+func Bool(b bool) Value { return Value{Kind: TBool, B: b} }
+
+// Date returns a DATE value truncated to day granularity in UTC.
+func Date(t time.Time) Value {
+	y, m, d := t.Date()
+	return Value{Kind: TDate, T: time.Date(y, m, d, 0, 0, 0, 0, time.UTC)}
+}
+
+// DateYMD returns a DATE value for the given year, month and day.
+func DateYMD(y int, m time.Month, d int) Value {
+	return Value{Kind: TDate, T: time.Date(y, m, d, 0, 0, 0, 0, time.UTC)}
+}
+
+// ParseDate parses an ISO yyyy-mm-dd string into a DATE value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse(DateLayout, s)
+	if err != nil {
+		return Null(), fmt.Errorf("relation: bad date %q: %w", s, err)
+	}
+	return Date(t), nil
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == TNull }
+
+// String renders the value for display; NULL renders as "NULL".
+func (v Value) String() string {
+	switch v.Kind {
+	case TNull:
+		return "NULL"
+	case TString:
+		return v.S
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case TDate:
+		return v.T.Format(DateLayout)
+	default:
+		return "?"
+	}
+}
+
+// AsFloat converts numeric values to float64. It reports false for
+// non-numeric values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case TInt:
+		return float64(v.I), true
+	case TFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts numeric values to int64 (floats are truncated). It reports
+// false for non-numeric values.
+func (v Value) AsInt() (int64, bool) {
+	switch v.Kind {
+	case TInt:
+		return v.I, true
+	case TFloat:
+		return int64(v.F), true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values are equal under SQL-style coercion
+// (INT and FLOAT compare numerically). NULL equals nothing, including NULL.
+func (v Value) Equal(o Value) bool {
+	if v.IsNull() || o.IsNull() {
+		return false
+	}
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Compare orders two values: -1, 0, +1. It reports false when the values
+// are incomparable (NULL involved or incompatible types).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.IsNull() || o.IsNull() {
+		return 0, false
+	}
+	if (v.Kind == TInt || v.Kind == TFloat) && (o.Kind == TInt || o.Kind == TFloat) {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.Kind != o.Kind {
+		return 0, false
+	}
+	switch v.Kind {
+	case TString:
+		return strings.Compare(v.S, o.S), true
+	case TBool:
+		switch {
+		case v.B == o.B:
+			return 0, true
+		case !v.B:
+			return -1, true
+		default:
+			return 1, true
+		}
+	case TDate:
+		switch {
+		case v.T.Before(o.T):
+			return -1, true
+		case v.T.After(o.T):
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// Key returns a canonical string key for grouping and hashing. Distinct
+// values map to distinct keys within a column; NULL has its own key.
+func (v Value) Key() string {
+	switch v.Kind {
+	case TNull:
+		return "\x00N"
+	case TString:
+		return "s:" + v.S
+	case TInt:
+		return "i:" + strconv.FormatInt(v.I, 10)
+	case TFloat:
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			// Make 2.0 group with the integer 2 so mixed-type numeric
+			// columns behave predictably.
+			return "i:" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "f:" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TBool:
+		if v.B {
+			return "b:1"
+		}
+		return "b:0"
+	case TDate:
+		return "d:" + v.T.Format(DateLayout)
+	default:
+		return "?"
+	}
+}
+
+// Coerce attempts to convert v to type t, returning the converted value.
+// NULL coerces to NULL of any type. It reports false when the conversion
+// is not meaningful.
+func (v Value) Coerce(t Type) (Value, bool) {
+	if v.IsNull() {
+		return Null(), true
+	}
+	if v.Kind == t {
+		return v, true
+	}
+	switch t {
+	case TString:
+		return Str(v.String()), true
+	case TInt:
+		switch v.Kind {
+		case TFloat:
+			return Int(int64(v.F)), true
+		case TString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				return Null(), false
+			}
+			return Int(i), true
+		case TBool:
+			if v.B {
+				return Int(1), true
+			}
+			return Int(0), true
+		}
+	case TFloat:
+		switch v.Kind {
+		case TInt:
+			return Float(float64(v.I)), true
+		case TString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+			if err != nil {
+				return Null(), false
+			}
+			return Float(f), true
+		}
+	case TBool:
+		switch v.Kind {
+		case TString:
+			switch strings.ToLower(strings.TrimSpace(v.S)) {
+			case "true", "yes", "1":
+				return Bool(true), true
+			case "false", "no", "0":
+				return Bool(false), true
+			}
+			return Null(), false
+		case TInt:
+			return Bool(v.I != 0), true
+		}
+	case TDate:
+		if v.Kind == TString {
+			d, err := ParseDate(strings.TrimSpace(v.S))
+			if err != nil {
+				return Null(), false
+			}
+			return d, true
+		}
+	}
+	return Null(), false
+}

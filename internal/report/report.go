@@ -1,0 +1,267 @@
+// Package report implements the reporting layer of the BI stack: report
+// definitions as queries over the warehouse, consumers with roles and
+// purposes, plain rendering, and — central to the paper's robustness
+// challenge (§2 iii) — report evolution operations with an event log, so
+// the stability of PLAs under report change can be measured (Fig. 5).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"plabi/internal/relation"
+	"plabi/internal/sql"
+)
+
+// Consumer is an information consumer requesting reports.
+type Consumer struct {
+	Name    string
+	Role    string // e.g. analyst, auditor, manager
+	Purpose string // e.g. reimbursement, quality
+}
+
+// Definition is one report: a SQL query over the warehouse (or over a
+// meta-report), plus delivery metadata.
+type Definition struct {
+	ID      string
+	Title   string
+	Query   string
+	Roles   []string // roles the report is delivered to
+	Purpose string
+	Version int
+}
+
+// Parse returns the parsed SELECT of the current query.
+func (d *Definition) Parse() (*sql.SelectStmt, error) {
+	sel, err := sql.ParseSelect(d.Query)
+	if err != nil {
+		return nil, fmt.Errorf("report %s: %w", d.ID, err)
+	}
+	return sel, nil
+}
+
+// Render executes the report against the catalog with no privacy
+// enforcement — the raw result the enforcement layer then filters.
+func (d *Definition) Render(c *sql.Catalog) (*relation.Table, error) {
+	res, err := c.Query(d.Query)
+	if err != nil {
+		return nil, fmt.Errorf("report %s: %w", d.ID, err)
+	}
+	res.Name = d.ID
+	return res, nil
+}
+
+// EventKind enumerates report-evolution events.
+type EventKind int
+
+// Evolution event kinds.
+const (
+	EvCreate EventKind = iota
+	EvDelete
+	EvAddColumn
+	EvRemoveColumn
+	EvChangeFilter
+	EvChangeGrouping
+)
+
+var eventNames = map[EventKind]string{
+	EvCreate: "create", EvDelete: "delete", EvAddColumn: "add-column",
+	EvRemoveColumn: "remove-column", EvChangeFilter: "change-filter",
+	EvChangeGrouping: "change-grouping",
+}
+
+// String returns the event kind name.
+func (k EventKind) String() string { return eventNames[k] }
+
+// Event is one recorded evolution step.
+type Event struct {
+	Seq      int
+	Kind     EventKind
+	ReportID string
+	Detail   string
+}
+
+// Registry stores report definitions and their evolution history. It is
+// safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	reports map[string]*Definition
+	events  []Event
+}
+
+// NewRegistry returns an empty report registry.
+func NewRegistry() *Registry {
+	return &Registry{reports: map[string]*Definition{}}
+}
+
+func (r *Registry) log(kind EventKind, id, detail string) {
+	r.events = append(r.events, Event{Seq: len(r.events), Kind: kind, ReportID: id, Detail: detail})
+}
+
+// Create validates and registers a new report.
+func (r *Registry) Create(d *Definition) error {
+	if d.ID == "" {
+		return fmt.Errorf("report: empty id")
+	}
+	if _, err := sql.ParseSelect(d.Query); err != nil {
+		return fmt.Errorf("report %s: invalid query: %w", d.ID, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.reports[d.ID]; dup {
+		return fmt.Errorf("report: duplicate id %q", d.ID)
+	}
+	d.Version = 1
+	r.reports[d.ID] = d
+	r.log(EvCreate, d.ID, d.Query)
+	return nil
+}
+
+// Delete removes a report.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.reports[id]; !ok {
+		return fmt.Errorf("report: unknown id %q", id)
+	}
+	delete(r.reports, id)
+	r.log(EvDelete, id, "")
+	return nil
+}
+
+// Get returns the report definition.
+func (r *Registry) Get(id string) (*Definition, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.reports[id]
+	return d, ok
+}
+
+// All returns every definition sorted by id.
+func (r *Registry) All() []*Definition {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Definition, 0, len(r.reports))
+	for _, d := range r.reports {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Events returns the evolution history.
+func (r *Registry) Events() []Event {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Event(nil), r.events...)
+}
+
+// mutate parses, transforms, re-renders and bumps a report's query.
+func (r *Registry) mutate(id string, kind EventKind, detail string, fn func(*sql.SelectStmt) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.reports[id]
+	if !ok {
+		return fmt.Errorf("report: unknown id %q", id)
+	}
+	sel, err := sql.ParseSelect(d.Query)
+	if err != nil {
+		return fmt.Errorf("report %s: %w", id, err)
+	}
+	if err := fn(sel); err != nil {
+		return fmt.Errorf("report %s: %w", id, err)
+	}
+	newQuery := sel.String()
+	if _, err := sql.ParseSelect(newQuery); err != nil {
+		return fmt.Errorf("report %s: mutation produced invalid query %q: %w", id, newQuery, err)
+	}
+	d.Query = newQuery
+	d.Version++
+	r.log(kind, id, detail)
+	return nil
+}
+
+// AddColumn appends a select item (SQL expression, optionally aggregated)
+// to the report.
+func (r *Registry) AddColumn(id, exprSQL, alias string) error {
+	return r.mutate(id, EvAddColumn, exprSQL, func(sel *sql.SelectStmt) error {
+		// Parse the expression by wrapping it in a probe query so
+		// aggregate calls are accepted.
+		probe, err := sql.ParseSelect("SELECT " + exprSQL + " FROM probe")
+		if err != nil {
+			return fmt.Errorf("bad column expression %q: %w", exprSQL, err)
+		}
+		item := probe.Items[0]
+		item.Alias = alias
+		sel.Items = append(sel.Items, item)
+		return nil
+	})
+}
+
+// RemoveColumn removes the select item with the given output name.
+func (r *Registry) RemoveColumn(id, name string) error {
+	return r.mutate(id, EvRemoveColumn, name, func(sel *sql.SelectStmt) error {
+		for i, it := range sel.Items {
+			if strings.EqualFold(it.OutName(), name) {
+				if len(sel.Items) == 1 {
+					return fmt.Errorf("cannot remove the last column")
+				}
+				sel.Items = append(sel.Items[:i], sel.Items[i+1:]...)
+				// Drop ORDER BY terms referencing the removed column.
+				var kept []sql.OrderItem
+				for _, o := range sel.OrderBy {
+					if !strings.EqualFold(o.Col, name) {
+						kept = append(kept, o)
+					}
+				}
+				sel.OrderBy = kept
+				return nil
+			}
+		}
+		return fmt.Errorf("no column %q", name)
+	})
+}
+
+// SetFilter replaces the WHERE clause ("" clears it).
+func (r *Registry) SetFilter(id, whereSQL string) error {
+	return r.mutate(id, EvChangeFilter, whereSQL, func(sel *sql.SelectStmt) error {
+		if whereSQL == "" {
+			sel.Where = nil
+			return nil
+		}
+		e, err := sql.ParseExpr(whereSQL)
+		if err != nil {
+			return fmt.Errorf("bad filter %q: %w", whereSQL, err)
+		}
+		sel.Where = e
+		return nil
+	})
+}
+
+// SetGrouping replaces the GROUP BY columns (the select list must already
+// be compatible: non-aggregate items must appear in the new grouping).
+func (r *Registry) SetGrouping(id string, cols []string) error {
+	return r.mutate(id, EvChangeGrouping, strings.Join(cols, ","), func(sel *sql.SelectStmt) error {
+		sel.GroupBy = nil
+		for _, c := range cols {
+			e, err := sql.ParseExpr(c)
+			if err != nil {
+				return fmt.Errorf("bad group key %q: %w", c, err)
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+		}
+		return nil
+	})
+}
+
+// FormatTable renders a result table with a title header, the textual
+// "delivered report" form.
+func FormatTable(title string, t *relation.Table) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString(strings.Repeat("=", len(title)) + "\n")
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package sql
+
+import (
+	"strings"
+
+	"plabi/internal/relation"
+)
+
+// Statement is a parsed SQL statement: either *SelectStmt or
+// *CreateViewStmt.
+type Statement interface{ stmt() }
+
+// AggCall is an aggregate invocation in a select list or HAVING clause.
+type AggCall struct {
+	Kind     relation.AggKind
+	Arg      relation.Expr // nil for COUNT(*)
+	Distinct bool
+}
+
+// String renders the aggregate in SQL syntax.
+func (a *AggCall) String() string {
+	name := a.Kind.String()
+	if a.Kind == relation.AggCountDistinct {
+		name = "COUNT"
+	}
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct || a.Kind == relation.AggCountDistinct {
+		arg = "DISTINCT " + arg
+	}
+	return name + "(" + arg + ")"
+}
+
+// SelectItem is one output column of a SELECT: either a scalar expression
+// or an aggregate call, with an optional alias. Star is a bare "*".
+type SelectItem struct {
+	Star  bool
+	Expr  relation.Expr
+	Agg   *AggCall
+	Alias string
+}
+
+// OutName computes the item's output column name.
+func (it SelectItem) OutName() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg != nil {
+		return strings.ToLower(it.Agg.Kind.String())
+	}
+	if c, ok := it.Expr.(*relation.ColExpr); ok {
+		name := c.Name
+		if i := strings.LastIndexByte(name, '.'); i >= 0 {
+			name = name[i+1:]
+		}
+		return name
+	}
+	return it.Expr.String()
+}
+
+// TableRef is one relation in the FROM clause.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// EffName returns the alias if set, otherwise the table name.
+func (t TableRef) EffName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is one JOIN ... ON ... step following the first table.
+type JoinClause struct {
+	Kind  relation.JoinKind
+	Table TableRef
+	On    relation.Expr
+}
+
+// OrderItem is one ORDER BY term; the column is an output-column name.
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    relation.Expr
+	GroupBy  []relation.Expr
+	Having   relation.Expr // evaluated against the grouped output schema
+	OrderBy  []OrderItem
+	Limit    int // -1 means no limit
+}
+
+func (*SelectStmt) stmt() {}
+
+// HasAggregates reports whether any select item is an aggregate.
+func (s *SelectStmt) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Agg != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the statement back to SQL (canonical form, used in tests
+// and in PLA audit evidence).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteString("*")
+		case it.Agg != nil:
+			b.WriteString(it.Agg.String())
+		default:
+			b.WriteString(it.Expr.String())
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.From.Name)
+	if s.From.Alias != "" {
+		b.WriteString(" AS " + s.From.Alias)
+	}
+	for _, j := range s.Joins {
+		if j.Kind == relation.LeftJoin {
+			b.WriteString(" LEFT JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
+		b.WriteString(j.Table.Name)
+		if j.Table.Alias != "" {
+			b.WriteString(" AS " + j.Table.Alias)
+		}
+		b.WriteString(" ON " + j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Col)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(itoa(s.Limit))
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// CreateViewStmt is a parsed CREATE VIEW name AS SELECT ...
+type CreateViewStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}

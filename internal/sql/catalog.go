@@ -1,0 +1,143 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"plabi/internal/relation"
+)
+
+// Catalog is a thread-safe namespace of base tables and views against which
+// statements execute.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*relation.Table
+	views  map[string]*SelectStmt
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables: map[string]*relation.Table{},
+		views:  map[string]*SelectStmt{},
+	}
+}
+
+// Register adds or replaces a base table under its own name.
+func (c *Catalog) Register(t *relation.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(t.Name)] = t
+}
+
+// RegisterView adds or replaces a named view.
+func (c *Catalog) RegisterView(name string, sel *SelectStmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views[strings.ToLower(name)] = sel
+}
+
+// DropView removes a view if present.
+func (c *Catalog) DropView(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.views, strings.ToLower(name))
+}
+
+// Table returns the base table with the given name.
+func (c *Catalog) Table(name string) (*relation.Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// View returns the view definition with the given name.
+func (c *Catalog) View(name string) (*SelectStmt, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// TableNames returns the sorted base-table names.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ViewNames returns the sorted view names.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.views))
+	for n := range c.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolve returns the relation for a FROM-clause name: a base table
+// directly, or the materialization of a view. Views may reference other
+// views; cycles are detected.
+func (c *Catalog) resolve(name string, seen map[string]bool) (*relation.Table, error) {
+	key := strings.ToLower(name)
+	if t, ok := c.Table(key); ok {
+		return t, nil
+	}
+	if v, ok := c.View(key); ok {
+		if seen[key] {
+			return nil, fmt.Errorf("sql: view cycle through %q", name)
+		}
+		seen[key] = true
+		t, err := c.exec(v, seen)
+		if err != nil {
+			return nil, fmt.Errorf("sql: view %q: %w", name, err)
+		}
+		seen[key] = false
+		t.Name = key
+		return t, nil
+	}
+	return nil, fmt.Errorf("sql: unknown table or view %q", name)
+}
+
+// Exec executes a statement. SELECT returns its result table; CREATE VIEW
+// registers the view and returns nil.
+func (c *Catalog) Exec(stmt Statement) (*relation.Table, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return c.exec(s, map[string]bool{})
+	case *CreateViewStmt:
+		c.RegisterView(s.Name, s.Select)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+// Query parses and executes a SELECT, returning its result.
+func (c *Catalog) Query(src string) (*relation.Table, error) {
+	sel, err := ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.exec(sel, map[string]bool{})
+}
+
+// Run parses and executes any statement.
+func (c *Catalog) Run(src string) (*relation.Table, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Exec(stmt)
+}

@@ -1,0 +1,214 @@
+// Package sql implements a small SQL dialect over the relation engine:
+// SELECT (with joins, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT)
+// and CREATE VIEW, plus query analysis used elsewhere in the library:
+// structural profiles of queries (base tables, column origins, filter
+// conjuncts) and conjunctive-predicate implication, the machinery behind
+// the paper's intensional associations (§3), VPD-style query rewriting, and
+// meta-report containment checks (§5).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokOp    // operators and punctuation
+	tokParam // ? placeholders are not supported; reserved
+)
+
+// token is one lexical token with its position for error messages.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "JOIN": true,
+	"LEFT": true, "INNER": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "IS": true, "NULL": true, "LIKE": true,
+	"DISTINCT": true, "ASC": true, "DESC": true, "CREATE": true,
+	"VIEW": true, "TRUE": true, "FALSE": true, "DATE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"BETWEEN": true, "UNION": true, "ALL": true,
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning the token stream or a positioned error.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.lexNumber(), pos: start})
+		case isIdentStart(c):
+			word := l.lexIdent()
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c == '"':
+			// Quoted identifier.
+			word, err := l.lexQuotedIdent()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+		default:
+			op, err := l.lexOp()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string at %d", l.pos)
+}
+
+func (l *lexer) lexQuotedIdent() (string, error) {
+	l.pos++ // opening quote
+	start := l.pos
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '"' {
+			s := l.src[start:l.pos]
+			l.pos++
+			return s, nil
+		}
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	// Allow qualified names a.b as a single ident token when directly
+	// adjacent; simplifies the parser.
+	for l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isIdentStart(l.src[l.pos+1]) {
+		l.pos++ // '.'
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexOp() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "!=", "<=", ">=", "||":
+		l.pos += 2
+		if two == "!=" {
+			return "<>", nil
+		}
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '(', ')', ',', '+', '-', '*', '/', '%', '.':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

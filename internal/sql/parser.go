@@ -1,0 +1,664 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"plabi/internal/relation"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement (SELECT or CREATE VIEW).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	if p.peekKeyword("CREATE") {
+		stmt, err = p.parseCreateView()
+	} else {
+		stmt, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a SELECT statement.
+func ParseSelect(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected SELECT, got %T", stmt)
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone scalar/boolean expression — the form used
+// by PLA intensional conditions and association queries' predicates.
+func ParseExpr(src string) (relation.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after expression")
+	}
+	return e, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near position %d, token %q)",
+		fmt.Sprintf(format, args...), p.cur().pos, p.cur().text)
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.cur()
+	return t.kind == tokOp && t.text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	// DATE doubles as an ordinary identifier (the paper's own schema has
+	// a "date" column).
+	if t.kind == tokKeyword && t.text == "DATE" {
+		p.pos++
+		return "date", nil
+	}
+	return "", p.errf("expected identifier")
+}
+
+func (p *parser) parseCreateView() (*CreateViewStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateViewStmt{Name: name, Select: sel}, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = from
+
+	for {
+		var kind relation.JoinKind
+		switch {
+		case p.acceptKeyword("LEFT"):
+			kind = relation.LeftJoin
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("INNER"):
+			kind = relation.InnerJoin
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("JOIN"):
+			kind = relation.InnerJoin
+		default:
+			goto afterJoins
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, JoinClause{Kind: kind, Table: tr, On: on})
+	}
+afterJoins:
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, g)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		p.pos++
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		tr.Alias = p.cur().text
+		p.pos++
+	}
+	return tr, nil
+}
+
+var aggKeywords = map[string]relation.AggKind{
+	"COUNT": relation.AggCount,
+	"SUM":   relation.AggSum,
+	"AVG":   relation.AggAvg,
+	"MIN":   relation.AggMin,
+	"MAX":   relation.AggMax,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	var item SelectItem
+	// Aggregate call?
+	if t := p.cur(); t.kind == tokKeyword {
+		if kind, ok := aggKeywords[t.text]; ok && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "(" {
+			p.pos += 2 // keyword and '('
+			agg := &AggCall{Kind: kind}
+			if p.acceptOp("*") {
+				if kind != relation.AggCount {
+					return item, p.errf("%s(*) is not valid", t.text)
+				}
+			} else {
+				agg.Distinct = p.acceptKeyword("DISTINCT")
+				arg, err := p.parseOr()
+				if err != nil {
+					return item, err
+				}
+				agg.Arg = arg
+				if kind == relation.AggCount && agg.Distinct {
+					agg.Kind = relation.AggCountDistinct
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return item, err
+			}
+			item.Agg = agg
+			item.Alias = p.parseOptionalAlias()
+			return item, nil
+		}
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return item, err
+	}
+	item.Expr = e
+	item.Alias = p.parseOptionalAlias()
+	return item, nil
+}
+
+func (p *parser) parseOptionalAlias() string {
+	if p.acceptKeyword("AS") {
+		if a, err := p.expectIdent(); err == nil {
+			return a
+		}
+		return ""
+	}
+	if p.cur().kind == tokIdent {
+		// Bare alias only when the next token suggests end of item.
+		next := p.toks[p.pos+1]
+		if next.kind == tokEOF || (next.kind == tokOp && (next.text == "," || next.text == ")")) ||
+			next.kind == tokKeyword && (next.text == "FROM") {
+			a := p.cur().text
+			p.pos++
+			return a
+		}
+	}
+	return ""
+}
+
+// --- expression grammar ---
+
+func (p *parser) parseOr() (relation.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = relation.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (relation.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = relation.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (relation.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return relation.Not(e), nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]relation.BinOp{
+	"=": relation.OpEq, "<>": relation.OpNe, "<": relation.OpLt,
+	"<=": relation.OpLe, ">": relation.OpGt, ">=": relation.OpGe,
+}
+
+func (p *parser) parseComparison() (relation.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		if neg {
+			return relation.IsNotNull(l), nil
+		}
+		return relation.IsNull(l), nil
+	}
+	// [NOT] IN / [NOT] BETWEEN / [NOT] LIKE
+	negate := false
+	if p.peekKeyword("NOT") {
+		next := p.toks[p.pos+1]
+		if next.kind == tokKeyword && (next.text == "IN" || next.text == "BETWEEN" || next.text == "LIKE") {
+			p.pos++
+			negate = true
+		}
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []relation.Expr
+		for {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &relation.InExpr{E: l, List: list, Negate: negate}, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		between := relation.And(
+			relation.Bin(relation.OpGe, l, lo),
+			relation.Bin(relation.OpLe, l, hi))
+		if negate {
+			return relation.Not(between), nil
+		}
+		return between, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := relation.Bin(relation.OpLike, l, r)
+		if negate {
+			return relation.Not(like), nil
+		}
+		return like, nil
+	}
+	if t := p.cur(); t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return relation.Bin(op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (relation.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op relation.BinOp
+		switch {
+		case p.acceptOp("+"):
+			op = relation.OpAdd
+		case p.acceptOp("-"):
+			op = relation.OpSub
+		case p.acceptOp("||"):
+			op = relation.OpConcat
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = relation.Bin(op, l, r)
+	}
+}
+
+func (p *parser) parseMultiplicative() (relation.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op relation.BinOp
+		switch {
+		case p.acceptOp("*"):
+			op = relation.OpMul
+		case p.acceptOp("/"):
+			op = relation.OpDiv
+		case p.acceptOp("%"):
+			op = relation.OpMod
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = relation.Bin(op, l, r)
+	}
+}
+
+func (p *parser) parseUnary() (relation.Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return relation.Neg(e), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (relation.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return relation.Lit(relation.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return relation.Lit(relation.Int(i)), nil
+	case tokString:
+		p.pos++
+		return relation.Lit(relation.Str(t.text)), nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return relation.Lit(relation.Null()), nil
+		case "TRUE":
+			p.pos++
+			return relation.Lit(relation.Bool(true)), nil
+		case "FALSE":
+			p.pos++
+			return relation.Lit(relation.Bool(false)), nil
+		case "DATE":
+			p.pos++
+			lt := p.cur()
+			if lt.kind == tokString {
+				p.pos++
+				v, err := relation.ParseDate(lt.text)
+				if err != nil {
+					return nil, p.errf("bad DATE literal %q", lt.text)
+				}
+				return relation.Lit(v), nil
+			}
+			// DATE(expr) scalar function.
+			if p.acceptOp("(") {
+				arg, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return relation.Fn("DATE", arg), nil
+			}
+			// Otherwise DATE is a plain column named "date" (the paper's
+			// own Prescriptions schema uses it).
+			return relation.ColRefExpr("date"), nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			return nil, p.errf("aggregate %s not allowed in this context", t.text)
+		}
+		return nil, p.errf("unexpected keyword %s", t.text)
+	case tokIdent:
+		p.pos++
+		// Function call?
+		if p.peekOp("(") {
+			p.pos++
+			var args []relation.Expr
+			if !p.peekOp(")") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return relation.Fn(t.text, args...), nil
+		}
+		return relation.ColRefExpr(t.text), nil
+	case tokOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token")
+}

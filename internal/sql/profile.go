@@ -1,0 +1,561 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plabi/internal/relation"
+)
+
+// SimplePred is a filter conjunct of the form col OP literal (or col IN
+// (literals)), with the column resolved to its base-table origin. Simple
+// predicates are the unit of the implication reasoning used by VPD
+// rewriting and meta-report containment.
+type SimplePred struct {
+	Col  relation.ColRef
+	Op   relation.BinOp // OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike
+	Val  relation.Value
+	In   []relation.Value // non-nil for IN predicates (Op ignored)
+	NotP bool             // negated IN (NOT IN) or negated LIKE
+}
+
+// String renders the predicate.
+func (p SimplePred) String() string {
+	if p.In != nil {
+		parts := make([]string, len(p.In))
+		for i, v := range p.In {
+			parts[i] = v.String()
+		}
+		op := "IN"
+		if p.NotP {
+			op = "NOT IN"
+		}
+		return fmt.Sprintf("%s %s (%s)", p.Col, op, strings.Join(parts, ", "))
+	}
+	return fmt.Sprintf("%s %s %v", p.Col, p.Op, p.Val)
+}
+
+// JoinPair records that two base tables are joined by a query, in sorted
+// order — the unit of the paper's join permissions/prohibitions (§5 iv).
+type JoinPair struct {
+	A, B string
+}
+
+// NewJoinPair builds a normalized (sorted) pair.
+func NewJoinPair(a, b string) JoinPair {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if a > b {
+		a, b = b, a
+	}
+	return JoinPair{A: a, B: b}
+}
+
+// Profile is the structural summary of a SELECT used for policy analysis:
+// which base tables it reads, which base columns reach the output, which
+// filter conjuncts constrain it, which tables it joins, and how it
+// aggregates.
+type Profile struct {
+	BaseTables []string
+	OutputCols relation.ColRefSet
+	// OutputNames maps each output column name (lowercase) to its origins.
+	OutputNames map[string]relation.ColRefSet
+	Conjuncts   []SimplePred
+	// Opaque is set when the WHERE clause contained structure beyond a
+	// conjunction of simple predicates (ORs, NOT, expressions). Opaque
+	// filters cannot be used to *prove* containment but do not forbid it
+	// when the candidate's filters are a superset.
+	Opaque     bool
+	JoinPairs  []JoinPair
+	GroupKeys  relation.ColRefSet
+	Aggregated bool
+}
+
+// colEnv maps visible column names (qualified and unqualified, lowercase)
+// to base-column origins during profiling.
+type colEnv map[string]relation.ColRefSet
+
+// ProfileQuery computes the profile of a SELECT against the catalog.
+// Views in the FROM clause are profiled recursively; their filters and
+// joins fold into the outer profile.
+func ProfileQuery(c *Catalog, s *SelectStmt) (*Profile, error) {
+	return profileSelect(c, s, map[string]bool{})
+}
+
+// ProfileSQL parses and profiles a SELECT string.
+func ProfileSQL(c *Catalog, src string) (*Profile, error) {
+	sel, err := ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	return ProfileQuery(c, sel)
+}
+
+// profileRel profiles one FROM-clause name: a base table or a view.
+// It returns the environment of visible columns and the folded-in profile
+// contributions (tables, conjuncts, joins, opacity).
+func profileRel(c *Catalog, name string, seen map[string]bool) (colEnv, *Profile, error) {
+	key := strings.ToLower(name)
+	if t, ok := c.Table(key); ok {
+		env := colEnv{}
+		p := &Profile{}
+		if t.Base || t.ColOrigin == nil {
+			p.BaseTables = []string{key}
+			for _, col := range t.Schema.Columns {
+				cn := strings.ToLower(col.Name)
+				env[cn] = relation.ColRefSet{{Table: key, Column: cn}}
+			}
+		} else {
+			// A registered *derived* table (e.g. an ETL staging output)
+			// carries its own column origins: profile through to the true
+			// base tables so PLAs scoped to the sources keep applying.
+			p.BaseTables = t.BaseTables()
+			for i, col := range t.Schema.Columns {
+				cn := strings.ToLower(col.Name)
+				env[cn] = t.ColumnOrigin(i)
+			}
+		}
+		return env, p, nil
+	}
+	if v, ok := c.View(key); ok {
+		if seen[key] {
+			return nil, nil, fmt.Errorf("sql: view cycle through %q", name)
+		}
+		seen[key] = true
+		vp, err := profileSelect(c, v, seen)
+		seen[key] = false
+		if err != nil {
+			return nil, nil, err
+		}
+		env := colEnv{}
+		for n, refs := range vp.OutputNames {
+			env[n] = refs
+		}
+		return env, vp, nil
+	}
+	return nil, nil, fmt.Errorf("sql: unknown table or view %q", name)
+}
+
+func profileSelect(c *Catalog, s *SelectStmt, seen map[string]bool) (*Profile, error) {
+	p := &Profile{OutputNames: map[string]relation.ColRefSet{}}
+	env := colEnv{}
+	ambiguous := map[string]bool{}
+
+	addRel := func(tr TableRef) error {
+		relEnv, sub, err := profileRel(c, tr.Name, seen)
+		if err != nil {
+			return err
+		}
+		alias := strings.ToLower(tr.EffName())
+		for n, refs := range relEnv {
+			env[alias+"."+n] = refs
+			if _, dup := env[n]; dup {
+				ambiguous[n] = true
+			} else {
+				env[n] = refs
+			}
+		}
+		p.BaseTables = append(p.BaseTables, sub.BaseTables...)
+		p.Conjuncts = append(p.Conjuncts, sub.Conjuncts...)
+		p.JoinPairs = append(p.JoinPairs, sub.JoinPairs...)
+		if sub.Opaque {
+			p.Opaque = true
+		}
+		if sub.Aggregated {
+			// An aggregated view makes fine-grained filter reasoning on
+			// the outer query unsound; mark opaque.
+			p.Opaque = true
+		}
+		return nil
+	}
+
+	if err := addRel(s.From); err != nil {
+		return nil, err
+	}
+	for _, j := range s.Joins {
+		if err := addRel(j.Table); err != nil {
+			return nil, err
+		}
+		profilePredicate(j.On, env, ambiguous, p)
+	}
+	if s.Where != nil {
+		profilePredicate(s.Where, env, ambiguous, p)
+	}
+
+	resolve := func(name string) (relation.ColRefSet, bool) {
+		n := strings.ToLower(name)
+		if !strings.ContainsRune(n, '.') && ambiguous[n] {
+			return nil, false
+		}
+		refs, ok := env[n]
+		return refs, ok
+	}
+
+	originsOf := func(e relation.Expr) relation.ColRefSet {
+		var out relation.ColRefSet
+		for _, ref := range relation.ColumnsOf(e) {
+			if refs, ok := resolve(ref); ok {
+				out = out.Union(refs)
+			}
+		}
+		return out
+	}
+
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			for n, refs := range env {
+				if strings.ContainsRune(n, '.') || ambiguous[n] {
+					continue
+				}
+				p.OutputNames[n] = refs
+				p.OutputCols = p.OutputCols.Union(refs)
+			}
+		case it.Agg != nil:
+			var refs relation.ColRefSet
+			if it.Agg.Arg != nil {
+				refs = originsOf(it.Agg.Arg)
+			}
+			p.OutputNames[strings.ToLower(it.OutName())] = refs
+			p.OutputCols = p.OutputCols.Union(refs)
+		default:
+			refs := originsOf(it.Expr)
+			p.OutputNames[strings.ToLower(it.OutName())] = refs
+			p.OutputCols = p.OutputCols.Union(refs)
+		}
+	}
+
+	if len(s.GroupBy) > 0 || s.HasAggregates() {
+		p.Aggregated = true
+		for _, g := range s.GroupBy {
+			p.GroupKeys = p.GroupKeys.Union(originsOf(g))
+		}
+	}
+	if s.Having != nil {
+		p.Opaque = true
+	}
+
+	sort.Strings(p.BaseTables)
+	p.BaseTables = dedupeStrings(p.BaseTables)
+	p.JoinPairs = dedupeJoinPairs(p.JoinPairs)
+	return p, nil
+}
+
+// profilePredicate decomposes a boolean expression into simple conjuncts,
+// join pairs, and an opacity flag, folding results into p.
+func profilePredicate(e relation.Expr, env colEnv, ambiguous map[string]bool, p *Profile) {
+	resolveSingle := func(name string) (relation.ColRef, bool) {
+		n := strings.ToLower(name)
+		if !strings.ContainsRune(n, '.') && ambiguous[n] {
+			return relation.ColRef{}, false
+		}
+		refs, ok := env[n]
+		if !ok || len(refs) != 1 {
+			return relation.ColRef{}, false
+		}
+		return refs[0], true
+	}
+
+	var walk func(e relation.Expr)
+	walk = func(e relation.Expr) {
+		switch ex := e.(type) {
+		case *relation.BinExpr:
+			if ex.Op == relation.OpAnd {
+				walk(ex.L)
+				walk(ex.R)
+				return
+			}
+			// col OP literal?
+			if ce, ok := ex.L.(*relation.ColExpr); ok {
+				if le, ok := ex.R.(*relation.LitExpr); ok {
+					if ref, ok := resolveSingle(ce.Name); ok && isSimpleCmp(ex.Op) {
+						p.Conjuncts = append(p.Conjuncts, SimplePred{Col: ref, Op: ex.Op, Val: le.V})
+						return
+					}
+				}
+				// col = col join?
+				if ce2, ok := ex.R.(*relation.ColExpr); ok && ex.Op == relation.OpEq {
+					r1, ok1 := resolveSingle(ce.Name)
+					r2, ok2 := resolveSingle(ce2.Name)
+					if ok1 && ok2 && r1.Table != r2.Table {
+						p.JoinPairs = append(p.JoinPairs, NewJoinPair(r1.Table, r2.Table))
+						return
+					}
+				}
+			}
+			// literal OP col (flip).
+			if le, ok := ex.L.(*relation.LitExpr); ok {
+				if ce, ok := ex.R.(*relation.ColExpr); ok {
+					if ref, ok := resolveSingle(ce.Name); ok && isSimpleCmp(ex.Op) {
+						p.Conjuncts = append(p.Conjuncts, SimplePred{Col: ref, Op: flipCmp(ex.Op), Val: le.V})
+						return
+					}
+				}
+			}
+			p.Opaque = true
+		case *relation.InExpr:
+			if ce, ok := ex.E.(*relation.ColExpr); ok {
+				if ref, ok := resolveSingle(ce.Name); ok {
+					var vals []relation.Value
+					for _, le := range ex.List {
+						lit, isLit := le.(*relation.LitExpr)
+						if !isLit {
+							p.Opaque = true
+							return
+						}
+						vals = append(vals, lit.V)
+					}
+					p.Conjuncts = append(p.Conjuncts, SimplePred{Col: ref, In: vals, NotP: ex.Negate})
+					return
+				}
+			}
+			p.Opaque = true
+		default:
+			p.Opaque = true
+		}
+	}
+	walk(e)
+}
+
+func isSimpleCmp(op relation.BinOp) bool {
+	switch op {
+	case relation.OpEq, relation.OpNe, relation.OpLt, relation.OpLe,
+		relation.OpGt, relation.OpGe, relation.OpLike:
+		return true
+	}
+	return false
+}
+
+func flipCmp(op relation.BinOp) relation.BinOp {
+	switch op {
+	case relation.OpLt:
+		return relation.OpGt
+	case relation.OpLe:
+		return relation.OpGe
+	case relation.OpGt:
+		return relation.OpLt
+	case relation.OpGe:
+		return relation.OpLe
+	default:
+		return op
+	}
+}
+
+func dedupeStrings(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func dedupeJoinPairs(in []JoinPair) []JoinPair {
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].A != in[j].A {
+			return in[i].A < in[j].A
+		}
+		return in[i].B < in[j].B
+	})
+	out := in[:0]
+	for i, p := range in {
+		if i == 0 || p != in[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Implies reports whether predicate r logically implies predicate m.
+// Both must constrain the same base column; sound but incomplete (false
+// negatives possible, never false positives).
+func Implies(r, m SimplePred) bool {
+	if r.Col != m.Col {
+		return false
+	}
+	// IN-set reasoning.
+	if m.In != nil && !m.NotP {
+		if r.In != nil && !r.NotP {
+			return valueSubset(r.In, m.In)
+		}
+		if r.In == nil && r.Op == relation.OpEq {
+			return valueIn(r.Val, m.In)
+		}
+		return false
+	}
+	if m.In != nil && m.NotP {
+		// r implies "col NOT IN S" when r pins col to values disjoint
+		// from S.
+		if r.In == nil && r.Op == relation.OpEq {
+			return !valueIn(r.Val, m.In)
+		}
+		if r.In != nil && !r.NotP {
+			for _, v := range r.In {
+				if valueIn(v, m.In) {
+					return false
+				}
+			}
+			return true
+		}
+		if r.In != nil && r.NotP {
+			return valueSubset(m.In, r.In)
+		}
+		return false
+	}
+	if r.In != nil {
+		// r is an IN; m is a comparison: every member of r's set must
+		// satisfy m.
+		if r.NotP {
+			return false
+		}
+		for _, v := range r.In {
+			if !satisfies(v, m) {
+				return false
+			}
+		}
+		return true
+	}
+	// Comparison vs comparison.
+	switch m.Op {
+	case relation.OpLike:
+		if r.Op == relation.OpLike {
+			return r.Val.Equal(m.Val)
+		}
+		if r.Op == relation.OpEq {
+			return satisfies(r.Val, m)
+		}
+		return false
+	case relation.OpNe:
+		if r.Op == relation.OpNe {
+			return r.Val.Equal(m.Val)
+		}
+		if r.Op == relation.OpEq {
+			return !r.Val.Equal(m.Val)
+		}
+		// Interval-based: r strictly excludes m.Val.
+		return intervalExcludes(r, m.Val)
+	case relation.OpEq:
+		return r.Op == relation.OpEq && r.Val.Equal(m.Val)
+	default:
+		// m is an interval constraint; r must confine col within it.
+		if r.Op == relation.OpEq {
+			return satisfies(r.Val, m)
+		}
+		return intervalImplies(r, m)
+	}
+}
+
+// satisfies reports whether a concrete value satisfies a simple predicate.
+func satisfies(v relation.Value, p SimplePred) bool {
+	if p.In != nil {
+		in := valueIn(v, p.In)
+		return in != p.NotP
+	}
+	c, ok := v.Compare(p.Val)
+	if !ok {
+		if p.Op == relation.OpLike && v.Kind == relation.TString && p.Val.Kind == relation.TString {
+			e := relation.Bin(relation.OpLike, relation.Lit(v), relation.Lit(p.Val))
+			res, err := e.Eval(nil, relation.NewSchema())
+			return err == nil && res.Kind == relation.TBool && res.B
+		}
+		return false
+	}
+	switch p.Op {
+	case relation.OpEq:
+		return c == 0
+	case relation.OpNe:
+		return c != 0
+	case relation.OpLt:
+		return c < 0
+	case relation.OpLe:
+		return c <= 0
+	case relation.OpGt:
+		return c > 0
+	case relation.OpGe:
+		return c >= 0
+	case relation.OpLike:
+		if v.Kind == relation.TString && p.Val.Kind == relation.TString {
+			e := relation.Bin(relation.OpLike, relation.Lit(v), relation.Lit(p.Val))
+			res, err := e.Eval(nil, relation.NewSchema())
+			return err == nil && res.Kind == relation.TBool && res.B
+		}
+		return false
+	}
+	return false
+}
+
+// intervalImplies: r and m are both order comparisons on the same column;
+// does r's admissible interval lie within m's?
+func intervalImplies(r, m SimplePred) bool {
+	c, ok := r.Val.Compare(m.Val)
+	if !ok {
+		return false
+	}
+	switch m.Op {
+	case relation.OpLt:
+		return (r.Op == relation.OpLt && c <= 0) || (r.Op == relation.OpLe && c < 0)
+	case relation.OpLe:
+		return (r.Op == relation.OpLt || r.Op == relation.OpLe) && c <= 0
+	case relation.OpGt:
+		return (r.Op == relation.OpGt && c >= 0) || (r.Op == relation.OpGe && c > 0)
+	case relation.OpGe:
+		return (r.Op == relation.OpGt || r.Op == relation.OpGe) && c >= 0
+	}
+	return false
+}
+
+// intervalExcludes reports whether comparison r makes value v impossible.
+func intervalExcludes(r SimplePred, v relation.Value) bool {
+	c, ok := v.Compare(r.Val)
+	if !ok {
+		return false
+	}
+	switch r.Op {
+	case relation.OpLt:
+		return c >= 0
+	case relation.OpLe:
+		return c > 0
+	case relation.OpGt:
+		return c <= 0
+	case relation.OpGe:
+		return c < 0
+	}
+	return false
+}
+
+func valueIn(v relation.Value, set []relation.Value) bool {
+	for _, s := range set {
+		if v.Equal(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func valueSubset(a, b []relation.Value) bool {
+	for _, v := range a {
+		if !valueIn(v, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConjunctionImplies reports whether the conjunction rs implies the
+// conjunction ms: every m must be implied by at least one r.
+func ConjunctionImplies(rs, ms []SimplePred) bool {
+	for _, m := range ms {
+		ok := false
+		for _, r := range rs {
+			if Implies(r, m) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

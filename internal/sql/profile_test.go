@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"testing"
+
+	"plabi/internal/relation"
+)
+
+func mustProfile(t *testing.T, c *Catalog, q string) *Profile {
+	t.Helper()
+	p, err := ProfileSQL(c, q)
+	if err != nil {
+		t.Fatalf("ProfileSQL(%q): %v", q, err)
+	}
+	return p
+}
+
+func TestProfileBasics(t *testing.T) {
+	c := testCatalog()
+	p := mustProfile(t, c, "SELECT patient, drug FROM prescriptions WHERE disease = 'HIV'")
+	if len(p.BaseTables) != 1 || p.BaseTables[0] != "prescriptions" {
+		t.Errorf("tables = %v", p.BaseTables)
+	}
+	if !p.OutputCols.Contains(relation.ColRef{Table: "prescriptions", Column: "patient"}) {
+		t.Errorf("outputs = %v", p.OutputCols)
+	}
+	if p.OutputCols.Contains(relation.ColRef{Table: "prescriptions", Column: "disease"}) {
+		t.Error("disease should not be an output")
+	}
+	if len(p.Conjuncts) != 1 || p.Conjuncts[0].Col.Column != "disease" || p.Conjuncts[0].Val.S != "HIV" {
+		t.Errorf("conjuncts = %v", p.Conjuncts)
+	}
+	if p.Opaque || p.Aggregated {
+		t.Error("should be transparent and non-aggregated")
+	}
+}
+
+func TestProfileJoinPairs(t *testing.T) {
+	c := testCatalog()
+	p := mustProfile(t, c, `SELECT p.patient, d.cost FROM prescriptions p
+		JOIN drugcost d ON p.drug = d.drug`)
+	if len(p.JoinPairs) != 1 || p.JoinPairs[0] != NewJoinPair("prescriptions", "drugcost") {
+		t.Errorf("joins = %v", p.JoinPairs)
+	}
+	if len(p.BaseTables) != 2 {
+		t.Errorf("tables = %v", p.BaseTables)
+	}
+}
+
+func TestProfileAggregation(t *testing.T) {
+	c := testCatalog()
+	p := mustProfile(t, c, "SELECT drug, COUNT(*) AS n FROM prescriptions GROUP BY drug")
+	if !p.Aggregated {
+		t.Error("should be aggregated")
+	}
+	if !p.GroupKeys.Contains(relation.ColRef{Table: "prescriptions", Column: "drug"}) {
+		t.Errorf("group keys = %v", p.GroupKeys)
+	}
+}
+
+func TestProfileOpacity(t *testing.T) {
+	c := testCatalog()
+	p := mustProfile(t, c, "SELECT patient FROM prescriptions WHERE disease = 'HIV' OR disease = 'asthma'")
+	if !p.Opaque {
+		t.Error("OR should be opaque")
+	}
+	p = mustProfile(t, c, "SELECT patient FROM prescriptions WHERE disease IN ('HIV', 'asthma')")
+	if p.Opaque {
+		t.Error("IN should be transparent")
+	}
+	if p.Conjuncts[0].In == nil || len(p.Conjuncts[0].In) != 2 {
+		t.Errorf("conjuncts = %v", p.Conjuncts)
+	}
+}
+
+func TestProfileThroughView(t *testing.T) {
+	c := testCatalog()
+	if _, err := c.Run(`CREATE VIEW recent AS SELECT patient, drug, disease FROM prescriptions WHERE date >= DATE '2007-06-01'`); err != nil {
+		t.Fatal(err)
+	}
+	p := mustProfile(t, c, "SELECT patient FROM recent WHERE disease = 'asthma'")
+	if len(p.BaseTables) != 1 || p.BaseTables[0] != "prescriptions" {
+		t.Errorf("tables = %v", p.BaseTables)
+	}
+	// Both the view's filter and the outer filter must be visible.
+	if len(p.Conjuncts) != 2 {
+		t.Errorf("conjuncts = %v", p.Conjuncts)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	col := relation.ColRef{Table: "t", Column: "x"}
+	eq := func(v relation.Value) SimplePred { return SimplePred{Col: col, Op: relation.OpEq, Val: v} }
+	cmp := func(op relation.BinOp, v relation.Value) SimplePred {
+		return SimplePred{Col: col, Op: op, Val: v}
+	}
+	in := func(vals ...relation.Value) SimplePred { return SimplePred{Col: col, In: vals} }
+	notin := func(vals ...relation.Value) SimplePred { return SimplePred{Col: col, In: vals, NotP: true} }
+
+	cases := []struct {
+		r, m SimplePred
+		want bool
+	}{
+		{eq(relation.Int(5)), eq(relation.Int(5)), true},
+		{eq(relation.Int(5)), eq(relation.Int(6)), false},
+		{eq(relation.Int(5)), cmp(relation.OpGt, relation.Int(3)), true},
+		{eq(relation.Int(5)), cmp(relation.OpGt, relation.Int(5)), false},
+		{cmp(relation.OpGt, relation.Int(5)), cmp(relation.OpGt, relation.Int(3)), true},
+		{cmp(relation.OpGt, relation.Int(3)), cmp(relation.OpGt, relation.Int(5)), false},
+		{cmp(relation.OpGe, relation.Int(5)), cmp(relation.OpGt, relation.Int(3)), true},
+		{cmp(relation.OpGe, relation.Int(4)), cmp(relation.OpGe, relation.Int(4)), true},
+		{cmp(relation.OpLt, relation.Int(3)), cmp(relation.OpLe, relation.Int(3)), true},
+		{cmp(relation.OpLe, relation.Int(3)), cmp(relation.OpLt, relation.Int(3)), false},
+		{eq(relation.Str("HIV")), in(relation.Str("HIV"), relation.Str("flu")), true},
+		{eq(relation.Str("x")), in(relation.Str("HIV")), false},
+		{in(relation.Str("a")), in(relation.Str("a"), relation.Str("b")), true},
+		{in(relation.Str("a"), relation.Str("c")), in(relation.Str("a"), relation.Str("b")), false},
+		{eq(relation.Str("flu")), notin(relation.Str("HIV")), true},
+		{eq(relation.Str("HIV")), notin(relation.Str("HIV")), false},
+		{notin(relation.Str("HIV"), relation.Str("flu")), notin(relation.Str("HIV")), true},
+		{notin(relation.Str("flu")), notin(relation.Str("HIV")), false},
+		{eq(relation.Int(5)), cmp(relation.OpNe, relation.Int(6)), true},
+		{eq(relation.Int(5)), cmp(relation.OpNe, relation.Int(5)), false},
+		{cmp(relation.OpGt, relation.Int(5)), cmp(relation.OpNe, relation.Int(3)), true},
+		{cmp(relation.OpNe, relation.Int(3)), cmp(relation.OpNe, relation.Int(3)), true},
+		{in(relation.Int(4), relation.Int(5)), cmp(relation.OpGt, relation.Int(3)), true},
+		{in(relation.Int(2), relation.Int(5)), cmp(relation.OpGt, relation.Int(3)), false},
+		{eq(relation.Str("Alice")), SimplePred{Col: col, Op: relation.OpLike, Val: relation.Str("A%")}, true},
+		{eq(relation.Str("Bob")), SimplePred{Col: col, Op: relation.OpLike, Val: relation.Str("A%")}, false},
+		// Different columns never imply each other.
+		{SimplePred{Col: relation.ColRef{Table: "t", Column: "y"}, Op: relation.OpEq, Val: relation.Int(5)}, eq(relation.Int(5)), false},
+	}
+	for _, cse := range cases {
+		if got := Implies(cse.r, cse.m); got != cse.want {
+			t.Errorf("Implies(%v, %v) = %v, want %v", cse.r, cse.m, got, cse.want)
+		}
+	}
+}
+
+func TestConjunctionImplies(t *testing.T) {
+	col := func(c string) relation.ColRef { return relation.ColRef{Table: "t", Column: c} }
+	rs := []SimplePred{
+		{Col: col("x"), Op: relation.OpEq, Val: relation.Int(5)},
+		{Col: col("y"), Op: relation.OpGt, Val: relation.Int(10)},
+	}
+	ms := []SimplePred{{Col: col("x"), Op: relation.OpGt, Val: relation.Int(0)}}
+	if !ConjunctionImplies(rs, ms) {
+		t.Error("x=5 AND y>10 should imply x>0")
+	}
+	ms2 := []SimplePred{{Col: col("z"), Op: relation.OpGt, Val: relation.Int(0)}}
+	if ConjunctionImplies(rs, ms2) {
+		t.Error("no information about z")
+	}
+	if !ConjunctionImplies(rs, nil) {
+		t.Error("anything implies the empty conjunction")
+	}
+}
+
+func TestProfileAmbiguousColumnSkipped(t *testing.T) {
+	c := testCatalog()
+	// "drug" exists in both tables; unqualified output falls back to
+	// qualified-only resolution and must not panic.
+	p := mustProfile(t, c, `SELECT p.drug FROM prescriptions p JOIN drugcost d ON p.drug = d.drug`)
+	if !p.OutputCols.Contains(relation.ColRef{Table: "prescriptions", Column: "drug"}) {
+		t.Errorf("outputs = %v", p.OutputCols)
+	}
+}

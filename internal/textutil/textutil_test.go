@@ -1,0 +1,138 @@
+package textutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"  Alice   Rossi ": "alice rossi",
+		"ALICE":            "alice",
+		"":                 "",
+		"a  b\tc":          "a b c",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStripDiacriticsASCII(t *testing.T) {
+	if got := StripDiacriticsASCII("Rossi-Verdi 3"); got != "rossiverdi 3" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"alice", "alice", 0},
+		{"alice", "alcie", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 15 {
+			a = a[:15]
+		}
+		if len(b) > 15 {
+			b = b[:15]
+		}
+		if len(c) > 15 {
+			c = c[:15]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaro(t *testing.T) {
+	if Jaro("", "") != 1 {
+		t.Error("empty strings should have similarity 1")
+	}
+	if Jaro("abc", "") != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+	if Jaro("abc", "abc") != 1 {
+		t.Error("identical should be 1")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Error("disjoint should be 0")
+	}
+	// Classic example: MARTHA vs MARHTA ≈ 0.944.
+	got := Jaro("martha", "marhta")
+	if got < 0.94 || got > 0.95 {
+		t.Errorf("Jaro(martha, marhta) = %f", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	// Winkler boosts shared prefixes.
+	if JaroWinkler("martha", "marhta") <= Jaro("martha", "marhta") {
+		t.Error("Winkler should boost prefix matches")
+	}
+	got := JaroWinkler("martha", "marhta")
+	if got < 0.96 || got > 0.97 { // canonical 0.961
+		t.Errorf("JaroWinkler(martha, marhta) = %f", got)
+	}
+}
+
+func TestJaroWinklerBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilar(t *testing.T) {
+	if !Similar("Alice Rossi", "alice  rossi", 0.9) {
+		t.Error("normalized-equal names must match")
+	}
+	if !Similar("Alice Rossi", "Alice Rosi", 0.9) {
+		t.Error("near-duplicate must match at 0.9")
+	}
+	if Similar("Alice Rossi", "Bruno Verdi", 0.9) {
+		t.Error("different names must not match")
+	}
+}

@@ -1,0 +1,176 @@
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/relation"
+)
+
+// CubeQuery is one OLAP aggregation over a star: group by dimension
+// attributes, optionally slice with a predicate over dimension attributes
+// and measures, and aggregate the measures.
+type CubeQuery struct {
+	// GroupBy lists dimension attributes (hierarchy levels) to group by.
+	GroupBy []string
+	// Slice optionally filters the joined fact rows (dice when it
+	// constrains several dimensions).
+	Slice relation.Expr
+	// Aggs are the measure aggregations.
+	Aggs []relation.AggSpec
+}
+
+// Query evaluates a cube query: the fact table is joined with every
+// dimension the query touches, sliced, grouped and aggregated. The result
+// carries lineage to the source rows, so report-level aggregation
+// thresholds remain checkable downstream.
+func (s *Star) Query(q CubeQuery) (*relation.Table, error) {
+	needed := map[string]bool{}
+	addAttr := func(attr string) error {
+		if s.Fact.Schema.HasColumn(attr) {
+			return nil // measure or key already in the fact table
+		}
+		d, ok := s.DimForAttr(attr)
+		if !ok {
+			return fmt.Errorf("warehouse: attribute %q not found in star %s", attr, s.Name)
+		}
+		needed[strings.ToLower(d.Name)] = true
+		return nil
+	}
+	for _, g := range q.GroupBy {
+		if err := addAttr(g); err != nil {
+			return nil, err
+		}
+	}
+	if q.Slice != nil {
+		for _, ref := range relation.ColumnsOf(q.Slice) {
+			if err := addAttr(ref); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cur := s.Fact
+	for _, d := range s.Dims {
+		if !needed[strings.ToLower(d.Name)] {
+			continue
+		}
+		joined, err := relation.Join(cur, relation.Rename(d.Table, d.Name),
+			relation.Eq(relation.ColRefExpr(d.Key), relation.ColRefExpr(d.Name+"."+d.Key)),
+			relation.InnerJoin)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+	}
+	if q.Slice != nil {
+		sel, err := relation.Select(cur, q.Slice)
+		if err != nil {
+			return nil, err
+		}
+		cur = sel
+	}
+	out, err := relation.GroupBy(cur, q.GroupBy, q.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	out, err = relation.Sort(out, sortKeysFor(q.GroupBy)...)
+	if err != nil {
+		return nil, err
+	}
+	out.Name = "cube_" + s.Name
+	return out, nil
+}
+
+func sortKeysFor(groupBy []string) []relation.SortKey {
+	keys := make([]relation.SortKey, len(groupBy))
+	for i, g := range groupBy {
+		// Group output columns are unqualified.
+		name := g
+		if j := strings.LastIndexByte(g, '.'); j >= 0 {
+			name = g[j+1:]
+		}
+		keys[i] = relation.SortKey{Col: name}
+	}
+	return keys
+}
+
+// RollUp re-runs q with the given attribute replaced by the next coarser
+// level of its dimension (e.g. month -> quarter).
+func (s *Star) RollUp(q CubeQuery, attr string) (CubeQuery, error) {
+	return s.shiftLevel(q, attr, +1)
+}
+
+// DrillDown re-runs q with the given attribute replaced by the next finer
+// level of its dimension (e.g. quarter -> month).
+func (s *Star) DrillDown(q CubeQuery, attr string) (CubeQuery, error) {
+	return s.shiftLevel(q, attr, -1)
+}
+
+func (s *Star) shiftLevel(q CubeQuery, attr string, delta int) (CubeQuery, error) {
+	d, ok := s.DimForAttr(attr)
+	if !ok {
+		return q, fmt.Errorf("warehouse: attribute %q not in any dimension", attr)
+	}
+	li := d.LevelIndex(attr)
+	if li < 0 {
+		return q, fmt.Errorf("warehouse: attribute %q is not a hierarchy level of %s", attr, d.Name)
+	}
+	ni := li + delta
+	if ni < 0 || ni >= len(d.Levels) {
+		return q, fmt.Errorf("warehouse: no level %+d from %q in dimension %s", delta, attr, d.Name)
+	}
+	out := q
+	out.GroupBy = append([]string(nil), q.GroupBy...)
+	replaced := false
+	for i, g := range out.GroupBy {
+		if strings.EqualFold(g, attr) {
+			out.GroupBy[i] = d.Levels[ni]
+			replaced = true
+		}
+	}
+	if !replaced {
+		return q, fmt.Errorf("warehouse: attribute %q not in the query's GROUP BY", attr)
+	}
+	return out, nil
+}
+
+// MaterializedView is a cached cube-query result refreshed on demand —
+// the aggregate tables a production warehouse would maintain.
+type MaterializedView struct {
+	Name   string
+	Query  CubeQuery
+	star   *Star
+	result *relation.Table
+	stale  bool
+}
+
+// NewMaterializedView registers a view over the star (initially stale).
+func NewMaterializedView(name string, s *Star, q CubeQuery) *MaterializedView {
+	return &MaterializedView{Name: name, Query: q, star: s, stale: true}
+}
+
+// Refresh recomputes the view.
+func (v *MaterializedView) Refresh() error {
+	res, err := v.star.Query(v.Query)
+	if err != nil {
+		return err
+	}
+	res.Name = v.Name
+	v.result = res
+	v.stale = false
+	return nil
+}
+
+// Result returns the current contents, refreshing when stale.
+func (v *MaterializedView) Result() (*relation.Table, error) {
+	if v.stale || v.result == nil {
+		if err := v.Refresh(); err != nil {
+			return nil, err
+		}
+	}
+	return v.result, nil
+}
+
+// Invalidate marks the view stale (call after fact loads).
+func (v *MaterializedView) Invalidate() { v.stale = true }

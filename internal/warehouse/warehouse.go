@@ -1,0 +1,247 @@
+// Package warehouse implements the data-warehouse substrate of the BI
+// pipeline (§4): star schemas with surrogate-keyed dimensions and
+// hierarchy levels, fact tables carrying full lineage back to the source
+// rows, OLAP aggregation with rollup/drill-down/slice/dice, and
+// materialized aggregate views.
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plabi/internal/relation"
+)
+
+// Dimension is one star-schema dimension: a surrogate-keyed table of
+// distinct members with attribute columns ordered from fine to coarse
+// (the rollup hierarchy).
+type Dimension struct {
+	Name string
+	// Table holds the members: Key + NaturalKey + Levels columns.
+	Table *relation.Table
+	// Key is the surrogate key column ("<name>_key").
+	Key string
+	// NaturalKey is the source column the dimension was built from.
+	NaturalKey string
+	// Levels are attribute columns ordered fine -> coarse for rollup.
+	Levels []string
+}
+
+// LevelIndex returns the position of an attribute in the hierarchy, or -1.
+func (d *Dimension) LevelIndex(attr string) int {
+	for i, l := range d.Levels {
+		if strings.EqualFold(l, attr) {
+			return i
+		}
+	}
+	return -1
+}
+
+// BuildDimension creates a dimension from the distinct values of
+// naturalKey in src, carrying the given attribute columns (functionally
+// dependent on the natural key; the first value wins on conflicts).
+// Levels defaults to [naturalKey] when attrs is empty.
+func BuildDimension(name string, src *relation.Table, naturalKey string, attrs []string) (*Dimension, error) {
+	cols := append([]string{naturalKey}, attrs...)
+	proj, err := relation.ProjectCols(src, cols...)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: dimension %s: %w", name, err)
+	}
+	// Distinct on the natural key only: keep first row per member.
+	ki := proj.Schema.Index(naturalKey)
+	seen := map[string]bool{}
+	dedup := &relation.Table{Name: "dim_" + name, Schema: proj.Schema.Clone()}
+	dedup.ColOrigin = make([]relation.ColRefSet, proj.Schema.Len())
+	for c := range dedup.ColOrigin {
+		dedup.ColOrigin[c] = proj.ColumnOrigin(c)
+	}
+	for i, r := range proj.Rows {
+		k := r[ki].Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dedup.Rows = append(dedup.Rows, r)
+		dedup.Lineage = append(dedup.Lineage, proj.RowLineage(i))
+	}
+	// Deterministic member order.
+	sorted, err := relation.Sort(dedup, relation.SortKey{Col: naturalKey})
+	if err != nil {
+		return nil, err
+	}
+	keyCol := name + "_key"
+	withKey := &relation.Table{Name: "dim_" + name}
+	withKey.Schema = &relation.Schema{Columns: append(
+		[]relation.Column{{Name: keyCol, Type: relation.TInt}},
+		sorted.Schema.Columns...)}
+	withKey.ColOrigin = make([]relation.ColRefSet, 0, withKey.Schema.Len())
+	withKey.ColOrigin = append(withKey.ColOrigin, nil) // synthetic key
+	for c := range sorted.Schema.Columns {
+		withKey.ColOrigin = append(withKey.ColOrigin, sorted.ColumnOrigin(c))
+	}
+	for i, r := range sorted.Rows {
+		nr := make(relation.Row, 0, len(r)+1)
+		nr = append(nr, relation.Int(int64(i+1)))
+		nr = append(nr, r...)
+		withKey.Rows = append(withKey.Rows, nr)
+		withKey.Lineage = append(withKey.Lineage, sorted.RowLineage(i))
+	}
+	levels := attrs
+	if len(levels) == 0 {
+		levels = []string{naturalKey}
+	}
+	return &Dimension{
+		Name: name, Table: withKey, Key: keyCol,
+		NaturalKey: naturalKey, Levels: append([]string{naturalKey}, attrs...),
+	}, nil
+}
+
+// BuildDateDimension creates a date dimension with the standard hierarchy
+// date -> month -> quarter -> year from the distinct dates of src.
+func BuildDateDimension(name string, src *relation.Table, dateCol string) (*Dimension, error) {
+	ext, err := relation.Project(src,
+		relation.P(dateCol),
+		relation.PAs(relation.Bin(relation.OpConcat,
+			relation.Fn("CAST_STRING", relation.Fn("YEAR", relation.ColRefExpr(dateCol))),
+			relation.Bin(relation.OpConcat, relation.Lit(relation.Str("-")),
+				relation.Fn("CAST_STRING", relation.Fn("MONTH", relation.ColRefExpr(dateCol))))), "month"),
+		relation.PAs(relation.Bin(relation.OpConcat,
+			relation.Fn("CAST_STRING", relation.Fn("YEAR", relation.ColRefExpr(dateCol))),
+			relation.Bin(relation.OpConcat, relation.Lit(relation.Str("-Q")),
+				relation.Fn("CAST_STRING", relation.Fn("QUARTER", relation.ColRefExpr(dateCol))))), "quarter"),
+		relation.PAs(relation.Fn("YEAR", relation.ColRefExpr(dateCol)), "year"),
+	)
+	if err != nil {
+		return nil, err
+	}
+	ext.Name = src.Name
+	return BuildDimension(name, ext, dateCol, []string{"month", "quarter", "year"})
+}
+
+// Star is a star schema: one fact table whose rows reference dimensions by
+// surrogate key and carry measure columns.
+type Star struct {
+	Name     string
+	Fact     *relation.Table
+	Dims     []*Dimension
+	Measures []string
+}
+
+// Dim returns the named dimension.
+func (s *Star) Dim(name string) (*Dimension, bool) {
+	for _, d := range s.Dims {
+		if strings.EqualFold(d.Name, name) {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// DimForAttr returns the dimension owning the given attribute.
+func (s *Star) DimForAttr(attr string) (*Dimension, bool) {
+	for _, d := range s.Dims {
+		if d.Table.Schema.HasColumn(attr) && !strings.EqualFold(attr, d.Key) {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// BuildStar assembles a star schema from a wide (denormalized) input
+// table: each dimension's natural key column in the input is replaced by
+// the dimension's surrogate key; measure columns are carried through, and
+// degenerate columns (dimension-like attributes without their own
+// dimension table, e.g. a per-fact disease) are carried verbatim.
+// The fact table keeps the input's row lineage, so every fact traces to
+// the source rows it came from.
+func BuildStar(name string, input *relation.Table, dims []*Dimension, measures []string, degenerate ...string) (*Star, error) {
+	type dimLookup struct {
+		dim   *Dimension
+		index map[string]relation.Value // natural key -> surrogate key
+		colIn int
+	}
+	lookups := make([]dimLookup, len(dims))
+	for i, d := range dims {
+		ci := input.Schema.Index(d.NaturalKey)
+		if ci < 0 {
+			return nil, fmt.Errorf("warehouse: star %s: input lacks %q for dimension %s", name, d.NaturalKey, d.Name)
+		}
+		ki := d.Table.Schema.Index(d.Key)
+		ni := d.Table.Schema.Index(d.NaturalKey)
+		idx := make(map[string]relation.Value, d.Table.NumRows())
+		for _, r := range d.Table.Rows {
+			idx[r[ni].Key()] = r[ki]
+		}
+		lookups[i] = dimLookup{dim: d, index: idx, colIn: ci}
+	}
+	carried := append(append([]string(nil), measures...), degenerate...)
+	measIdx := make([]int, len(carried))
+	for i, m := range carried {
+		ci := input.Schema.Index(m)
+		if ci < 0 {
+			return nil, fmt.Errorf("warehouse: star %s: input lacks column %q", name, m)
+		}
+		measIdx[i] = ci
+	}
+
+	fact := &relation.Table{Name: "fact_" + name}
+	var cols []relation.Column
+	var origins []relation.ColRefSet
+	for _, l := range lookups {
+		cols = append(cols, relation.Column{Name: l.dim.Key, Type: relation.TInt})
+		origins = append(origins, input.ColumnOrigin(l.colIn))
+	}
+	for i, m := range carried {
+		cols = append(cols, relation.Column{Name: m, Type: input.Schema.Columns[measIdx[i]].Type})
+		origins = append(origins, input.ColumnOrigin(measIdx[i]))
+	}
+	fact.Schema = &relation.Schema{Columns: cols}
+	fact.ColOrigin = origins
+
+	for ri, r := range input.Rows {
+		nr := make(relation.Row, 0, len(cols))
+		for _, l := range lookups {
+			key, ok := l.index[r[l.colIn].Key()]
+			if !ok {
+				key = relation.Null() // late-arriving member
+			}
+			nr = append(nr, key)
+		}
+		for _, mi := range measIdx {
+			nr = append(nr, r[mi])
+		}
+		fact.Rows = append(fact.Rows, nr)
+		fact.Lineage = append(fact.Lineage, input.RowLineage(ri))
+	}
+	return &Star{Name: name, Fact: fact, Dims: dims, Measures: measures}, nil
+}
+
+// SchemaSummary renders the star schema for documentation and for the
+// warehouse-level elicitation discussions (§4: "one needs to expose the
+// data warehouse schema to the source owners").
+func (s *Star) SchemaSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "star %s\n  fact %s%s\n", s.Name, s.Fact.Name, s.Fact.Schema)
+	names := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d, _ := s.Dim(n)
+		fmt.Fprintf(&b, "  dim %s%s levels=%v\n", d.Name, d.Table.Schema, d.Levels)
+	}
+	return b.String()
+}
+
+// VocabularySize counts the schema elements (tables and columns) a reader
+// must understand to reason about the star — the elicitation-cost metric
+// used by the Fig. 5 experiments.
+func (s *Star) VocabularySize() int {
+	n := 1 + s.Fact.Schema.Len()
+	for _, d := range s.Dims {
+		n += 1 + d.Table.Schema.Len()
+	}
+	return n
+}

@@ -1,0 +1,394 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+
+	"plabi/internal/relation"
+	"plabi/internal/workload"
+)
+
+// wideInput joins the paper's fixtures into the denormalized input a star
+// is built from.
+func wideInput(t *testing.T) *relation.Table {
+	t.Helper()
+	p := workload.PrescriptionsFixture()
+	c := workload.DrugCostFixture()
+	j, err := relation.Join(relation.Rename(p, "p"), relation.Rename(c, "c"),
+		relation.Eq(relation.ColRefExpr("p.drug"), relation.ColRefExpr("c.drug")), relation.InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := relation.Project(j,
+		relation.P("p.patient"), relation.P("p.doctor"), relation.P("p.drug"),
+		relation.P("p.disease"), relation.P("p.date"), relation.P("c.cost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unq, uerr := out.Schema.Unqualify(); uerr == nil {
+		out.Schema = unq
+	}
+	out.Name = "wide"
+	return out
+}
+
+func buildTestStar(t *testing.T) *Star {
+	t.Helper()
+	in := wideInput(t)
+	dPatient, err := BuildDimension("patient", in, "patient", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dDrug, err := BuildDimension("drug", in, "drug", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dDate, err := BuildDateDimension("date", in, "date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := BuildStar("prescriptions", in, []*Dimension{dPatient, dDrug, dDate}, []string{"cost"}, "disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return star
+}
+
+func TestBuildDimension(t *testing.T) {
+	in := wideInput(t)
+	d, err := BuildDimension("patient", in, "patient", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Table.NumRows() != 4 { // Alice, Bob, Chris, Math
+		t.Errorf("members = %d", d.Table.NumRows())
+	}
+	if d.Key != "patient_key" || d.Table.Schema.Index("patient_key") != 0 {
+		t.Errorf("schema = %s", d.Table.Schema)
+	}
+	// Surrogate keys are dense 1..N in sorted member order.
+	if d.Table.Get(0, "patient_key").I != 1 || d.Table.Get(0, "patient").S != "Alice" {
+		t.Errorf("first member = %v", d.Table.Rows[0])
+	}
+}
+
+func TestBuildDateDimension(t *testing.T) {
+	in := wideInput(t)
+	d, err := BuildDateDimension("date", in, "date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Levels; len(got) != 4 || got[0] != "date" || got[3] != "year" {
+		t.Errorf("levels = %v", got)
+	}
+	// 2007-02-12 member must have month 2007-2, quarter 2007-Q1, year 2007.
+	found := false
+	for i := 0; i < d.Table.NumRows(); i++ {
+		if d.Table.Get(i, "date").String() == "2007-02-12" {
+			found = true
+			if d.Table.Get(i, "month").S != "2007-2" || d.Table.Get(i, "quarter").S != "2007-Q1" ||
+				d.Table.Get(i, "year").I != 2007 {
+				t.Errorf("member = %v", d.Table.Rows[i])
+			}
+		}
+	}
+	if !found {
+		t.Error("2007-02-12 member missing")
+	}
+}
+
+func TestBuildStar(t *testing.T) {
+	star := buildTestStar(t)
+	if star.Fact.NumRows() != 5 {
+		t.Errorf("facts = %d", star.Fact.NumRows())
+	}
+	if !star.Fact.Schema.HasColumn("patient_key") || !star.Fact.Schema.HasColumn("cost") {
+		t.Errorf("fact schema = %s", star.Fact.Schema)
+	}
+	// Every fact keeps lineage to the prescriptions source.
+	for i := 0; i < star.Fact.NumRows(); i++ {
+		lin := star.Fact.RowLineage(i)
+		foundSrc := false
+		for _, ref := range lin {
+			if ref.Table == "prescriptions" {
+				foundSrc = true
+			}
+		}
+		if !foundSrc {
+			t.Fatalf("fact %d lineage = %v", i, lin)
+		}
+	}
+	if star.VocabularySize() < 10 {
+		t.Errorf("vocabulary = %d", star.VocabularySize())
+	}
+	if s := star.SchemaSummary(); !strings.Contains(s, "fact_prescriptions") {
+		t.Errorf("summary = %s", s)
+	}
+}
+
+func TestCubeQueryByDrug(t *testing.T) {
+	star := buildTestStar(t)
+	res, err := star.Query(CubeQuery{
+		GroupBy: []string{"drug"},
+		Aggs: []relation.AggSpec{
+			{Kind: relation.AggCount, As: "consumption"},
+			{Kind: relation.AggSum, Col: "cost", As: "total_cost"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct{ n, cost int64 }{
+		"DH": {1, 60}, "DM": {1, 10}, "DR": {2, 20}, "DV": {1, 30},
+	}
+	if res.NumRows() != 4 {
+		t.Fatalf("rows = %d\n%s", res.NumRows(), res)
+	}
+	for i := 0; i < res.NumRows(); i++ {
+		d := res.Get(i, "drug").S
+		w := want[d]
+		if res.Get(i, "consumption").I != w.n || res.Get(i, "total_cost").I != w.cost {
+			t.Errorf("%s = %v/%v, want %v", d, res.Get(i, "consumption"), res.Get(i, "total_cost"), w)
+		}
+	}
+}
+
+func TestCubeSlice(t *testing.T) {
+	star := buildTestStar(t)
+	res, err := star.Query(CubeQuery{
+		GroupBy: []string{"disease"},
+		Slice:   relation.ColEqStr("patient", "Alice"),
+		Aggs:    []relation.AggSpec{{Kind: relation.AggCount, As: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 { // Alice has HIV and asthma prescriptions
+		t.Errorf("rows = %d\n%s", res.NumRows(), res)
+	}
+}
+
+func TestRollUpDrillDown(t *testing.T) {
+	star := buildTestStar(t)
+	q := CubeQuery{
+		GroupBy: []string{"month"},
+		Aggs:    []relation.AggSpec{{Kind: relation.AggCount, As: "n"}},
+	}
+	up, err := star.RollUp(q, "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.GroupBy[0] != "quarter" {
+		t.Errorf("rollup -> %v", up.GroupBy)
+	}
+	up2, err := star.RollUp(up, "quarter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up2.GroupBy[0] != "year" {
+		t.Errorf("rollup -> %v", up2.GroupBy)
+	}
+	down, err := star.DrillDown(up, "quarter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.GroupBy[0] != "month" {
+		t.Errorf("drilldown -> %v", down.GroupBy)
+	}
+	// Rollup results aggregate consistently: total count is invariant.
+	r1, err := star.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := star.Query(up2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(tb *relation.Table) int64 {
+		var s int64
+		for i := 0; i < tb.NumRows(); i++ {
+			s += tb.Get(i, "n").I
+		}
+		return s
+	}
+	if sum(r1) != sum(r2) || sum(r1) != 5 {
+		t.Errorf("sums: %d vs %d", sum(r1), sum(r2))
+	}
+	// Rolling up beyond the top level fails.
+	if _, err := star.RollUp(up2, "year"); err == nil {
+		t.Error("rollup beyond year must fail")
+	}
+	// Rolling up an attribute not in the query fails.
+	if _, err := star.RollUp(q, "year"); err == nil {
+		t.Error("rollup of absent attribute must fail")
+	}
+}
+
+func TestCubeErrors(t *testing.T) {
+	star := buildTestStar(t)
+	if _, err := star.Query(CubeQuery{GroupBy: []string{"ghost"}}); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+func TestMaterializedView(t *testing.T) {
+	star := buildTestStar(t)
+	v := NewMaterializedView("by_drug", star, CubeQuery{
+		GroupBy: []string{"drug"},
+		Aggs:    []relation.AggSpec{{Kind: relation.AggCount, As: "n"}},
+	})
+	res, err := v.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 || res.Name != "by_drug" {
+		t.Errorf("rows = %d name = %s", res.NumRows(), res.Name)
+	}
+	// Cached result is reused until invalidated.
+	res2, err := v.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Error("expected cached result")
+	}
+	v.Invalidate()
+	res3, err := v.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3 == res {
+		t.Error("expected refresh after invalidation")
+	}
+}
+
+func TestStarAtScale(t *testing.T) {
+	ds := workload.Generate(workload.DefaultConfig(21))
+	j, err := relation.Join(relation.Rename(ds.Prescriptions, "p"), relation.Rename(ds.DrugCost, "c"),
+		relation.Eq(relation.ColRefExpr("p.drug"), relation.ColRefExpr("c.drug")), relation.InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := relation.Project(j, relation.P("p.patient"), relation.P("p.drug"),
+		relation.P("p.disease"), relation.P("p.date"), relation.P("c.cost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unq, uerr := in.Schema.Unqualify(); uerr == nil {
+		in.Schema = unq
+	}
+	dP, err := BuildDimension("patient", in, "patient", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dD, err := BuildDimension("drug", in, "drug", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := BuildStar("rx", in, []*Dimension{dP, dD}, []string{"cost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Fact.NumRows() != ds.Prescriptions.NumRows() {
+		t.Errorf("facts = %d, want %d", star.Fact.NumRows(), ds.Prescriptions.NumRows())
+	}
+	res, err := star.Query(CubeQuery{
+		GroupBy: []string{"drug"},
+		Aggs:    []relation.AggSpec{{Kind: relation.AggCount, As: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < res.NumRows(); i++ {
+		total += res.Get(i, "n").I
+	}
+	if total != int64(ds.Prescriptions.NumRows()) {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestBuildDimensionWithAttributes(t *testing.T) {
+	// A patient dimension carrying a dependent attribute forms a rollup
+	// hierarchy patient -> age-band.
+	in := relation.NewBase("people", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("band", relation.TString),
+		relation.Col("x", relation.TInt),
+	))
+	in.MustAppend(relation.Str("Alice"), relation.Str("[30-40)"), relation.Int(1))
+	in.MustAppend(relation.Str("Bob"), relation.Str("[30-40)"), relation.Int(2))
+	in.MustAppend(relation.Str("Alice"), relation.Str("[30-40)"), relation.Int(3)) // dup member
+	d, err := BuildDimension("patient", in, "patient", []string{"band"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Table.NumRows() != 2 {
+		t.Errorf("members = %d", d.Table.NumRows())
+	}
+	if len(d.Levels) != 2 || d.Levels[1] != "band" {
+		t.Errorf("levels = %v", d.Levels)
+	}
+	if d.LevelIndex("band") != 1 || d.LevelIndex("nope") != -1 {
+		t.Error("LevelIndex wrong")
+	}
+	star, err := BuildStar("s", in, []*Dimension{d}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roll up from patient to band.
+	q := CubeQuery{GroupBy: []string{"patient"}, Aggs: []relation.AggSpec{{Kind: relation.AggSum, Col: "x", As: "sx"}}}
+	up, err := star.RollUp(q, "patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := star.Query(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Get(0, "sx").I != 6 {
+		t.Errorf("rollup = %v", res.Rows)
+	}
+}
+
+func TestBuildStarMissingColumns(t *testing.T) {
+	in := relation.NewBase("t", relation.NewSchema(relation.Col("a", relation.TString)))
+	d, err := BuildDimension("a", in, "a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildStar("s", in, []*Dimension{d}, []string{"ghost"}); err == nil {
+		t.Error("missing measure must fail")
+	}
+	other := relation.NewBase("o", relation.NewSchema(relation.Col("b", relation.TString)))
+	if _, err := BuildStar("s", other, []*Dimension{d}, nil); err == nil {
+		t.Error("missing natural key must fail")
+	}
+	if _, err := BuildDimension("x", in, "ghost", nil); err == nil {
+		t.Error("missing natural key column must fail")
+	}
+}
+
+func TestLateArrivingMember(t *testing.T) {
+	// A fact whose member is absent from the dimension gets a NULL key
+	// instead of being dropped.
+	dimSrc := relation.NewBase("t", relation.NewSchema(relation.Col("k", relation.TString), relation.Col("m", relation.TInt)))
+	dimSrc.MustAppend(relation.Str("a"), relation.Int(1))
+	d, err := BuildDimension("k", dimSrc, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := relation.NewBase("t", relation.NewSchema(relation.Col("k", relation.TString), relation.Col("m", relation.TInt)))
+	facts.MustAppend(relation.Str("a"), relation.Int(1))
+	facts.MustAppend(relation.Str("late"), relation.Int(2))
+	star, err := BuildStar("s", facts, []*Dimension{d}, []string{"m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Fact.NumRows() != 2 {
+		t.Fatalf("facts = %d", star.Fact.NumRows())
+	}
+	if !star.Fact.Get(1, "k_key").IsNull() {
+		t.Errorf("late member key = %v", star.Fact.Get(1, "k_key"))
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"plabi/internal/relation"
+)
+
+// PrescriptionsFixture returns the paper's literal Prescriptions example
+// table (Fig. 2b / Fig. 3b / Fig. 4b; the paper's day-first dates are
+// normalized to ISO).
+func PrescriptionsFixture() *relation.Table {
+	t := relation.NewBase("prescriptions", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("doctor", relation.TString),
+		relation.Col("drug", relation.TString),
+		relation.Col("disease", relation.TString),
+		relation.Col("date", relation.TDate),
+	))
+	t.MustAppend(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DH"), relation.Str("HIV"), relation.DateYMD(2007, 2, 12))
+	t.MustAppend(relation.Str("Chris"), relation.Null(), relation.Str("DV"), relation.Str("HIV"), relation.DateYMD(2007, 3, 10))
+	t.MustAppend(relation.Str("Bob"), relation.Str("Anne"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2007, 8, 10))
+	t.MustAppend(relation.Str("Math"), relation.Str("Mark"), relation.Str("DM"), relation.Str("diabetes"), relation.DateYMD(2007, 10, 15))
+	t.MustAppend(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2008, 4, 15))
+	return t
+}
+
+// PoliciesFixture returns the paper's literal Policies metadata table
+// (Fig. 2b): per-patient consent on showing name and disease.
+func PoliciesFixture() *relation.Table {
+	t := relation.NewBase("policies", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("ShowName", relation.TBool),
+		relation.Col("ShowDisease", relation.TBool),
+	))
+	t.MustAppend(relation.Str("Alice"), relation.Bool(true), relation.Bool(false))
+	t.MustAppend(relation.Str("Bob"), relation.Bool(true), relation.Bool(false))
+	t.MustAppend(relation.Str("Math"), relation.Bool(false), relation.Bool(false))
+	t.MustAppend(relation.Str("Chris"), relation.Bool(true), relation.Bool(true))
+	return t
+}
+
+// FamilyDoctorFixture returns the paper's literal Familydoctor table
+// (Fig. 3b).
+func FamilyDoctorFixture() *relation.Table {
+	t := relation.NewBase("familydoctor", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("doctor", relation.TString),
+	))
+	t.MustAppend(relation.Str("Alice"), relation.Str("Luis"))
+	t.MustAppend(relation.Str("Chris"), relation.Str("Anne"))
+	t.MustAppend(relation.Str("Bob"), relation.Str("Anne"))
+	t.MustAppend(relation.Str("Math"), relation.Str("Mark"))
+	return t
+}
+
+// DrugCostFixture returns the paper's literal Drug Cost table (Fig. 3b).
+func DrugCostFixture() *relation.Table {
+	t := relation.NewBase("drugcost", relation.NewSchema(
+		relation.Col("drug", relation.TString),
+		relation.Col("cost", relation.TInt),
+	))
+	t.MustAppend(relation.Str("DD"), relation.Int(50))
+	t.MustAppend(relation.Str("DM"), relation.Int(10))
+	t.MustAppend(relation.Str("DH"), relation.Int(60))
+	t.MustAppend(relation.Str("DV"), relation.Int(30))
+	t.MustAppend(relation.Str("DR"), relation.Int(10))
+	return t
+}
+
+// Fig4Consumption is the paper's literal Drug consumption report (Fig. 4b).
+var Fig4Consumption = map[string]int64{"DH": 20, "DV": 28, "DR": 89, "DM": 2}
+
+// Fig4Prescriptions generates a prescriptions table whose per-drug counts
+// reproduce the Fig. 4b Drug consumption report exactly (DH 20, DV 28,
+// DR 89, DM 2 = 139 prescriptions), with patients, doctors, diseases and
+// dates filled in deterministically. HIV drugs (DH, DV) go to HIV
+// patients, so the report-level HIV condition of §5 is exercised.
+func Fig4Prescriptions(seed int64) *relation.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := relation.NewBase("prescriptions", relation.NewSchema(
+		relation.Col("patient", relation.TString),
+		relation.Col("doctor", relation.TString),
+		relation.Col("drug", relation.TString),
+		relation.Col("disease", relation.TString),
+		relation.Col("date", relation.TDate),
+	))
+	drugDisease := map[string]string{"DH": "HIV", "DV": "HIV", "DR": "asthma", "DM": "diabetes"}
+	doctors := []string{"Luis", "Anne", "Mark", "Rosa"}
+	start := time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Deterministic drug order so the table is reproducible.
+	pid := 0
+	for _, drug := range []string{"DH", "DV", "DR", "DM"} {
+		for i := int64(0); i < Fig4Consumption[drug]; i++ {
+			pid++
+			t.MustAppend(
+				relation.Str(fmt.Sprintf("%s %s", firstNames[pid%len(firstNames)], lastNames[(pid*3)%len(lastNames)])),
+				relation.Str(doctors[rng.Intn(len(doctors))]),
+				relation.Str(drug),
+				relation.Str(drugDisease[drug]),
+				relation.Date(start.AddDate(0, 0, rng.Intn(365))),
+			)
+		}
+	}
+	return t
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"plabi/internal/relation"
+	"plabi/internal/textutil"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(42)
+	cfg.Patients, cfg.Prescriptions, cfg.LabResults = 50, 200, 50
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.Prescriptions.NumRows() != b.Prescriptions.NumRows() {
+		t.Fatal("row counts differ")
+	}
+	for i := range a.Prescriptions.Rows {
+		for c := range a.Prescriptions.Rows[i] {
+			if a.Prescriptions.Rows[i][c].Key() != b.Prescriptions.Rows[i][c].Key() {
+				t.Fatalf("row %d col %d differs", i, c)
+			}
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Patients, cfg.Prescriptions, cfg.LabResults = 100, 1000, 200
+	ds := Generate(cfg)
+	if ds.Prescriptions.NumRows() != 1000 {
+		t.Errorf("prescriptions = %d", ds.Prescriptions.NumRows())
+	}
+	if ds.FamilyDoctor.NumRows() != 100 || ds.Residents.NumRows() != 100 {
+		t.Errorf("familydoctor = %d residents = %d", ds.FamilyDoctor.NumRows(), ds.Residents.NumRows())
+	}
+	if ds.DrugCost.NumRows() < cfg.Drugs {
+		t.Errorf("drugcost = %d", ds.DrugCost.NumRows())
+	}
+	if len(ds.PatientNames) != 100 {
+		t.Errorf("patient names = %d", len(ds.PatientNames))
+	}
+	// Every prescription's drug exists in drugcost.
+	costs := map[string]bool{}
+	for i := range ds.DrugCost.Rows {
+		costs[ds.DrugCost.Get(i, "drug").S] = true
+	}
+	for i := 0; i < ds.Prescriptions.NumRows(); i++ {
+		if d := ds.Prescriptions.Get(i, "drug").S; !costs[d] {
+			t.Fatalf("prescription drug %q missing from drugcost", d)
+		}
+	}
+	// Disease-drug coherence: most HIV prescriptions use DH or DV.
+	hiv, hivLinked := 0, 0
+	for i := 0; i < ds.Prescriptions.NumRows(); i++ {
+		if ds.Prescriptions.Get(i, "disease").S != "HIV" {
+			continue
+		}
+		hiv++
+		if d := ds.Prescriptions.Get(i, "drug").S; d == "DH" || d == "DV" {
+			hivLinked++
+		}
+	}
+	if hiv == 0 || float64(hivLinked)/float64(hiv) < 0.7 {
+		t.Errorf("HIV drug coherence: %d/%d", hivLinked, hiv)
+	}
+}
+
+func TestDirtyNamesResolvable(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Patients = 200
+	cfg.DirtyRate = 0.5
+	ds := Generate(cfg)
+	clean := map[string]bool{}
+	for _, n := range ds.PatientNames {
+		clean[n] = true
+	}
+	dirty, matchable := 0, 0
+	for i := 0; i < ds.FamilyDoctor.NumRows(); i++ {
+		name := ds.FamilyDoctor.Get(i, "patient").S
+		if clean[name] {
+			continue
+		}
+		dirty++
+		// A dirty variant must still be recognizable at threshold 0.88.
+		for _, c := range ds.PatientNames {
+			if textutil.Similar(name, c, 0.88) {
+				matchable++
+				break
+			}
+		}
+	}
+	if dirty == 0 {
+		t.Fatal("expected dirty names at rate 0.5")
+	}
+	if float64(matchable)/float64(dirty) < 0.95 {
+		t.Errorf("only %d/%d dirty names matchable", matchable, dirty)
+	}
+}
+
+func TestDirtyChangesName(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if Dirty("Alice Rossi", rng) != "Alice Rossi" {
+			changed++
+		}
+	}
+	if changed < 90 {
+		t.Errorf("Dirty changed only %d/100", changed)
+	}
+	if Dirty("ab", rng) != "ab" {
+		t.Error("short names must pass through")
+	}
+}
+
+func TestPaperFixtures(t *testing.T) {
+	p := PrescriptionsFixture()
+	if p.NumRows() != 5 {
+		t.Errorf("prescriptions fixture rows = %d", p.NumRows())
+	}
+	if p.Get(0, "patient").S != "Alice" || p.Get(0, "disease").S != "HIV" {
+		t.Errorf("row 0 = %v", p.Rows[0])
+	}
+	if !p.Get(1, "doctor").IsNull() {
+		t.Error("Chris's doctor must be NULL as in the paper")
+	}
+	pol := PoliciesFixture()
+	if pol.NumRows() != 4 || pol.Get(3, "ShowDisease").B != true {
+		t.Errorf("policies fixture = %v", pol.Rows)
+	}
+	fd := FamilyDoctorFixture()
+	if fd.NumRows() != 4 || fd.Get(1, "doctor").S != "Anne" {
+		t.Errorf("familydoctor fixture = %v", fd.Rows)
+	}
+	dc := DrugCostFixture()
+	if dc.NumRows() != 5 || dc.Get(2, "cost").I != 60 {
+		t.Errorf("drugcost fixture = %v", dc.Rows)
+	}
+}
+
+func TestFig4PrescriptionsReproducesFig4b(t *testing.T) {
+	p := Fig4Prescriptions(1)
+	counts := map[string]int64{}
+	for i := 0; i < p.NumRows(); i++ {
+		counts[p.Get(i, "drug").S]++
+	}
+	for drug, want := range Fig4Consumption {
+		if counts[drug] != want {
+			t.Errorf("%s = %d, want %d", drug, counts[drug], want)
+		}
+	}
+	if p.NumRows() != 139 {
+		t.Errorf("total = %d, want 139", p.NumRows())
+	}
+	// HIV condition coherence: all DH/DV prescriptions are HIV.
+	for i := 0; i < p.NumRows(); i++ {
+		d := p.Get(i, "drug").S
+		dis := p.Get(i, "disease").S
+		if (d == "DH" || d == "DV") && dis != "HIV" {
+			t.Errorf("row %d: drug %s disease %s", i, d, dis)
+		}
+	}
+}
+
+func TestOwners(t *testing.T) {
+	o := Owners()
+	if o["prescriptions"] != "hospital" || o["drugcost"] != "healthagency" {
+		t.Errorf("owners = %v", o)
+	}
+	if len(o) != 5 {
+		t.Errorf("len = %d", len(o))
+	}
+}
+
+func TestFixtureSchemasAlign(t *testing.T) {
+	// Generated and fixture prescriptions must agree on the shared
+	// columns so tests can swap one for the other.
+	gen := Generate(DefaultConfig(1)).Prescriptions
+	fix := PrescriptionsFixture()
+	for _, col := range fix.Schema.ColumnNames() {
+		if !gen.Schema.HasColumn(col) {
+			t.Errorf("generated prescriptions missing column %q", col)
+		}
+	}
+	var _ relation.Row = fix.Rows[0]
+}
