@@ -1,0 +1,27 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `make ci`.
+
+GO ?= go
+
+.PHONY: build vet test race bench-smoke bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration benchmark pass: catches bitrot in the bench harness
+# without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run XXX -bench 'ConcurrentRender' -benchtime=1x .
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime=2s .
+
+ci: vet build race bench-smoke

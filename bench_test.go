@@ -181,3 +181,105 @@ func BenchmarkElicitationSimulation(b *testing.B) {
 		}
 	}
 }
+
+// benchRenderEngine builds the standard scenario for the render-path
+// benchmarks.
+func benchRenderEngine(b *testing.B, n int) *core.Engine {
+	b.Helper()
+	cfg := workload.DefaultConfig(42)
+	cfg.Prescriptions = n
+	cfg.Patients = n / 10
+	e, _, err := core.BuildHealthcareEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkSequentialRender is the single-goroutine baseline for
+// BenchmarkConcurrentRender: the same cached render loop, no parallelism
+// anywhere (one render worker, one goroutine).
+func BenchmarkSequentialRender(b *testing.B) {
+	e := benchRenderEngine(b, 5000)
+	e.SetWorkers(1)
+	c := report.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+	if _, err := e.Render("drug-consumption", c); err != nil {
+		b.Fatal(err) // warm the decision cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Render("drug-consumption", c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCacheRate(b, e)
+}
+
+// BenchmarkConcurrentRender drives the enforced render path from many
+// goroutines at once (b.RunParallel): the sharded decision cache serves
+// the plan, so per-render work is execution + row enforcement only.
+// Compare with BenchmarkSequentialRender for the concurrency speedup.
+func BenchmarkConcurrentRender(b *testing.B) {
+	e := benchRenderEngine(b, 5000)
+	e.SetWorkers(1) // per-render serial: scaling comes from goroutines
+	consumers := []report.Consumer{
+		{Name: "a1", Role: "analyst", Purpose: "quality"},
+		{Name: "a2", Role: "auditor", Purpose: "quality"},
+	}
+	for _, c := range consumers {
+		if _, err := e.Render("drug-consumption", c); err != nil {
+			b.Fatal(err) // warm the decision cache
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c := consumers[i%len(consumers)]
+			i++
+			if _, err := e.Render("drug-consumption", c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	stats := e.CacheStats()
+	if stats.Hits == 0 {
+		b.Fatal("concurrent render benchmark must hit the decision cache")
+	}
+	reportCacheRate(b, e)
+}
+
+// BenchmarkParallelRowEnforcement measures one large render with the
+// bounded worker pool enforcing row chunks in parallel, against the same
+// render forced serial.
+func BenchmarkParallelRowEnforcement(b *testing.B) {
+	for _, workers := range []int{1, 0} { // 1 = serial, 0 = one per CPU
+		name := "serial"
+		if workers == 0 {
+			name = "pooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := benchRenderEngine(b, 20000)
+			e.SetWorkers(workers)
+			c := report.Consumer{Name: "aud", Role: "auditor", Purpose: "quality"}
+			if _, err := e.Render("patient-activity", c); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Render("patient-activity", c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func reportCacheRate(b *testing.B, e *core.Engine) {
+	b.Helper()
+	stats := e.CacheStats()
+	b.ReportMetric(stats.HitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(stats.Hits), "cache-hits")
+}

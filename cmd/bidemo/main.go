@@ -1,47 +1,54 @@
 // Command bidemo runs the paper's Fig. 1 outsourcing scenario end to end:
 // multi-owner sources, PLAs, guarded ETL, warehouse load, enforced report
 // rendering for two consumer roles, and an audit-trail summary with one
-// provenance-backed dispute resolution.
+// provenance-backed dispute resolution — all through the public plabi API.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"plabi/internal/core"
-	"plabi/internal/report"
-	"plabi/internal/workload"
+	"plabi"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	n := flag.Int("n", 5000, "number of prescriptions")
 	showAudit := flag.Bool("audit", false, "dump the full audit log (JSONL)")
+	workers := flag.Int("workers", 0, "enforcement workers (0 = one per CPU)")
 	flag.Parse()
 
-	cfg := workload.DefaultConfig(*seed)
-	cfg.Prescriptions = *n
-	cfg.Patients = *n / 10
-
-	e, ds, err := core.BuildHealthcareEngine(cfg)
+	ctx := context.Background()
+	e, err := plabi.OpenHealthcare(
+		plabi.HealthcareConfig{Seed: *seed, Prescriptions: *n},
+		plabi.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bidemo:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("sources: hospital(%d rx), familydoctors(%d), healthagency(%d drugs), laboratory(%d), municipality(%d)\n",
-		ds.Prescriptions.NumRows(), ds.FamilyDoctor.NumRows(), ds.DrugCost.NumRows(),
-		ds.LabResults.NumRows(), ds.Residents.NumRows())
-	fmt.Printf("PLAs in force: %d, meta-reports approved: %d\n\n", len(e.Policies.All()), len(e.Metas))
+	for _, name := range []string{"prescriptions", "familydoctor", "drugcost", "labresults", "residents"} {
+		if t, ok := e.Table(name); ok {
+			fmt.Printf("source %s: %d rows\n", name, t.NumRows())
+		}
+	}
+	fmt.Printf("meta-reports approved: %d\n\n", len(e.MetaReports()))
 
-	consumers := []report.Consumer{
+	consumers := []plabi.Consumer{
 		{Name: "ana", Role: "analyst", Purpose: "quality"},
 		{Name: "aud", Role: "auditor", Purpose: "quality"},
 	}
 	for _, c := range consumers {
 		fmt.Printf("--- consumer %s (role=%s) ---\n", c.Name, c.Role)
-		for _, d := range e.Reports.All() {
-			enf, err := e.Render(d.ID, c)
+		for _, d := range e.Reports() {
+			enf, err := e.Render(ctx, d.ID, c)
+			var blocked *plabi.BlockedError
+			if errors.As(err, &blocked) {
+				fmt.Printf("%s: BLOCKED (%s)\n", d.ID, blocked.Decisions[0].Rule)
+				continue
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bidemo:", err)
 				os.Exit(1)
@@ -49,7 +56,7 @@ func main() {
 			fmt.Printf("%s: %d rows, %d cells masked, %d rows suppressed, %d decisions\n",
 				d.ID, enf.Table.NumRows(), enf.MaskedCells, enf.SuppressedRows, len(enf.Decisions))
 			if d.ID == "drug-consumption" && enf.Table.NumRows() > 0 {
-				fmt.Println(report.FormatTable(d.Title, enf.Table))
+				fmt.Println(plabi.FormatTable(d.Title, enf.Table))
 			}
 		}
 		fmt.Println()
@@ -57,19 +64,22 @@ func main() {
 
 	// Dispute resolution: where does the first drug-consumption number
 	// come from, and under which agreements?
-	enf, err := e.Render("drug-consumption", consumers[0])
+	enf, err := e.Render(ctx, "drug-consumption", consumers[0])
 	if err == nil && enf.Table.NumRows() > 0 {
-		d, derr := e.Auditor().ResolveDispute(enf.Table, 0, "consumption")
+		d, derr := e.ResolveDispute(enf.Table, 0, "consumption")
 		if derr == nil {
 			fmt.Println(d)
 		}
 	}
 
+	stats := e.CacheStats()
+	fmt.Printf("decision cache: %d hits / %d misses (%d entries)\n",
+		stats.Hits, stats.Misses, stats.Entries)
 	fmt.Printf("audit log: %d events (%d renders, %d transforms, %d violations)\n",
-		e.Audit.Len(), len(e.Audit.ByKind("render")),
-		len(e.Audit.ByKind("transform")), len(e.Audit.Violations()))
+		e.Audit().Len(), len(e.Audit().ByKind("render")),
+		len(e.Audit().ByKind("transform")), len(e.Audit().Violations()))
 	if *showAudit {
-		if err := e.Audit.WriteJSONL(os.Stdout); err != nil {
+		if err := e.Audit().WriteJSONL(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "bidemo:", err)
 			os.Exit(1)
 		}

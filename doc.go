@@ -5,8 +5,33 @@
 // modeled, enforced, tested and audited at four levels of the BI stack —
 // sources, warehouse/ETL, meta-reports, and delivered reports.
 //
-// The entry point is internal/core.Engine; see README.md for the tour,
-// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
-// paper-claim vs measured results. The root package holds the benchmark
-// harness (bench_test.go), one benchmark per experiment.
+// The root package is the public API. Open an engine with functional
+// options, register sources and PLAs, run guarded ETL, and render
+// enforced reports:
+//
+//	engine := plabi.Open(plabi.WithAuditSink(w), plabi.WithWorkers(8))
+//	engine.AddSource(plabi.NewSource("hospital", "hospital", table))
+//	err := engine.AddPLAs(`pla "p" { owner "hospital"; level source;
+//	    scope "prescriptions"; allow attribute drug; }`)
+//	err = engine.DefineReport(&plabi.ReportDefinition{ID: "rx",
+//	    Query: "SELECT drug FROM prescriptions"})
+//	enf, err := engine.Render(ctx, "rx", plabi.Consumer{Role: "analyst"})
+//
+// Render, RunETL and CheckReportCompliance take a context.Context and
+// are safe to call from many goroutines at once. Enforcement decisions
+// that do not depend on the data (PLA composition, static checks,
+// parsed plans) are cached per (report, role, purpose) in a sharded
+// cache invalidated by generation counters, so AddPLAs and
+// DeriveMetaReports take effect on the very next render. Refusals are
+// typed: errors.Is(err, plabi.ErrPLAViolation) matches any enforcement
+// block and errors.As recovers the *plabi.BlockedError carrying the
+// decisions.
+//
+// plabi.OpenHealthcare assembles the paper's Fig. 1 healthcare scenario
+// (five owners, scenario PLAs, guarded ETL, report portfolio, approved
+// meta-reports) over a deterministic synthetic workload. See README.md
+// for the tour, DESIGN.md for the system inventory and concurrency
+// model, and EXPERIMENTS.md for the paper-claim vs measured results.
+// bench_test.go carries one benchmark per experiment plus the
+// render-path concurrency benchmarks (BenchmarkConcurrentRender).
 package plabi

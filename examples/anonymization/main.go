@@ -8,17 +8,16 @@ import (
 	"fmt"
 	"log"
 
+	"plabi"
 	"plabi/internal/anon"
-	"plabi/internal/core"
-	"plabi/internal/etl"
 	"plabi/internal/workload"
 )
 
 func main() {
 	ds := workload.Generate(workload.DefaultConfig(7))
 
-	engine := core.New()
-	engine.AddSource(etl.NewSource("municipality", "municipality", ds.Residents))
+	engine := plabi.Open()
+	engine.AddSource(plabi.NewSource("municipality", "municipality", ds.Residents))
 	err := engine.AddPLAs(`
 pla "municipality-residents" {
     owner "municipality"; level source; scope "residents";
@@ -30,7 +29,7 @@ pla "municipality-residents" {
 		log.Fatal(err)
 	}
 
-	released, rep, err := engine.SourceEnforcer().Release(ds.Residents)
+	released, rep, err := engine.ReleaseSource(ds.Residents)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,20 +5,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"plabi/internal/core"
-	"plabi/internal/etl"
-	"plabi/internal/metareport"
-	"plabi/internal/report"
+	"plabi"
 	"plabi/internal/workload"
 )
 
 func main() {
-	engine := core.New()
-	engine.AddSource(etl.NewSource("hospital", "hospital", workload.Fig4Prescriptions(1)))
+	// Stream the audit trail to stderr-free storage as it is written; the
+	// in-memory log stays queryable.
+	engine := plabi.Open()
+	engine.AddSource(plabi.NewSource("hospital", "hospital", workload.Fig4Prescriptions(1)))
 	err := engine.AddPLAs(`
 pla "src" { owner "hospital"; level source; scope "prescriptions"; allow attribute *; }
 pla "report-pla" {
@@ -29,12 +29,12 @@ pla "report-pla" {
 	if err != nil {
 		log.Fatal(err)
 	}
-	def := &report.Definition{ID: "drug-consumption", Title: "Drug consumption",
+	def := &plabi.ReportDefinition{ID: "drug-consumption", Title: "Drug consumption",
 		Query: "SELECT drug, COUNT(*) AS consumption FROM prescriptions GROUP BY drug ORDER BY drug"}
 	if err := engine.DefineReport(def); err != nil {
 		log.Fatal(err)
 	}
-	consumer := report.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+	consumer := plabi.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
 
 	// 1. Generate the compliance suite from the agreed PLAs (§6:
 	// "policies tested before they are put in operation").
@@ -45,11 +45,11 @@ pla "report-pla" {
 	fmt.Printf("generated %d compliance tests from the PLAs\n", len(tests))
 
 	// 2. A buggy implementation (raw render, threshold forgotten) fails.
-	raw, err := def.Render(engine.Catalog)
+	raw, err := engine.RenderUnenforced("drug-consumption")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if fails := metareport.RunTests(tests, raw); len(fails) > 0 {
+	if fails := plabi.RunComplianceTests(tests, raw); len(fails) > 0 {
 		fmt.Println("unenforced output DETECTED as non-compliant:")
 		for _, f := range fails {
 			fmt.Println("  FAIL:", f)
@@ -57,22 +57,22 @@ pla "report-pla" {
 	}
 
 	// 3. The enforced output passes.
-	enf, err := engine.Render("drug-consumption", consumer)
+	enf, err := engine.Render(context.Background(), "drug-consumption", consumer)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if fails := metareport.RunTests(tests, enf.Table); len(fails) == 0 {
+	if fails := plabi.RunComplianceTests(tests, enf.Table); len(fails) == 0 {
 		fmt.Println("enforced output passes the suite")
 	}
 	fmt.Println()
-	fmt.Println(report.FormatTable("Drug consumption (enforced)", enf.Table))
+	fmt.Println(plabi.FormatTable("Drug consumption (enforced)", enf.Table))
 
 	// 4. Dispute resolution: the DR count is challenged — trace it.
 	for i := 0; i < enf.Table.NumRows(); i++ {
 		if enf.Table.Get(i, "drug").S != "DR" {
 			continue
 		}
-		dispute, err := engine.Auditor().ResolveDispute(enf.Table, i, "consumption")
+		dispute, err := engine.ResolveDispute(enf.Table, i, "consumption")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,8 +80,8 @@ pla "report-pla" {
 	}
 
 	// 5. The audit trail is exportable as JSONL for third-party auditors.
-	fmt.Printf("audit events recorded: %d (JSONL follows)\n", engine.Audit.Len())
-	if err := engine.Audit.WriteJSONL(os.Stdout); err != nil {
+	fmt.Printf("audit events recorded: %d (JSONL follows)\n", engine.Audit().Len())
+	if err := engine.Audit().WriteJSONL(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -5,47 +5,43 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"plabi/internal/core"
-	"plabi/internal/report"
-	"plabi/internal/workload"
+	"plabi"
 )
 
 func main() {
-	cfg := workload.DefaultConfig(42)
-	cfg.Prescriptions = 4000
-	cfg.Patients = 400
-
-	engine, ds, err := core.BuildHealthcareEngine(cfg)
+	ctx := context.Background()
+	engine, err := plabi.OpenHealthcare(plabi.HealthcareConfig{Seed: 42, Prescriptions: 4000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("scenario: %d prescriptions from %d patients across 5 institutions\n",
-		ds.Prescriptions.NumRows(), len(ds.PatientNames))
-	fmt.Printf("agreements: %d PLAs; meta-reports approved: %d\n\n",
-		len(engine.Policies.All()), len(engine.Metas))
+	rx, _ := engine.Table("prescriptions")
+	fmt.Printf("scenario: %d prescriptions across 5 institutions\n", rx.NumRows())
+	fmt.Printf("meta-reports approved: %d\n\n", len(engine.MetaReports()))
 
 	// The ETL ran under the PLA guard: the forbidden familydoctor join
 	// never happened, the permitted drugcost/residents joins did.
-	fmt.Println(engine.Graph.Explain("rx_wide"))
+	fmt.Println(engine.Explain("rx_wide"))
 
-	analyst := report.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
-	auditor := report.Consumer{Name: "aud", Role: "auditor", Purpose: "quality"}
+	analyst := plabi.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+	auditor := plabi.Consumer{Name: "aud", Role: "auditor", Purpose: "quality"}
 
 	// The flagship aggregate report: permitted for analysts, with the
 	// per-group patient threshold enforced via lineage support.
-	enf, err := engine.Render("drug-consumption", analyst)
+	enf, err := engine.Render(ctx, "drug-consumption", analyst)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(report.FormatTable("Drug consumption (analyst)", enf.Table))
+	fmt.Println(plabi.FormatTable("Drug consumption (analyst)", enf.Table))
 	fmt.Printf("groups suppressed below the patient threshold: %d\n\n", enf.SuppressedRows)
 
 	// Disease incidence: the hospital releases disease only to auditors.
-	for _, c := range []report.Consumer{analyst, auditor} {
-		enf, err := engine.Render("disease-by-year", c)
+	for _, c := range []plabi.Consumer{analyst, auditor} {
+		enf, err := engine.Render(ctx, "disease-by-year", c)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,15 +50,26 @@ func main() {
 	}
 
 	// The per-patient listing is statically non-compliant for analysts
-	// (aggregation threshold on a non-aggregated report): it renders
-	// empty with a block decision.
-	enf, err = engine.Render("patient-activity", analyst)
-	if err != nil {
+	// (aggregation threshold on a non-aggregated report): Render returns
+	// the blocking decisions as a typed error wrapping ErrPLAViolation.
+	enf, err = engine.Render(ctx, "patient-activity", analyst)
+	var blocked *plabi.BlockedError
+	switch {
+	case errors.As(err, &blocked):
+		fmt.Printf("\npatient-activity for analyst: %d rows (blocked: %v)\n",
+			enf.Table.NumRows(), blocked.Decisions[0].Rule)
+	case err != nil:
 		log.Fatal(err)
+	default:
+		log.Fatal("patient-activity unexpectedly rendered for analyst")
 	}
-	fmt.Printf("\npatient-activity for analyst: %d rows (blocked: %v)\n",
-		enf.Table.NumRows(), enf.Decisions[0].Rule)
+	if !errors.Is(err, plabi.ErrPLAViolation) {
+		log.Fatal("blocked render should wrap ErrPLAViolation")
+	}
 
-	fmt.Printf("\naudit log: %d events, %d violations recorded\n",
-		engine.Audit.Len(), len(engine.Audit.Violations()))
+	stats := engine.CacheStats()
+	fmt.Printf("\ndecision cache: %d hits, %d misses (hit rate %.0f%%)\n",
+		stats.Hits, stats.Misses, 100*stats.HitRate())
+	fmt.Printf("audit log: %d events, %d violations recorded\n",
+		engine.Audit().Len(), len(engine.Audit().Violations()))
 }

@@ -1,21 +1,21 @@
 // Quickstart: the smallest end-to-end use of the library — one source
-// table, one PLA elicited at the report level, one enforced report.
+// table, one PLA elicited at the report level, one enforced report,
+// driven entirely through the public plabi API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"plabi/internal/core"
-	"plabi/internal/etl"
-	"plabi/internal/report"
+	"plabi"
 	"plabi/internal/workload"
 )
 
 func main() {
 	// 1. An engine and a data source (the paper's Fig. 2b table).
-	engine := core.New()
-	engine.AddSource(etl.NewSource("hospital", "hospital", workload.PrescriptionsFixture()))
+	engine := plabi.Open()
+	engine.AddSource(plabi.NewSource("hospital", "hospital", workload.PrescriptionsFixture()))
 
 	// 2. The privacy agreement, in the PLA DSL. The intensional
 	// condition reproduces the paper's §5 example: patient names are
@@ -32,7 +32,7 @@ pla "hospital-prescriptions" {
 	}
 
 	// 3. A report over the source.
-	err = engine.DefineReport(&report.Definition{
+	err = engine.DefineReport(&plabi.ReportDefinition{
 		ID:    "rx-list",
 		Title: "Prescriptions",
 		Query: "SELECT patient, drug, date FROM prescriptions ORDER BY date",
@@ -43,11 +43,12 @@ pla "hospital-prescriptions" {
 
 	// 4. Render for an analyst: enforcement happens on the report
 	// itself, cell by cell, with provenance deciding the condition.
-	enforced, err := engine.Render("rx-list", report.Consumer{Name: "ana", Role: "analyst"})
+	enforced, err := engine.Render(context.Background(), "rx-list",
+		plabi.Consumer{Name: "ana", Role: "analyst"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(report.FormatTable("Prescriptions (analyst view)", enforced.Table))
+	fmt.Println(plabi.FormatTable("Prescriptions (analyst view)", enforced.Table))
 	fmt.Printf("cells masked: %d\n", enforced.MaskedCells)
 	for _, d := range enforced.Decisions {
 		fmt.Println("decision:", d)

@@ -34,14 +34,26 @@ type Event struct {
 	PLAs []string `json:"plas,omitempty"`
 }
 
-// Log is a thread-safe append-only audit log.
+// Log is a thread-safe append-only audit log. An optional sink receives
+// every event as one JSON line at append time, so deployments can stream
+// the trail to stable storage while keeping the in-memory log queryable.
 type Log struct {
 	mu     sync.Mutex
 	events []Event
+	sink   io.Writer
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
+
+// SetSink streams every subsequently appended event to w as JSONL (nil
+// disables streaming). The write happens under the log's lock, preserving
+// sequence order in the sink.
+func (l *Log) SetSink(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = w
+}
 
 // Append stamps and stores an event, returning its sequence number.
 func (l *Log) Append(e Event) int {
@@ -49,6 +61,11 @@ func (l *Log) Append(e Event) int {
 	defer l.mu.Unlock()
 	e.Seq = len(l.events)
 	l.events = append(l.events, e)
+	if l.sink != nil {
+		if b, err := json.Marshal(e); err == nil {
+			l.sink.Write(append(b, '\n'))
+		}
+	}
 	return e.Seq
 }
 

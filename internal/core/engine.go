@@ -1,14 +1,18 @@
-// Package core is the public façade of the library: the Engine ties the
-// substrates together into the paper's workflow — register per-owner
-// sources, attach PLAs at any of the four levels, run guarded ETL into
-// the warehouse, define reports, derive and approve meta-reports, render
-// reports with full enforcement and auditing, check compliance statically,
-// generate PLA-derived test suites, and resolve disputes via provenance.
+// Package core ties the substrates together into the paper's workflow —
+// register per-owner sources, attach PLAs at any of the four levels, run
+// guarded ETL into the warehouse, define reports, derive and approve
+// meta-reports, render reports with full enforcement and auditing, check
+// compliance statically, generate PLA-derived test suites, and resolve
+// disputes via provenance. The root package plabi is the public façade
+// over this engine.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"plabi/internal/audit"
 	"plabi/internal/enforce"
@@ -22,18 +26,23 @@ import (
 	"plabi/internal/sql"
 )
 
-// Engine is one privacy-aware BI deployment.
+// Engine is one privacy-aware BI deployment. All methods are safe for
+// concurrent use: the substrates lock themselves, and the engine's own
+// mutable state (sources, meta-reports, assignments) sits behind mu.
 type Engine struct {
-	Sources  map[string]*etl.Source
 	Policies *policy.Registry
 	Metadata *metadata.Store
 	Catalog  *sql.Catalog
 	Tracer   *provenance.Tracer
 	Graph    *provenance.Graph
 	Reports  *report.Registry
-	Metas    []*metareport.MetaReport
-	Assign   map[string]string
 	Audit    *audit.Log
+
+	mu      sync.RWMutex
+	sources map[string]*etl.Source
+	metas   []*metareport.MetaReport
+	assign  map[string]string
+	workers int
 
 	enforcer *enforce.ReportEnforcer
 }
@@ -41,25 +50,41 @@ type Engine struct {
 // New returns an empty engine.
 func New() *Engine {
 	e := &Engine{
-		Sources:  map[string]*etl.Source{},
 		Policies: policy.NewRegistry(),
 		Metadata: metadata.NewStore(),
 		Catalog:  sql.NewCatalog(),
 		Tracer:   provenance.NewTracer(),
 		Graph:    provenance.NewGraph(),
 		Reports:  report.NewRegistry(),
-		Assign:   map[string]string{},
 		Audit:    audit.NewLog(),
+		sources:  map[string]*etl.Source{},
+		assign:   map[string]string{},
 	}
 	e.enforcer = enforce.NewReportEnforcer(e.Policies, e.Catalog, e.Tracer)
-	e.enforcer.ExtraScopes = e.Assign2Scopes()
 	return e
 }
+
+// SetWorkers bounds parallelism for ETL waves and render row enforcement
+// (0 restores the default of one worker per CPU).
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	e.workers = n
+	e.mu.Unlock()
+	e.enforcer.SetWorkers(n)
+}
+
+// SetCacheSize bounds the render decision cache (0 restores the default).
+func (e *Engine) SetCacheSize(n int) { e.enforcer.SetCacheSize(n) }
+
+// CacheStats snapshots the render decision-cache counters.
+func (e *Engine) CacheStats() enforce.CacheStats { return e.enforcer.CacheStats() }
 
 // AddSource registers a data provider; its tables become traceable
 // provenance bases and queryable catalog entries.
 func (e *Engine) AddSource(src *etl.Source) {
-	e.Sources[strings.ToLower(src.Name)] = src
+	e.mu.Lock()
+	e.sources[strings.ToLower(src.Name)] = src
+	e.mu.Unlock()
 	for _, t := range src.Tables {
 		e.Catalog.Register(t)
 		e.Tracer.RegisterBase(t)
@@ -68,7 +93,30 @@ func (e *Engine) AddSource(src *etl.Source) {
 	}
 }
 
-// AddPLAs parses a PLA DSL document and registers every block.
+// Source returns a registered data provider by name.
+func (e *Engine) Source(name string) (*etl.Source, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.sources[strings.ToLower(name)]
+	return s, ok
+}
+
+// SourceNames lists the registered providers in registration-independent
+// sorted order.
+func (e *Engine) SourceNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.sources))
+	for name := range e.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddPLAs parses a PLA DSL document and registers every block. Cached
+// render decisions computed under the previous policy set stop validating
+// immediately (the registry generation moves).
 func (e *Engine) AddPLAs(dsl string) error {
 	plas, err := policy.ParseFile(dsl)
 	if err != nil {
@@ -89,9 +137,14 @@ func (e *Engine) AddPLAs(dsl string) error {
 // tracer. When continueOnViolation is true, blocked steps are skipped and
 // recorded while the rest of the pipeline proceeds.
 func (e *Engine) RunETL(p *etl.Pipeline, continueOnViolation bool) (etl.Result, error) {
-	ctx := etl.NewContext(enforce.NewPLAGuard(e.Policies))
-	ctx.Graph = e.Graph
-	ctx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
+	return e.RunETLContext(context.Background(), p, continueOnViolation)
+}
+
+// RunETLContext is RunETL honouring ctx between pipeline waves.
+func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnViolation bool) (etl.Result, error) {
+	ectx := etl.NewContext(enforce.NewPLAGuard(e.Policies))
+	ectx.Graph = e.Graph
+	ectx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
 		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
 			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut)}
 		if err != nil {
@@ -100,9 +153,14 @@ func (e *Engine) RunETL(p *etl.Pipeline, continueOnViolation bool) (etl.Result, 
 		}
 		e.Audit.Append(ev)
 	}
-	res, err := p.Run(ctx, continueOnViolation)
+	if p.Workers == 0 {
+		e.mu.RLock()
+		p.Workers = e.workers
+		e.mu.RUnlock()
+	}
+	res, err := p.RunContext(ctx, ectx, continueOnViolation)
 	// Register every staging output for reporting and tracing.
-	for name, t := range ctx.Staging {
+	for name, t := range ectx.Staging {
 		reg := t
 		if reg.Name != name {
 			reg = t.Clone()
@@ -127,7 +185,9 @@ func (e *Engine) DefineReport(d *report.Definition) error {
 
 // DeriveMetaReports computes the minimal covering meta-report set for the
 // current portfolio and marks the metas approved (standing in for the
-// owners' sign-off).
+// owners' sign-off). Cached render decisions keyed to the previous
+// assignment stop validating (the enforcer configuration generation
+// moves).
 func (e *Engine) DeriveMetaReports() ([]*metareport.MetaReport, error) {
 	metas, assign, err := metareport.Derive(e.Catalog, e.Reports.All())
 	if err != nil {
@@ -136,20 +196,66 @@ func (e *Engine) DeriveMetaReports() ([]*metareport.MetaReport, error) {
 	for _, m := range metas {
 		m.Approved = true
 	}
-	e.Metas = metas
-	e.Assign = assign
-	e.enforcer.ExtraScopes = e.Assign2Scopes()
+	e.mu.Lock()
+	e.metas = metas
+	e.assign = assign
+	scopes := assignToScopes(assign)
+	e.mu.Unlock()
+	e.enforcer.SetExtraScopes(scopes)
 	for _, m := range metas {
 		e.Audit.Append(audit.Event{Kind: "metareport", Object: m.ID, Detail: m.Query})
 	}
 	return metas, nil
 }
 
+// MetaReports returns the approved meta-report set.
+func (e *Engine) MetaReports() []*metareport.MetaReport {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*metareport.MetaReport(nil), e.metas...)
+}
+
+// Meta returns one meta-report by id.
+func (e *Engine) Meta(id string) (*metareport.MetaReport, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, m := range e.metas {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Assignment returns the id of the meta-report a report is assigned to
+// ("" when unassigned).
+func (e *Engine) Assignment(reportID string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.assign[reportID]
+}
+
+// SetAssignment pins a report to a meta-report, overriding the derived
+// assignment (used by evolution harnesses replaying historic decisions).
+func (e *Engine) SetAssignment(reportID, metaID string) {
+	e.mu.Lock()
+	e.assign[reportID] = metaID
+	scopes := assignToScopes(e.assign)
+	e.mu.Unlock()
+	e.enforcer.SetExtraScopes(scopes)
+}
+
 // Assign2Scopes converts the report->meta assignment into the enforcer's
 // extra-scope map.
 func (e *Engine) Assign2Scopes() map[string][]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return assignToScopes(e.assign)
+}
+
+func assignToScopes(assign map[string]string) map[string][]string {
 	out := map[string][]string{}
-	for rid, mid := range e.Assign {
+	for rid, mid := range assign {
 		out[rid] = append(out[rid], mid)
 	}
 	return out
@@ -157,15 +263,25 @@ func (e *Engine) Assign2Scopes() map[string][]string {
 
 // CheckReportCompliance statically checks a report (by id) for the given
 // consumer: derivability from an approved meta-report (when metas exist)
-// and PLA compliance of the definition.
+// and PLA compliance of the definition. The unknown-report case wraps
+// report.ErrUnknownReport.
 func (e *Engine) CheckReportCompliance(reportID string, c report.Consumer) ([]enforce.Decision, error) {
+	return e.CheckReportComplianceContext(context.Background(), reportID, c)
+}
+
+// CheckReportComplianceContext is CheckReportCompliance honouring ctx.
+func (e *Engine) CheckReportComplianceContext(ctx context.Context, reportID string, c report.Consumer) ([]enforce.Decision, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d, ok := e.Reports.Get(reportID)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown report %q", reportID)
+		return nil, fmt.Errorf("core: %w %q", report.ErrUnknownReport, reportID)
 	}
 	var out []enforce.Decision
-	if len(e.Metas) > 0 {
-		covering, cont, err := metareport.CoveringMeta(e.Catalog, d, e.Metas)
+	metas := e.MetaReports()
+	if len(metas) > 0 {
+		covering, cont, err := metareport.CoveringMeta(e.Catalog, d, metas)
 		if err != nil {
 			return nil, err
 		}
@@ -174,9 +290,16 @@ func (e *Engine) CheckReportCompliance(reportID string, c report.Consumer) ([]en
 				Outcome: enforce.Block, Rule: "meta-derivability", Subject: d.ID,
 				Detail: strings.Join(cont.Reasons, "; "),
 			})
-		} else if e.Assign[d.ID] == "" {
-			e.Assign[d.ID] = covering.ID
-			e.enforcer.ExtraScopes = e.Assign2Scopes()
+		} else {
+			e.mu.Lock()
+			if e.assign[d.ID] == "" {
+				e.assign[d.ID] = covering.ID
+				scopes := assignToScopes(e.assign)
+				e.mu.Unlock()
+				e.enforcer.SetExtraScopes(scopes)
+			} else {
+				e.mu.Unlock()
+			}
 		}
 	}
 	static, err := e.enforcer.StaticCheck(d, c.Role, c.Purpose)
@@ -189,11 +312,19 @@ func (e *Engine) CheckReportCompliance(reportID string, c report.Consumer) ([]en
 // Render renders a report with full enforcement for the consumer,
 // recording the render and every decision in the audit log.
 func (e *Engine) Render(reportID string, c report.Consumer) (*enforce.Enforced, error) {
+	return e.RenderContext(context.Background(), reportID, c)
+}
+
+// RenderContext is Render honouring ctx during row enforcement. Safe to
+// call from many goroutines at once; repeated renders of the same
+// (report, role, purpose) are served from the decision cache. The
+// unknown-report case wraps report.ErrUnknownReport.
+func (e *Engine) RenderContext(ctx context.Context, reportID string, c report.Consumer) (*enforce.Enforced, error) {
 	d, ok := e.Reports.Get(reportID)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown report %q", reportID)
+		return nil, fmt.Errorf("core: %w %q", report.ErrUnknownReport, reportID)
 	}
-	enf, err := e.enforcer.Render(d, c)
+	enf, err := e.enforcer.RenderContext(ctx, d, c)
 	if err != nil {
 		return nil, err
 	}
@@ -218,9 +349,20 @@ func (e *Engine) Render(reportID string, c report.Consumer) (*enforce.Enforced, 
 func (e *Engine) ComplianceSuite(reportID string, c report.Consumer) ([]metareport.ComplianceTest, error) {
 	d, ok := e.Reports.Get(reportID)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown report %q", reportID)
+		return nil, fmt.Errorf("core: %w %q", report.ErrUnknownReport, reportID)
 	}
-	return metareport.GenerateTests(e.Policies, e.Catalog, e.Tracer, d, c, e.Assign2Scopes()[reportID])
+	var scope string
+	if mid := e.Assignment(reportID); mid != "" {
+		scope = mid
+	}
+	return metareport.GenerateTests(e.Policies, e.Catalog, e.Tracer, d, c, scopeList(scope))
+}
+
+func scopeList(scope string) []string {
+	if scope == "" {
+		return nil
+	}
+	return []string{scope}
 }
 
 // Auditor returns the dispute-resolution auditor over this engine's

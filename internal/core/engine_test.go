@@ -39,11 +39,11 @@ func TestBuildHealthcareEngine(t *testing.T) {
 		}
 	}
 	// Meta-reports derived and every report assigned.
-	if len(e.Metas) == 0 {
+	if len(e.MetaReports()) == 0 {
 		t.Fatal("no metas")
 	}
 	for _, d := range e.Reports.All() {
-		if e.Assign[d.ID] == "" {
+		if e.Assignment(d.ID) == "" {
 			t.Errorf("report %s unassigned", d.ID)
 		}
 	}
@@ -293,7 +293,7 @@ pla "purpose-rule" {
 	// Mismatched purpose: masked (the source-level drug allow in the
 	// scenario PLAs has no purpose restriction, so restrict the check to
 	// the report-level PLA only).
-	e.Enforcer().Levels = []policy.Level{policy.LevelReport}
+	e.Enforcer().SetLevels([]policy.Level{policy.LevelReport})
 	enf2, err := e.Render("purpose-report", report.Consumer{Role: "analyst", Purpose: "marketing"})
 	if err != nil {
 		t.Fatal(err)

@@ -106,10 +106,10 @@ func BuildHealthcareEngine(cfg workload.Config) (*Engine, *workload.Dataset, err
 // with costs and demographics (permitted joins) into the wide staging
 // table "rx_wide" the warehouse reports run on.
 func HealthcarePipeline(e *Engine) *etl.Pipeline {
-	hosp := e.Sources["hospital"]
-	fam := e.Sources["familydoctors"]
-	agency := e.Sources["healthagency"]
-	muni := e.Sources["municipality"]
+	hosp, _ := e.Source("hospital")
+	fam, _ := e.Source("familydoctors")
+	agency, _ := e.Source("healthagency")
+	muni, _ := e.Source("municipality")
 	return &etl.Pipeline{Name: "healthcare", Steps: []etl.Step{
 		etl.NewExtract("ext-prescriptions", hosp, "prescriptions", ""),
 		etl.NewExtract("ext-familydoctor", fam, "familydoctor", ""),

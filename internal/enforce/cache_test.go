@@ -1,0 +1,86 @@
+package enforce
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPlanCacheGenerationCheck(t *testing.T) {
+	c := newPlanCache(64)
+	k := planKey{report: "r", role: "analyst", purpose: "quality"}
+	at := gens{version: 1, policy: 2, catalog: 3, scope: 4}
+
+	if _, ok := c.get(k, at); ok {
+		t.Fatal("empty cache returned a plan")
+	}
+	c.put(k, &renderPlan{at: at})
+	if _, ok := c.get(k, at); !ok {
+		t.Fatal("stored plan not returned for matching generations")
+	}
+	// Any generation moving invalidates.
+	for i, stale := range []gens{
+		{version: 2, policy: 2, catalog: 3, scope: 4},
+		{version: 1, policy: 9, catalog: 3, scope: 4},
+		{version: 1, policy: 2, catalog: 9, scope: 4},
+		{version: 1, policy: 2, catalog: 3, scope: 9},
+	} {
+		c.put(k, &renderPlan{at: at})
+		if _, ok := c.get(k, stale); ok {
+			t.Fatalf("case %d: stale plan served", i)
+		}
+	}
+	s := c.stats()
+	if s.Invalidations != 4 {
+		t.Errorf("invalidations = %d, want 4", s.Invalidations)
+	}
+	if s.Hits != 1 {
+		t.Errorf("hits = %d, want 1", s.Hits)
+	}
+}
+
+func TestPlanCacheBounded(t *testing.T) {
+	c := newPlanCache(32) // 2 per shard
+	for i := 0; i < 500; i++ {
+		k := planKey{report: fmt.Sprintf("r%d", i), role: "a", purpose: "p"}
+		c.put(k, &renderPlan{})
+	}
+	if n := c.stats().Entries; n > 32 {
+		t.Errorf("entries = %d, want <= 32", n)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := newPlanCache(0)
+	at := gens{version: 1}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := planKey{report: fmt.Sprintf("r%d", i%17), role: "a", purpose: "p"}
+				if p, ok := c.get(k, at); !ok || p == nil {
+					c.put(k, &renderPlan{at: at})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.stats()
+	if s.Hits == 0 {
+		t.Error("expected concurrent hits")
+	}
+	if s.Entries == 0 || s.Entries > 17 {
+		t.Errorf("entries = %d, want 1..17", s.Entries)
+	}
+}
+
+func TestCacheStatsHitRate(t *testing.T) {
+	if r := (CacheStats{}).HitRate(); r != 0 {
+		t.Errorf("empty hit rate = %v", r)
+	}
+	if r := (CacheStats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", r)
+	}
+}

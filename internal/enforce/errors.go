@@ -1,0 +1,53 @@
+package enforce
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrPLAViolation is the sentinel behind every enforcement failure that
+// blocks an operation outright — a statically non-compliant report, a
+// forbidden ETL join, a denied integration. Callers match it with
+// errors.Is and recover the concrete decisions with errors.As on
+// *BlockedError.
+var ErrPLAViolation = errors.New("PLA violation")
+
+// BlockedError reports that an operation was refused by PLA enforcement.
+// It wraps ErrPLAViolation and carries the blocking decisions as
+// first-class audit evidence.
+type BlockedError struct {
+	// Op names the refused operation ("render", "join", "integration").
+	Op string
+	// Subject is the element the operation targeted (report id, join
+	// pair, donor table).
+	Subject string
+	// Decisions lists the enforcement decisions with Outcome == Block.
+	Decisions []Decision
+}
+
+// Error implements error.
+func (e *BlockedError) Error() string {
+	if len(e.Decisions) == 0 {
+		return fmt.Sprintf("enforce: %s %s blocked: %v", e.Op, e.Subject, ErrPLAViolation)
+	}
+	parts := make([]string, len(e.Decisions))
+	for i, d := range e.Decisions {
+		parts[i] = d.String()
+	}
+	return fmt.Sprintf("enforce: %s %s blocked: %s", e.Op, e.Subject, strings.Join(parts, "; "))
+}
+
+// Unwrap lets errors.Is(err, ErrPLAViolation) succeed.
+func (e *BlockedError) Unwrap() error { return ErrPLAViolation }
+
+// Blocked filters the decisions with Outcome == Block.
+func Blocked(decisions []Decision) []Decision {
+	var out []Decision
+	for _, d := range decisions {
+		if d.Outcome == Block {
+			out = append(out, d)
+		}
+	}
+	return out
+}

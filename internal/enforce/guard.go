@@ -30,22 +30,33 @@ func (g *PLAGuard) compositeFor(scope string) *policy.Composite {
 }
 
 // CheckJoin implements etl.Guard: both sides' PLAs must permit joining
-// with the other.
+// with the other. A refusal is a *BlockedError wrapping ErrPLAViolation.
 func (g *PLAGuard) CheckJoin(left, right string) error {
 	if ok, reason := g.compositeFor(left).JoinAllowed(right); !ok {
-		return fmt.Errorf("PLA %s forbids joining %s with %s", reason, left, right)
+		return g.blockJoin(left, right, reason)
 	}
 	if ok, reason := g.compositeFor(right).JoinAllowed(left); !ok {
-		return fmt.Errorf("PLA %s forbids joining %s with %s", reason, right, left)
+		return g.blockJoin(right, left, reason)
 	}
 	return nil
 }
 
+func (g *PLAGuard) blockJoin(a, b, reason string) error {
+	return &BlockedError{Op: "join", Subject: a + " JOIN " + b, Decisions: []Decision{{
+		Outcome: Block, Rule: "join-permission", Subject: a + " JOIN " + b, PLAs: []string{reason},
+		Detail: fmt.Sprintf("PLA %s forbids joining %s with %s", reason, a, b),
+	}}}
+}
+
 // CheckIntegration implements etl.Guard: the donor table's PLAs must
-// permit using its data for the beneficiary owner.
+// permit using its data for the beneficiary owner. A refusal is a
+// *BlockedError wrapping ErrPLAViolation.
 func (g *PLAGuard) CheckIntegration(donorTable, beneficiaryOwner string) error {
 	if ok, reason := g.compositeFor(donorTable).IntegrationAllowed(beneficiaryOwner); !ok {
-		return fmt.Errorf("PLA %s forbids integration of %s for %s", reason, donorTable, beneficiaryOwner)
+		return &BlockedError{Op: "integration", Subject: donorTable, Decisions: []Decision{{
+			Outcome: Block, Rule: "integration-permission", Subject: donorTable, PLAs: []string{reason},
+			Detail: fmt.Sprintf("PLA %s forbids integration of %s for %s", reason, donorTable, beneficiaryOwner),
+		}}}
 	}
 	return nil
 }

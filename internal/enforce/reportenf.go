@@ -1,8 +1,13 @@
 package enforce
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"plabi/internal/policy"
 	"plabi/internal/provenance"
@@ -17,26 +22,93 @@ import (
 // conditions resolved through provenance against the supporting source
 // rows (the paper's HIV example), aggregation thresholds counted on
 // lineage support, and row filters.
+//
+// The enforcer is safe for concurrent use. Policy-independent work is
+// cached per (report, role, purpose) in a sharded plan cache validated
+// against the policy-registry, catalog and configuration generations, so
+// repeated renders skip parsing, profiling and PLA composition entirely;
+// row-level enforcement fans out over a bounded worker pool.
 type ReportEnforcer struct {
 	Registry *policy.Registry
 	Catalog  *sql.Catalog
 	Tracer   *provenance.Tracer
-	// Levels are the PLA levels consulted; defaults to source, warehouse
-	// and report.
-	Levels []policy.Level
-	// ExtraScopes maps a report id to additional PLA scopes that govern
-	// it (e.g. the meta-reports it derives from).
-	ExtraScopes map[string][]string
+
+	// mu guards the configuration below; cfgGen is bumped on every
+	// configuration change so cached plans built under the previous
+	// configuration stop validating.
+	mu          sync.RWMutex
+	levels      []policy.Level
+	extraScopes map[string][]string
+	cfgGen      atomic.Uint64
+
+	cache   atomic.Pointer[planCache]
+	workers atomic.Int32
 }
 
-// NewReportEnforcer builds an enforcer consulting every level.
+// NewReportEnforcer builds an enforcer consulting every level, with the
+// default cache size and one render worker per CPU.
 func NewReportEnforcer(reg *policy.Registry, cat *sql.Catalog, tr *provenance.Tracer) *ReportEnforcer {
-	return &ReportEnforcer{
+	e := &ReportEnforcer{
 		Registry: reg, Catalog: cat, Tracer: tr,
-		Levels: []policy.Level{policy.LevelSource, policy.LevelWarehouse,
+		levels: []policy.Level{policy.LevelSource, policy.LevelWarehouse,
 			policy.LevelMetaReport, policy.LevelReport},
-		ExtraScopes: map[string][]string{},
+		extraScopes: map[string][]string{},
 	}
+	e.cache.Store(newPlanCache(0))
+	return e
+}
+
+// SetLevels replaces the PLA levels consulted (nil or empty restores all
+// levels) and invalidates cached plans.
+func (e *ReportEnforcer) SetLevels(levels []policy.Level) {
+	e.mu.Lock()
+	e.levels = append([]policy.Level(nil), levels...)
+	e.mu.Unlock()
+	e.cfgGen.Add(1)
+}
+
+// SetExtraScopes replaces the report-id -> extra PLA scope map (e.g. the
+// meta-reports each report derives from) and invalidates cached plans.
+func (e *ReportEnforcer) SetExtraScopes(scopes map[string][]string) {
+	cp := make(map[string][]string, len(scopes))
+	for k, v := range scopes {
+		cp[k] = append([]string(nil), v...)
+	}
+	e.mu.Lock()
+	e.extraScopes = cp
+	e.mu.Unlock()
+	e.cfgGen.Add(1)
+}
+
+// SetCacheSize replaces the plan cache with a fresh one bounded at
+// roughly n entries (n <= 0 selects the default). Counters restart.
+func (e *ReportEnforcer) SetCacheSize(n int) {
+	e.cache.Store(newPlanCache(n))
+}
+
+// SetWorkers bounds the render worker pool (0 = one per CPU).
+func (e *ReportEnforcer) SetWorkers(n int) {
+	e.workers.Store(int32(n))
+}
+
+// CacheStats snapshots the plan-cache counters.
+func (e *ReportEnforcer) CacheStats() CacheStats {
+	return e.cache.Load().stats()
+}
+
+func (e *ReportEnforcer) levelSnapshot() []policy.Level {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.levels) > 0 {
+		return append([]policy.Level(nil), e.levels...)
+	}
+	return policy.Levels()
+}
+
+func (e *ReportEnforcer) scopesFor(reportID string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.extraScopes[reportID]...)
 }
 
 // Enforced is a rendered report after enforcement.
@@ -48,6 +120,9 @@ type Enforced struct {
 	// MaskedCells / SuppressedRows count the runtime interventions.
 	MaskedCells    int
 	SuppressedRows int
+	// CacheHit reports whether the enforcement plan came from the
+	// decision cache rather than being built for this render.
+	CacheHit bool
 }
 
 // CompositeFor assembles the PLAs governing a report: source-level PLAs of
@@ -69,7 +144,7 @@ func (e *ReportEnforcer) CompositeFor(def *report.Definition) (*policy.Composite
 			}
 		}
 	}
-	for _, lvl := range e.levels() {
+	for _, lvl := range e.levelSnapshot() {
 		switch lvl {
 		case policy.LevelSource:
 			add(e.Registry.ForScopes(lvl, prof.BaseTables))
@@ -82,7 +157,7 @@ func (e *ReportEnforcer) CompositeFor(def *report.Definition) (*policy.Composite
 				add(e.Registry.ForScopes(lvl, fromNames(sel)))
 			}
 		case policy.LevelMetaReport:
-			add(e.Registry.ForScopes(lvl, e.ExtraScopes[def.ID]))
+			add(e.Registry.ForScopes(lvl, e.scopesFor(def.ID)))
 		case policy.LevelReport:
 			add(e.Registry.ForScope(lvl, def.ID))
 		}
@@ -90,23 +165,82 @@ func (e *ReportEnforcer) CompositeFor(def *report.Definition) (*policy.Composite
 	return policy.Compose(plas...), prof, nil
 }
 
-func (e *ReportEnforcer) levels() []policy.Level {
-	if len(e.Levels) > 0 {
-		return e.Levels
+// planFor returns the cached enforcement plan for (def, role, purpose),
+// building and caching it on miss. A plan is valid only at the exact
+// (definition version, policy generation, catalog generation, enforcer
+// configuration generation) it was built at, so AddPLAs, catalog loads
+// and meta-report re-derivation invalidate implicitly.
+func (e *ReportEnforcer) planFor(def *report.Definition, role, purpose string) (*renderPlan, bool, error) {
+	key := planKey{report: def.ID, role: strings.ToLower(role), purpose: strings.ToLower(purpose)}
+	at := gens{
+		version: def.Version,
+		policy:  e.Registry.Generation(),
+		catalog: e.Catalog.Generation(),
+		scope:   e.cfgGen.Load(),
 	}
-	return policy.Levels()
+	cache := e.cache.Load()
+	if p, ok := cache.get(key, at); ok {
+		return p, true, nil
+	}
+	p, err := e.buildPlan(def, role, purpose, at)
+	if err != nil {
+		return nil, false, err
+	}
+	cache.put(key, p)
+	return p, false, nil
+}
+
+// buildPlan does every piece of enforcement work that does not depend on
+// the data: parse, profile, compose the governing PLAs, run the static
+// check, and precompute thresholds and row filters.
+func (e *ReportEnforcer) buildPlan(def *report.Definition, role, purpose string, at gens) (*renderPlan, error) {
+	comp, prof, err := e.CompositeFor(def)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := def.Parse()
+	if err != nil {
+		return nil, err
+	}
+	plan := &renderPlan{
+		at:         at,
+		sel:        sel,
+		prof:       prof,
+		comp:       comp,
+		aggregated: prof.Aggregated,
+		aggCols:    aggregateColumns(sel),
+		filters:    comp.Filters(),
+		minBy:      map[string]int{},
+	}
+	if prof.Aggregated {
+		for _, rule := range comp.AggregationRules() {
+			key := strings.ToLower(rule.By)
+			if rule.MinCount > plan.minBy[key] {
+				plan.minBy[key] = rule.MinCount
+			}
+		}
+	}
+	plan.static = e.staticDecisions(comp, prof, sel, role, purpose)
+	return plan, nil
 }
 
 // StaticCheck verifies a report definition against the PLAs without
 // executing it: forbidden joins, denied attributes, and missing
 // aggregation for threshold-protected data are reported. An empty result
 // means the definition is statically compliant — the paper's "testable
-// before put in operation" property (§6).
+// before put in operation" property (§6). Results are served from the
+// decision cache when valid.
 func (e *ReportEnforcer) StaticCheck(def *report.Definition, role, purpose string) ([]Decision, error) {
-	comp, prof, err := e.CompositeFor(def)
+	plan, _, err := e.planFor(def, role, purpose)
 	if err != nil {
 		return nil, err
 	}
+	return append([]Decision(nil), plan.static...), nil
+}
+
+// staticDecisions is the static-check body over an already-built
+// composite, profile and AST.
+func (e *ReportEnforcer) staticDecisions(comp *policy.Composite, prof *sql.Profile, sel *sql.SelectStmt, role, purpose string) []Decision {
 	var out []Decision
 
 	// Join permissions.
@@ -123,17 +257,18 @@ func (e *ReportEnforcer) StaticCheck(def *report.Definition, role, purpose strin
 	}
 
 	// Attribute access on non-aggregated output columns.
-	sel, err := def.Parse()
-	if err != nil {
-		return nil, err
-	}
 	aggCols := aggregateColumns(sel)
 	fromRels := fromNames(sel)
-	for name, origins := range prof.OutputNames {
+	names := make([]string, 0, len(prof.OutputNames))
+	for name := range prof.OutputNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if aggCols[name] {
 			continue
 		}
-		refs := e.columnRefs(fromRels, name, origins)
+		refs := e.columnRefs(fromRels, name, prof.OutputNames[name])
 		if d, _ := e.decideColumn(comp, refs, name, role, purpose); d != nil {
 			out = append(out, *d)
 		}
@@ -152,7 +287,7 @@ func (e *ReportEnforcer) StaticCheck(def *report.Definition, role, purpose strin
 				Detail:  fmt.Sprintf("report is not aggregated but a min-%d threshold applies", rule.MinCount)})
 		}
 	}
-	return out, nil
+	return out
 }
 
 func (e *ReportEnforcer) perTableComposite(table string) *policy.Composite {
@@ -222,33 +357,60 @@ func (e *ReportEnforcer) decideColumn(comp *policy.Composite, refs []policy.Attr
 	return nil, conds
 }
 
+// buildColPlans computes the per-output-column access decisions for one
+// consumer against an executed result's schema and column origins. The
+// result is deterministic for a fixed plan generation, so it is computed
+// once per cached plan and shared across renders.
+func (e *ReportEnforcer) buildColPlans(plan *renderPlan, raw *relation.Table, role, purpose string) []colPlan {
+	cols := make([]colPlan, raw.Schema.Len())
+	fromRels := fromNames(plan.sel)
+	for ci, col := range raw.Schema.Columns {
+		name := strings.ToLower(col.Name)
+		if plan.aggCols[name] {
+			continue // aggregate columns governed by thresholds
+		}
+		origins := raw.ColumnOrigin(ci)
+		refs := e.columnRefs(fromRels, name, origins)
+		d, conds := e.decideColumn(plan.comp, refs, name, role, purpose)
+		if d != nil {
+			cols[ci] = colPlan{masked: true, decision: *d}
+			continue
+		}
+		cols[ci] = colPlan{conditions: conds}
+	}
+	return cols
+}
+
 // Render executes the report and enforces the PLAs on the result for the
 // given consumer.
 func (e *ReportEnforcer) Render(def *report.Definition, consumer report.Consumer) (*Enforced, error) {
-	comp, prof, err := e.CompositeFor(def)
+	return e.RenderContext(context.Background(), def, consumer)
+}
+
+// minParallelRows is the row count below which chunked enforcement is not
+// worth the goroutine overhead.
+const minParallelRows = 256
+
+// RenderContext executes the report and enforces the PLAs on the result,
+// honouring ctx cancellation between row chunks. Safe to call from many
+// goroutines at once.
+func (e *ReportEnforcer) RenderContext(ctx context.Context, def *report.Definition, consumer report.Consumer) (*Enforced, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, hit, err := e.planFor(def, consumer.Role, consumer.Purpose)
 	if err != nil {
 		return nil, err
 	}
-	sel, err := def.Parse()
+	raw, err := e.Catalog.Exec(plan.sel)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("report %s: %w", def.ID, err)
 	}
-	raw, err := def.Render(e.Catalog)
-	if err != nil {
-		return nil, err
-	}
-	enf := &Enforced{Def: def}
+	raw.Name = def.ID
+	enf := &Enforced{Def: def, CacheHit: hit}
 
 	// Static blocks abort rendering entirely.
-	static, err := e.StaticCheck(def, consumer.Role, consumer.Purpose)
-	if err != nil {
-		return nil, err
-	}
-	for _, d := range static {
-		if d.Outcome == Block {
-			enf.Decisions = append(enf.Decisions, d)
-		}
-	}
+	enf.Decisions = append(enf.Decisions, Blocked(plan.static)...)
 	if len(enf.Decisions) > 0 {
 		empty := raw.Clone()
 		empty.Rows = nil
@@ -257,133 +419,214 @@ func (e *ReportEnforcer) Render(def *report.Definition, consumer report.Consumer
 		return enf, nil
 	}
 
-	aggCols := aggregateColumns(sel)
 	out := raw.Clone()
 	out.Name = def.ID
 
-	// Column-level access decisions and per-column conditions.
-	type colPlan struct {
-		masked     bool
-		conditions []relation.Expr
+	// Column-level access decisions, computed once per plan generation.
+	plan.colOnce.Do(func() {
+		plan.cols = e.buildColPlans(plan, raw, consumer.Role, consumer.Purpose)
+	})
+	cols := plan.cols
+	if len(cols) != out.Schema.Len() {
+		// Defensive: a schema drift the generations failed to capture.
+		cols = e.buildColPlans(plan, raw, consumer.Role, consumer.Purpose)
 	}
-	plans := make([]colPlan, out.Schema.Len())
-	fromRels := fromNames(sel)
-	for ci, col := range out.Schema.Columns {
-		name := strings.ToLower(col.Name)
-		origins := raw.ColumnOrigin(ci)
-		if aggCols[name] {
-			continue // aggregate columns governed by thresholds
-		}
-		refs := e.columnRefs(fromRels, name, origins)
-		d, conds := e.decideColumn(comp, refs, name, consumer.Role, consumer.Purpose)
-		if d != nil {
-			plans[ci].masked = true
-			enf.Decisions = append(enf.Decisions, *d)
-			continue
-		}
-		plans[ci].conditions = conds
-	}
-
-	// Aggregation thresholds per output row (counted on lineage support).
-	minBy := map[string]int{}
-	for _, rule := range comp.AggregationRules() {
-		if prof.Aggregated {
-			key := strings.ToLower(rule.By)
-			if rule.MinCount > minBy[key] {
-				minBy[key] = rule.MinCount
-			}
+	for ci := range cols {
+		if cols[ci].masked {
+			enf.Decisions = append(enf.Decisions, cols[ci].decision)
 		}
 	}
 
-	// Row filters apply to non-aggregated reports via supporting rows.
-	filters := comp.Filters()
-
+	results, err := e.enforceRows(ctx, plan, raw, out, cols)
+	if err != nil {
+		return nil, err
+	}
 	var keptRows []relation.Row
 	var keptLineage []relation.LineageSet
-	for ri := range out.Rows {
-		rt, err := e.Tracer.TraceRow(raw, ri)
-		if err != nil {
-			return nil, err
-		}
-		// Aggregation thresholds.
-		suppress := false
-		for by, k := range minBy {
-			var support int
-			if by == "" {
-				support = len(rt.Rows)
-			} else {
-				support = 0
-				for table := range rt.Support {
-					if n := e.Tracer.DistinctSupport(rt, table, by); n > support {
-						support = n
-					}
-				}
-			}
-			if support < k {
-				suppress = true
-				enf.Decisions = append(enf.Decisions, Decision{
-					Outcome: SuppressGroup, Rule: "aggregation-threshold",
-					Subject:  fmt.Sprintf("%s[%d]", def.ID, ri),
-					Detail:   fmt.Sprintf("support %d < min %d (by %q)", support, k, by),
-					Evidence: lineageEvidence(rt),
-				})
-				break
-			}
-		}
-		if suppress {
+	for ri := range results {
+		r := &results[ri]
+		enf.Decisions = append(enf.Decisions, r.decisions...)
+		enf.MaskedCells += r.masked
+		if !r.keep {
 			enf.SuppressedRows++
 			continue
 		}
-		// Row filters (non-aggregated reports): every supporting source
-		// row must satisfy every filter.
-		if !prof.Aggregated && len(filters) > 0 {
-			ok, evidence := e.supportSatisfies(rt, filters)
-			if !ok {
-				enf.SuppressedRows++
-				enf.Decisions = append(enf.Decisions, Decision{
-					Outcome: SuppressRow, Rule: "row-filter",
-					Subject:  fmt.Sprintf("%s[%d]", def.ID, ri),
-					Evidence: evidence,
-				})
-				continue
-			}
-		}
-		// Cell-level masking: denied columns, then intensional conditions
-		// evaluated against the supporting source rows (§5 HIV example).
-		row := out.Rows[ri].Clone()
-		for ci := range row {
-			if plans[ci].masked {
-				row[ci] = MaskValue
-				enf.MaskedCells++
-				continue
-			}
-			if len(plans[ci].conditions) == 0 {
-				continue
-			}
-			ok, evidence := e.supportSatisfies(rt, plans[ci].conditions)
-			if !ok {
-				row[ci] = MaskValue
-				enf.MaskedCells++
-				enf.Decisions = append(enf.Decisions, Decision{
-					Outcome: Mask, Rule: "condition",
-					Subject:  fmt.Sprintf("%s[%d].%s", def.ID, ri, out.Schema.Columns[ci].Name),
-					Evidence: evidence,
-				})
-			}
-		}
-		keptRows = append(keptRows, row)
-		keptLineage = append(keptLineage, raw.RowLineage(ri))
+		keptRows = append(keptRows, r.row)
+		keptLineage = append(keptLineage, r.lineage)
 	}
 	out.Rows = keptRows
 	out.Lineage = keptLineage
 	// Masked columns may hold strings now.
 	for ci := range out.Schema.Columns {
-		if plans[ci].masked {
+		if cols[ci].masked {
 			out.Schema.Columns[ci].Type = relation.TString
 		}
 	}
 	enf.Table = out
 	return enf, nil
+}
+
+// rowResult is the per-row outcome of runtime enforcement, collected
+// positionally so chunked execution stays deterministic.
+type rowResult struct {
+	keep      bool
+	row       relation.Row
+	lineage   relation.LineageSet
+	decisions []Decision
+	masked    int
+}
+
+// enforceRows applies thresholds, row filters and cell-level enforcement
+// to every output row, fanning out over the worker pool for large
+// results. Results are positional, so the merged output is identical to
+// a sequential pass.
+func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw, out *relation.Table, cols []colPlan) ([]rowResult, error) {
+	n := len(out.Rows)
+	results := make([]rowResult, n)
+	workers := int(e.workers.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || n < minParallelRows {
+		for ri := 0; ri < n; ri++ {
+			if ri%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if err := e.enforceRow(plan, raw, out, cols, ri, &results[ri]); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 64 {
+		chunk = 64
+	}
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for ri := start; ri < end; ri++ {
+					if err := e.enforceRow(plan, raw, out, cols, ri, &results[ri]); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// enforceRow enforces one output row: aggregation thresholds counted on
+// lineage support, row filters over supporting source rows, then
+// cell-level masking (denied columns and intensional conditions — the §5
+// HIV example).
+func (e *ReportEnforcer) enforceRow(plan *renderPlan, raw, out *relation.Table, cols []colPlan, ri int, res *rowResult) error {
+	rt, err := e.Tracer.TraceRow(raw, ri)
+	if err != nil {
+		return err
+	}
+	// Aggregation thresholds (iterated in sorted order for deterministic
+	// evidence when several thresholds fail).
+	for _, by := range sortedKeys(plan.minBy) {
+		k := plan.minBy[by]
+		var support int
+		if by == "" {
+			support = len(rt.Rows)
+		} else {
+			support = 0
+			for table := range rt.Support {
+				if n := e.Tracer.DistinctSupport(rt, table, by); n > support {
+					support = n
+				}
+			}
+		}
+		if support < k {
+			res.decisions = append(res.decisions, Decision{
+				Outcome: SuppressGroup, Rule: "aggregation-threshold",
+				Subject:  fmt.Sprintf("%s[%d]", out.Name, ri),
+				Detail:   fmt.Sprintf("support %d < min %d (by %q)", support, k, by),
+				Evidence: lineageEvidence(rt),
+			})
+			return nil
+		}
+	}
+	// Row filters (non-aggregated reports): every supporting source row
+	// must satisfy every filter.
+	if !plan.aggregated && len(plan.filters) > 0 {
+		ok, evidence := e.supportSatisfies(rt, plan.filters)
+		if !ok {
+			res.decisions = append(res.decisions, Decision{
+				Outcome: SuppressRow, Rule: "row-filter",
+				Subject:  fmt.Sprintf("%s[%d]", out.Name, ri),
+				Evidence: evidence,
+			})
+			return nil
+		}
+	}
+	// Cell-level masking: denied columns, then intensional conditions
+	// evaluated against the supporting source rows.
+	row := out.Rows[ri].Clone()
+	for ci := range row {
+		if cols[ci].masked {
+			row[ci] = MaskValue
+			res.masked++
+			continue
+		}
+		if len(cols[ci].conditions) == 0 {
+			continue
+		}
+		ok, evidence := e.supportSatisfies(rt, cols[ci].conditions)
+		if !ok {
+			row[ci] = MaskValue
+			res.masked++
+			res.decisions = append(res.decisions, Decision{
+				Outcome: Mask, Rule: "condition",
+				Subject:  fmt.Sprintf("%s[%d].%s", out.Name, ri, out.Schema.Columns[ci].Name),
+				Evidence: evidence,
+			})
+		}
+	}
+	res.keep = true
+	res.row = row
+	res.lineage = raw.RowLineage(ri)
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // supportSatisfies evaluates conditions on every source row supporting an

@@ -34,7 +34,7 @@ func ViewName(table, role string) string {
 // new rows are covered automatically.
 func (m *ViewManager) CreateRoleView(table, role, purpose string) (string, []Decision, error) {
 	if _, ok := m.Catalog.Table(table); !ok {
-		return "", nil, fmt.Errorf("enforce: unknown table %q", table)
+		return "", nil, fmt.Errorf("enforce: %w %q", sql.ErrUnknownTable, table)
 	}
 	rw := NewQueryRewriter(m.Registry, m.Catalog)
 	sel, err := sql.ParseSelect("SELECT * FROM " + table)

@@ -67,7 +67,7 @@ func (e *EntityResolution) Run(c *Context) error {
 	for _, donor := range baseTablesOf(canon) {
 		if err := c.Guard.CheckIntegration(donor, e.Beneficiary); err != nil {
 			return &ViolationError{Step: e.name, Rule: "integration-permission",
-				Detail: fmt.Sprintf("donor %s cleaning data of %s: %v", donor, e.Beneficiary, err)}
+				Detail: fmt.Sprintf("donor %s cleaning data of %s: %v", donor, e.Beneficiary, err), Cause: err}
 		}
 	}
 	ci := canon.Schema.Index(e.CanonColumn)

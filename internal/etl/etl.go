@@ -7,8 +7,11 @@
 package etl
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"plabi/internal/provenance"
 	"plabi/internal/relation"
@@ -58,12 +61,17 @@ func (AllowAll) CheckJoin(_, _ string) error { return nil }
 func (AllowAll) CheckIntegration(_, _ string) error { return nil }
 
 // Context carries pipeline state: the staging area, the provenance graph,
-// the guard, and an optional event sink.
+// the guard, and an optional event sink. Get and Put are safe for
+// concurrent use; direct access to Staging is only safe while no pipeline
+// is running.
 type Context struct {
+	mu      sync.RWMutex
 	Staging map[string]*relation.Table
 	Graph   *provenance.Graph
 	Guard   Guard
-	// Observe, when non-nil, receives one event per executed step.
+	// Observe, when non-nil, receives one event per executed step. It is
+	// always called sequentially, in pipeline step order, even when steps
+	// execute in parallel waves.
 	Observe func(step, op, output string, rowsIn, rowsOut int, err error)
 }
 
@@ -78,7 +86,9 @@ func NewContext(g Guard) *Context {
 
 // Get fetches a staging table.
 func (c *Context) Get(name string) (*relation.Table, error) {
+	c.mu.RLock()
 	t, ok := c.Staging[strings.ToLower(name)]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("etl: staging table %q not found", name)
 	}
@@ -87,7 +97,19 @@ func (c *Context) Get(name string) (*relation.Table, error) {
 
 // Put stores a staging table under the given name.
 func (c *Context) Put(name string, t *relation.Table) {
+	c.mu.Lock()
 	c.Staging[strings.ToLower(name)] = t
+	c.mu.Unlock()
+}
+
+func (c *Context) rows(name string) (int, bool) {
+	c.mu.RLock()
+	t, ok := c.Staging[strings.ToLower(name)]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return t.NumRows(), true
 }
 
 // Step is one pipeline operation.
@@ -105,9 +127,17 @@ type Step interface {
 
 // Pipeline is an ordered list of steps. PLA annotations attach to steps by
 // name via the policy registry (scope = step name).
+//
+// Run schedules steps in dependency waves: two steps may execute
+// concurrently when neither reads the other's output, they write distinct
+// outputs, and neither overwrites a relation the other reads. Observable
+// behaviour (Observe callbacks, provenance graph recording, violation
+// ordering) is identical to a sequential run.
 type Pipeline struct {
 	Name  string
 	Steps []Step
+	// Workers bounds per-wave parallelism (0 = one per CPU, 1 = serial).
+	Workers int
 }
 
 // Result reports one pipeline run.
@@ -123,38 +153,147 @@ type Result struct {
 // carries on with the remaining steps (the blocked step's output is
 // absent), otherwise it stops.
 func (p *Pipeline) Run(c *Context, continueOnViolation bool) (Result, error) {
+	return p.RunContext(context.Background(), c, continueOnViolation)
+}
+
+// stepOutcome is the raw result of executing one step inside a wave,
+// recorded into the context sequentially afterwards.
+type stepOutcome struct {
+	rowsIn, rowsOut int
+	err             error
+}
+
+// RunContext executes the pipeline, honouring ctx between waves.
+// Independent steps run concurrently on a bounded worker pool; results
+// are recorded (Observe, provenance, violation accounting) in original
+// step order after each wave, so audit trails and the transformation
+// graph are deterministic regardless of scheduling.
+func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolation bool) (Result, error) {
 	var res Result
-	for _, s := range p.Steps {
-		rowsIn := countRows(c, s.Inputs())
-		err := s.Run(c)
-		rowsOut := 0
-		if t, ok := c.Staging[strings.ToLower(s.Output())]; ok {
-			rowsOut = t.NumRows()
+	n := len(p.Steps)
+	deps := p.dependencies()
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	done := make([]bool, n)    // step recorded (success or skipped violation)
+	completed := 0
+	for completed < n {
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
-		if c.Observe != nil {
-			c.Observe(s.Name(), s.Op(), s.Output(), rowsIn, rowsOut, err)
-		}
-		if err != nil {
-			if IsViolation(err) {
-				res.Violations = append(res.Violations, err)
-				if continueOnViolation {
-					continue
-				}
-				return res, err
+		// Collect the next wave: every unfinished step whose dependencies
+		// are all done.
+		var wave []int
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
 			}
-			return res, fmt.Errorf("etl: step %q: %w", s.Name(), err)
+			ready := true
+			for _, d := range deps[i] {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
 		}
-		c.Graph.AddStep(s.Op(), s.Inputs(), s.Output(), s.Name(), rowsIn, rowsOut)
-		res.StepsRun++
+		// Dependencies only point backwards, so a wave is never empty.
+		outcomes := make([]stepOutcome, len(wave))
+		// rowsIn is stable across the wave: no step in a wave writes a
+		// relation another wave member reads.
+		for wi, si := range wave {
+			outcomes[wi].rowsIn = countRows(c, p.Steps[si].Inputs())
+		}
+		if workers == 1 || len(wave) == 1 {
+			for wi, si := range wave {
+				p.execStep(c, si, &outcomes[wi])
+			}
+		} else {
+			sem := make(chan struct{}, workers)
+			var wg sync.WaitGroup
+			for wi, si := range wave {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(wi, si int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					p.execStep(c, si, &outcomes[wi])
+				}(wi, si)
+			}
+			wg.Wait()
+		}
+		// Record outcomes sequentially in original step order — identical
+		// observable trace to a sequential run.
+		for wi, si := range wave {
+			s := p.Steps[si]
+			o := outcomes[wi]
+			if c.Observe != nil {
+				c.Observe(s.Name(), s.Op(), s.Output(), o.rowsIn, o.rowsOut, o.err)
+			}
+			if o.err != nil {
+				if IsViolation(o.err) {
+					res.Violations = append(res.Violations, o.err)
+					if continueOnViolation {
+						done[si] = true
+						completed++
+						continue
+					}
+					return res, o.err
+				}
+				return res, fmt.Errorf("etl: step %q: %w", s.Name(), o.err)
+			}
+			c.Graph.AddStep(s.Op(), s.Inputs(), s.Output(), s.Name(), o.rowsIn, o.rowsOut)
+			res.StepsRun++
+			done[si] = true
+			completed++
+		}
 	}
 	return res, nil
+}
+
+func (p *Pipeline) execStep(c *Context, si int, o *stepOutcome) {
+	s := p.Steps[si]
+	o.err = s.Run(c)
+	if rows, ok := c.rows(s.Output()); ok {
+		o.rowsOut = rows
+	}
+}
+
+// dependencies computes, per step, the indices of earlier steps it must
+// wait for: producers of its inputs (read-after-write), earlier writers of
+// its output (write-after-write), and earlier readers of a relation it
+// overwrites (write-after-read).
+func (p *Pipeline) dependencies() [][]int {
+	n := len(p.Steps)
+	ins := make([]map[string]bool, n)
+	outs := make([]string, n)
+	for i, s := range p.Steps {
+		ins[i] = map[string]bool{}
+		for _, in := range s.Inputs() {
+			ins[i][strings.ToLower(in)] = true
+		}
+		outs[i] = strings.ToLower(s.Output())
+	}
+	deps := make([][]int, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if ins[j][outs[i]] || outs[i] == outs[j] || ins[i][outs[j]] {
+				deps[j] = append(deps[j], i)
+			}
+		}
+	}
+	return deps
 }
 
 func countRows(c *Context, names []string) int {
 	n := 0
 	for _, name := range names {
-		if t, ok := c.Staging[strings.ToLower(name)]; ok {
-			n += t.NumRows()
+		if rows, ok := c.rows(name); ok {
+			n += rows
 		}
 	}
 	return n
@@ -166,12 +305,19 @@ type ViolationError struct {
 	Step   string
 	Rule   string
 	Detail string
+	// Cause is the underlying enforcement error (typically a
+	// *enforce.BlockedError wrapping enforce.ErrPLAViolation), exposed via
+	// Unwrap so errors.Is/As see through the ETL wrapper.
+	Cause error
 }
 
 // Error implements error.
 func (e *ViolationError) Error() string {
 	return fmt.Sprintf("etl: privacy violation in step %q: %s: %s", e.Step, e.Rule, e.Detail)
 }
+
+// Unwrap returns the underlying enforcement error, if any.
+func (e *ViolationError) Unwrap() error { return e.Cause }
 
 // IsViolation reports whether err is (or wraps) a ViolationError.
 func IsViolation(err error) bool {

@@ -179,7 +179,7 @@ func (j *JoinStep) Run(c *Context) error {
 			}
 			if err := c.Guard.CheckJoin(lb, rb); err != nil {
 				return &ViolationError{Step: j.name, Rule: "join-permission",
-					Detail: fmt.Sprintf("%s join %s: %v", lb, rb, err)}
+					Detail: fmt.Sprintf("%s join %s: %v", lb, rb, err), Cause: err}
 			}
 		}
 	}

@@ -185,10 +185,10 @@ pla "m" { owner "municipality"; level source; scope "residents";
 	}
 
 	p := &etl.Pipeline{Name: "fig3", Steps: []etl.Step{
-		etl.NewExtract("e1", e.Sources["hospital"], "prescriptions", ""),
-		etl.NewExtract("e2", e.Sources["familydoctors"], "familydoctor", ""),
-		etl.NewExtract("e3", e.Sources["healthagency"], "drugcost", ""),
-		etl.NewExtract("e4", e.Sources["municipality"], "residents", ""),
+		etl.NewExtract("e1", mustSource(e, "hospital"), "prescriptions", ""),
+		etl.NewExtract("e2", mustSource(e, "familydoctors"), "familydoctor", ""),
+		etl.NewExtract("e3", mustSource(e, "healthagency"), "drugcost", ""),
+		etl.NewExtract("e4", mustSource(e, "municipality"), "residents", ""),
 		etl.NewJoin("forbidden-join", "prescriptions", "familydoctor",
 			relation.Eq(relation.ColRefExpr("l.patient"), relation.ColRefExpr("r.patient")),
 			relation.InnerJoin, "rx_fd"),
@@ -225,8 +225,8 @@ pla "m" { owner "municipality"; level source; scope "residents";
 
 	// The reverse check: an integration the donor forbids is blocked.
 	p2 := &etl.Pipeline{Name: "fig3b", Steps: []etl.Step{
-		etl.NewExtract("e1b", e.Sources["hospital"], "prescriptions", ""),
-		etl.NewExtract("e2b", e.Sources["familydoctors"], "familydoctor", ""),
+		etl.NewExtract("e1b", mustSource(e, "hospital"), "prescriptions", ""),
+		etl.NewExtract("e2b", mustSource(e, "familydoctors"), "familydoctor", ""),
 		etl.NewEntityResolution("forbidden-integration", "familydoctor", "patient",
 			"prescriptions", "patient", "municipality", 0.88, "bad_resolved"),
 	}}
@@ -356,4 +356,10 @@ func tableLines(t *relation.Table) []string {
 		out = append(out, cur)
 	}
 	return out
+}
+
+// mustSource fetches a scenario source that is known to exist.
+func mustSource(e *core.Engine, name string) *etl.Source {
+	s, _ := e.Source(name)
+	return s
 }

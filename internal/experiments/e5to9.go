@@ -263,8 +263,11 @@ pla "integ" { owner "hospital"; level source; scope "prescriptions2";
 		if err := buggy.DefineReport(def); err != nil {
 			return false, err
 		}
-		truth.Assign[def.ID] = "meta-rx"
-		buggy.Assign[def.ID] = "meta-rx"
+		// Only the truth engine knows the report is covered by meta-rx:
+		// the compliance suite is generated from the meta scope, while the
+		// buggy deployment renders without that wiring — the tests must
+		// catch the discrepancy from the output alone.
+		truth.SetAssignment(def.ID, "meta-rx")
 		tests, err := truth.ComplianceSuite(def.ID, consumer)
 		if err != nil {
 			return false, err

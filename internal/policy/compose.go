@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"plabi/internal/relation"
 )
@@ -266,33 +268,51 @@ func (c *Composite) Retention() int {
 }
 
 // Registry indexes PLAs by scope and level; the per-deployment store of
-// agreed requirements. It is not safe for concurrent mutation.
+// agreed requirements. It is safe for concurrent use: reads take a shared
+// lock and every successful Add bumps the registry generation, which
+// downstream decision caches key on for invalidation.
 type Registry struct {
+	mu   sync.RWMutex
+	gen  atomic.Uint64
 	plas []*PLA
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
+// Generation returns a counter that increases whenever the set of agreed
+// PLAs changes. A cached decision computed at generation g is valid only
+// while Generation() == g.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
 // Add validates and stores a PLA.
 func (r *Registry) Add(p *PLA) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, existing := range r.plas {
 		if existing.ID == p.ID {
 			return fmt.Errorf("policy: duplicate PLA id %q", p.ID)
 		}
 	}
 	r.plas = append(r.plas, p)
+	r.gen.Add(1)
 	return nil
 }
 
 // All returns every stored PLA.
-func (r *Registry) All() []*PLA { return append([]*PLA(nil), r.plas...) }
+func (r *Registry) All() []*PLA {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*PLA(nil), r.plas...)
+}
 
 // ByID returns the PLA with the given id.
 func (r *Registry) ByID(id string) (*PLA, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, p := range r.plas {
 		if p.ID == id {
 			return p, true
@@ -304,6 +324,8 @@ func (r *Registry) ByID(id string) (*PLA, bool) {
 // ForScope returns the composite of all PLAs at the given level whose
 // scope matches name (case-insensitive; "*" scopes match everything).
 func (r *Registry) ForScope(level Level, name string) *Composite {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var sel []*PLA
 	for _, p := range r.plas {
 		if p.Level != level {
@@ -335,6 +357,8 @@ func (r *Registry) ForScopes(level Level, names []string) *Composite {
 // AtomCount sums elicited atoms across all PLAs at a level (Fig. 5 and E6
 // metric).
 func (r *Registry) AtomCount(level Level) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	n := 0
 	for _, p := range r.plas {
 		if p.Level == level {

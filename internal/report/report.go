@@ -6,6 +6,7 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +15,10 @@ import (
 	"plabi/internal/relation"
 	"plabi/internal/sql"
 )
+
+// ErrUnknownReport is the sentinel wrapped by every "no such report"
+// failure across the stack, matchable with errors.Is.
+var ErrUnknownReport = errors.New("unknown report")
 
 // Consumer is an information consumer requesting reports.
 type Consumer struct {
@@ -31,6 +36,15 @@ type Definition struct {
 	Roles   []string // roles the report is delivered to
 	Purpose string
 	Version int
+}
+
+// clone returns a shallow copy of the definition with its own slice of
+// roles, used for copy-on-write evolution: readers holding the previous
+// pointer keep a consistent snapshot.
+func (d *Definition) clone() *Definition {
+	c := *d
+	c.Roles = append([]string(nil), d.Roles...)
+	return &c
 }
 
 // Parse returns the parsed SELECT of the current query.
@@ -124,7 +138,7 @@ func (r *Registry) Delete(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.reports[id]; !ok {
-		return fmt.Errorf("report: unknown id %q", id)
+		return fmt.Errorf("report: %w %q", ErrUnknownReport, id)
 	}
 	delete(r.reports, id)
 	r.log(EvDelete, id, "")
@@ -159,12 +173,15 @@ func (r *Registry) Events() []Event {
 }
 
 // mutate parses, transforms, re-renders and bumps a report's query.
+// The stored definition is replaced copy-on-write: renders holding the
+// previous *Definition keep a consistent (query, version) snapshot while
+// the registry moves on.
 func (r *Registry) mutate(id string, kind EventKind, detail string, fn func(*sql.SelectStmt) error) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	d, ok := r.reports[id]
 	if !ok {
-		return fmt.Errorf("report: unknown id %q", id)
+		return fmt.Errorf("report: %w %q", ErrUnknownReport, id)
 	}
 	sel, err := sql.ParseSelect(d.Query)
 	if err != nil {
@@ -177,8 +194,10 @@ func (r *Registry) mutate(id string, kind EventKind, detail string, fn func(*sql
 	if _, err := sql.ParseSelect(newQuery); err != nil {
 		return fmt.Errorf("report %s: mutation produced invalid query %q: %w", id, newQuery, err)
 	}
-	d.Query = newQuery
-	d.Version++
+	next := d.clone()
+	next.Query = newQuery
+	next.Version++
+	r.reports[id] = next
 	r.log(kind, id, detail)
 	return nil
 }

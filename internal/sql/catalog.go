@@ -1,18 +1,25 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"plabi/internal/relation"
 )
+
+// ErrUnknownTable is the sentinel wrapped by every "no such table or
+// view" failure, so callers can errors.Is across the whole stack.
+var ErrUnknownTable = errors.New("unknown table or view")
 
 // Catalog is a thread-safe namespace of base tables and views against which
 // statements execute.
 type Catalog struct {
 	mu     sync.RWMutex
+	gen    atomic.Uint64
 	tables map[string]*relation.Table
 	views  map[string]*SelectStmt
 }
@@ -25,11 +32,17 @@ func NewCatalog() *Catalog {
 	}
 }
 
+// Generation returns a counter that increases on every catalog mutation
+// (table or view registration/removal). Plan and decision caches key on it
+// to invalidate when the schema landscape changes.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
+
 // Register adds or replaces a base table under its own name.
 func (c *Catalog) Register(t *relation.Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[strings.ToLower(t.Name)] = t
+	c.gen.Add(1)
 }
 
 // RegisterView adds or replaces a named view.
@@ -37,6 +50,7 @@ func (c *Catalog) RegisterView(name string, sel *SelectStmt) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.views[strings.ToLower(name)] = sel
+	c.gen.Add(1)
 }
 
 // DropView removes a view if present.
@@ -44,6 +58,7 @@ func (c *Catalog) DropView(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.views, strings.ToLower(name))
+	c.gen.Add(1)
 }
 
 // Table returns the base table with the given name.
@@ -107,7 +122,7 @@ func (c *Catalog) resolve(name string, seen map[string]bool) (*relation.Table, e
 		t.Name = key
 		return t, nil
 	}
-	return nil, fmt.Errorf("sql: unknown table or view %q", name)
+	return nil, fmt.Errorf("sql: %w %q", ErrUnknownTable, name)
 }
 
 // Exec executes a statement. SELECT returns its result table; CREATE VIEW

@@ -133,7 +133,7 @@ func profileRel(c *Catalog, name string, seen map[string]bool) (colEnv, *Profile
 		}
 		return env, vp, nil
 	}
-	return nil, nil, fmt.Errorf("sql: unknown table or view %q", name)
+	return nil, nil, fmt.Errorf("sql: %w %q", ErrUnknownTable, name)
 }
 
 func profileSelect(c *Catalog, s *SelectStmt, seen map[string]bool) (*Profile, error) {

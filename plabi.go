@@ -1,0 +1,309 @@
+package plabi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"plabi/internal/audit"
+	"plabi/internal/core"
+	"plabi/internal/enforce"
+	"plabi/internal/etl"
+	"plabi/internal/metareport"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/sql"
+	"plabi/internal/workload"
+)
+
+// Sentinel errors, matched with errors.Is. Render and RunETL failures
+// caused by PLA enforcement wrap ErrPLAViolation; the concrete blocking
+// decisions are recovered with errors.As on *BlockedError.
+var (
+	// ErrUnknownReport is returned by Render, CheckReportCompliance and
+	// ComplianceSuite for an unregistered report id.
+	ErrUnknownReport = report.ErrUnknownReport
+	// ErrUnknownTable is returned when a query names an unregistered
+	// relation.
+	ErrUnknownTable = sql.ErrUnknownTable
+	// ErrPLAViolation is the sentinel behind every enforcement refusal.
+	ErrPLAViolation = enforce.ErrPLAViolation
+)
+
+// Re-exported types: the public vocabulary of the engine. The underlying
+// packages stay internal; these aliases are the supported surface.
+type (
+	// Consumer identifies who is asking for a report and why.
+	Consumer = report.Consumer
+	// ReportDefinition is a registered report (id, title, SQL, roles).
+	ReportDefinition = report.Definition
+	// Source is one data provider: an owning institution and its tables.
+	Source = etl.Source
+	// Pipeline is a guarded ETL pipeline.
+	Pipeline = etl.Pipeline
+	// Step is one ETL operation.
+	Step = etl.Step
+	// ETLResult reports one pipeline run.
+	ETLResult = etl.Result
+	// Enforced is a rendered report after PLA enforcement.
+	Enforced = enforce.Enforced
+	// Decision is one enforcement decision (mask, suppress, block, ...).
+	Decision = enforce.Decision
+	// BlockedError carries the decisions behind a refused operation.
+	BlockedError = enforce.BlockedError
+	// CacheStats snapshots the render decision-cache counters.
+	CacheStats = enforce.CacheStats
+	// MetaReport is an owner-approved upper bound on disclosure.
+	MetaReport = metareport.MetaReport
+	// ComplianceTest is one PLA-derived test over a rendered report.
+	ComplianceTest = metareport.ComplianceTest
+	// Table is an in-memory relation with lineage.
+	Table = relation.Table
+	// AuditEvent is one audit-log record.
+	AuditEvent = audit.Event
+	// AuditLog is the append-only audit trail.
+	AuditLog = audit.Log
+	// ReleaseReport documents one source-level release (Fig. 2a):
+	// anonymization, suppression and consent filtering applied.
+	ReleaseReport = enforce.ReleaseReport
+)
+
+// NewSource builds a source from tables, keyed by table name.
+func NewSource(name, owner string, tables ...*Table) *Source {
+	return etl.NewSource(name, owner, tables...)
+}
+
+// Option configures an Engine at Open time.
+type Option func(*options)
+
+type options struct {
+	auditSink io.Writer
+	cacheSize int
+	workers   int
+}
+
+// WithAuditSink streams every audit event to w as one JSON line at append
+// time, in sequence order, so the trail reaches stable storage while the
+// in-memory log stays queryable.
+func WithAuditSink(w io.Writer) Option {
+	return func(o *options) { o.auditSink = w }
+}
+
+// WithCacheSize bounds the render decision cache at roughly n entries
+// (0 keeps the default of 1024).
+func WithCacheSize(n int) Option {
+	return func(o *options) { o.cacheSize = n }
+}
+
+// WithWorkers bounds the worker pools used for ETL waves and render row
+// enforcement (0 keeps the default of one worker per CPU; 1 forces
+// serial execution).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// Engine is one privacy-aware BI deployment: sources, PLAs, guarded ETL,
+// reports, meta-reports, enforcement, audit. All methods are safe for
+// concurrent use.
+type Engine struct {
+	core *core.Engine
+}
+
+// Open builds an empty engine.
+func Open(opts ...Option) *Engine {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	e := core.New()
+	if o.auditSink != nil {
+		e.Audit.SetSink(o.auditSink)
+	}
+	if o.cacheSize > 0 {
+		e.SetCacheSize(o.cacheSize)
+	}
+	if o.workers > 0 {
+		e.SetWorkers(o.workers)
+	}
+	return &Engine{core: e}
+}
+
+// HealthcareConfig sizes the synthetic workload behind OpenHealthcare.
+type HealthcareConfig struct {
+	// Seed drives the deterministic generator (0 selects 42).
+	Seed int64
+	// Prescriptions is the fact-table size (0 selects 5000).
+	Prescriptions int
+}
+
+// OpenHealthcare builds the paper's Fig. 1 healthcare deployment over a
+// synthetic workload: five source owners, the scenario PLAs, guarded ETL
+// into the warehouse, the standard report portfolio, and derived,
+// approved meta-reports.
+func OpenHealthcare(cfg HealthcareConfig, opts ...Option) (*Engine, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.Prescriptions == 0 {
+		cfg.Prescriptions = 5000
+	}
+	wcfg := workload.DefaultConfig(cfg.Seed)
+	wcfg.Prescriptions = cfg.Prescriptions
+	wcfg.Patients = cfg.Prescriptions / 10
+	ce, _, err := core.BuildHealthcareEngine(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{core: ce}
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.auditSink != nil {
+		ce.Audit.SetSink(o.auditSink)
+	}
+	if o.cacheSize > 0 {
+		ce.SetCacheSize(o.cacheSize)
+	}
+	if o.workers > 0 {
+		ce.SetWorkers(o.workers)
+	}
+	return e, nil
+}
+
+// AddSource registers a data provider; its tables become queryable and
+// traceable.
+func (e *Engine) AddSource(src *Source) { e.core.AddSource(src) }
+
+// Source returns a registered provider by name.
+func (e *Engine) Source(name string) (*Source, bool) { return e.core.Source(name) }
+
+// AddPLAs parses a PLA DSL document and registers every agreement.
+// Cached render decisions built under the previous policy set stop
+// validating immediately.
+func (e *Engine) AddPLAs(dsl string) error { return e.core.AddPLAs(dsl) }
+
+// RunETL executes a pipeline under the PLA guard. Independent steps run
+// in parallel waves; ctx cancels between waves. Violations are collected
+// in the result when continueOnViolation is true, otherwise the first
+// one aborts the run with an error wrapping ErrPLAViolation.
+func (e *Engine) RunETL(ctx context.Context, p *Pipeline, continueOnViolation bool) (ETLResult, error) {
+	return e.core.RunETLContext(ctx, p, continueOnViolation)
+}
+
+// DefineReport registers a report definition.
+func (e *Engine) DefineReport(d *ReportDefinition) error { return e.core.DefineReport(d) }
+
+// Reports lists the registered report definitions.
+func (e *Engine) Reports() []*ReportDefinition { return e.core.Reports.All() }
+
+// DeriveMetaReports computes and approves the minimal covering
+// meta-report set for the current portfolio.
+func (e *Engine) DeriveMetaReports() ([]*MetaReport, error) { return e.core.DeriveMetaReports() }
+
+// MetaReports returns the approved meta-report set.
+func (e *Engine) MetaReports() []*MetaReport { return e.core.MetaReports() }
+
+// Meta returns one meta-report by id.
+func (e *Engine) Meta(id string) (*MetaReport, bool) { return e.core.Meta(id) }
+
+// Assignment returns the id of the meta-report a report is assigned to
+// ("" when unassigned).
+func (e *Engine) Assignment(reportID string) string { return e.core.Assignment(reportID) }
+
+// CheckReportCompliance statically checks a report for a consumer:
+// derivability from an approved meta-report and PLA compliance of the
+// definition. An empty slice means statically compliant. Unknown ids
+// wrap ErrUnknownReport.
+func (e *Engine) CheckReportCompliance(ctx context.Context, reportID string, c Consumer) ([]Decision, error) {
+	return e.core.CheckReportComplianceContext(ctx, reportID, c)
+}
+
+// Render renders a report with full enforcement for the consumer,
+// recording every decision in the audit log. When static PLA checks
+// block the report, the returned Enforced carries the (empty) table and
+// the blocking decisions, and the error is a *BlockedError wrapping
+// ErrPLAViolation. Unknown ids wrap ErrUnknownReport. Render is safe to
+// call from many goroutines; repeated renders of the same (report, role,
+// purpose) are served from the decision cache.
+func (e *Engine) Render(ctx context.Context, reportID string, c Consumer) (*Enforced, error) {
+	enf, err := e.core.RenderContext(ctx, reportID, c)
+	if err != nil {
+		return nil, err
+	}
+	if blocked := enforce.Blocked(enf.Decisions); len(blocked) > 0 {
+		return enf, &BlockedError{Op: "render", Subject: reportID, Decisions: blocked}
+	}
+	return enf, nil
+}
+
+// ComplianceSuite generates the PLA-derived test suite for one report
+// and consumer.
+func (e *Engine) ComplianceSuite(reportID string, c Consumer) ([]ComplianceTest, error) {
+	return e.core.ComplianceSuite(reportID, c)
+}
+
+// RunComplianceTests runs a generated suite against a produced table and
+// returns the failures (empty means compliant).
+func RunComplianceTests(tests []ComplianceTest, produced *Table) []string {
+	return metareport.RunTests(tests, produced)
+}
+
+// RenderUnenforced executes a report's query with no PLA enforcement —
+// the "buggy implementation" a compliance suite is meant to catch. Not
+// audited. Unknown ids wrap ErrUnknownReport.
+func (e *Engine) RenderUnenforced(reportID string) (*Table, error) {
+	d, ok := e.core.Reports.Get(reportID)
+	if !ok {
+		return nil, fmt.Errorf("plabi: %w %q", ErrUnknownReport, reportID)
+	}
+	return d.Render(e.core.Catalog)
+}
+
+// ResolveDispute reconstructs, for one cell of a rendered table, the
+// source cells it derives from, the transformation chain, and the PLAs
+// in force — the paper's provenance-backed dispute resolution.
+func (e *Engine) ResolveDispute(rendered *Table, row int, col string) (*audit.DisputeReport, error) {
+	return e.core.Auditor().ResolveDispute(rendered, row, col)
+}
+
+// ReleaseSource applies the Fig. 2a source-level release filter to a
+// table under its source PLAs: consent and retention filtering,
+// pseudonymization, k-anonymity/l-diversity generalization.
+func (e *Engine) ReleaseSource(t *Table) (*Table, *ReleaseReport, error) {
+	return e.core.SourceEnforcer().Release(t)
+}
+
+// Explain renders the provenance transformation chain that produced the
+// named relation (one line per upstream ETL step).
+func (e *Engine) Explain(name string) string { return e.core.Graph.Explain(name) }
+
+// Audit returns the engine's audit log.
+func (e *Engine) Audit() *AuditLog { return e.core.Audit }
+
+// Table returns any registered relation (source, staging or view).
+func (e *Engine) Table(name string) (*Table, bool) { return e.core.Table(name) }
+
+// CacheStats snapshots the render decision-cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.core.CacheStats() }
+
+// SetWorkers re-bounds the worker pools at runtime (0 restores the
+// default of one worker per CPU).
+func (e *Engine) SetWorkers(n int) { e.core.SetWorkers(n) }
+
+// IsBlocked reports whether err is an enforcement refusal and returns
+// the blocking decisions.
+func IsBlocked(err error) ([]Decision, bool) {
+	var be *BlockedError
+	if errors.As(err, &be) {
+		return be.Decisions, true
+	}
+	if errors.Is(err, ErrPLAViolation) {
+		return nil, true
+	}
+	return nil, false
+}
+
+// FormatTable renders a table for terminal display.
+func FormatTable(title string, t *Table) string { return report.FormatTable(title, t) }
