@@ -17,11 +17,12 @@ race:
 	$(GO) test -race ./...
 
 # One-iteration benchmark pass: catches bitrot in the bench harness
-# without paying for a full measurement run.
+# without paying for a full measurement run. BENCH_OBS makes the render
+# benchmarks dump the engine's metrics snapshot alongside the timings.
 bench-smoke:
-	$(GO) test -run XXX -bench 'ConcurrentRender' -benchtime=1x .
+	BENCH_OBS=BENCH_obs.json $(GO) test -run XXX -bench 'ConcurrentRender' -benchtime=1x .
 
 bench:
-	$(GO) test -run XXX -bench . -benchtime=2s .
+	BENCH_OBS=BENCH_obs.json $(GO) test -run XXX -bench . -benchtime=2s .
 
 ci: vet build race bench-smoke

@@ -10,12 +10,14 @@ package plabi
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"plabi/internal/anon"
 	"plabi/internal/core"
 	"plabi/internal/elicit"
 	"plabi/internal/experiments"
+	"plabi/internal/obs"
 	"plabi/internal/relation"
 	"plabi/internal/report"
 	"plabi/internal/workload"
@@ -214,6 +216,7 @@ func BenchmarkSequentialRender(b *testing.B) {
 	}
 	b.StopTimer()
 	reportCacheRate(b, e)
+	maybeWriteObs(b, e)
 }
 
 // BenchmarkConcurrentRender drives the enforced render path from many
@@ -249,6 +252,7 @@ func BenchmarkConcurrentRender(b *testing.B) {
 		b.Fatal("concurrent render benchmark must hit the decision cache")
 	}
 	reportCacheRate(b, e)
+	maybeWriteObs(b, e)
 }
 
 // BenchmarkParallelRowEnforcement measures one large render with the
@@ -282,4 +286,23 @@ func reportCacheRate(b *testing.B, e *core.Engine) {
 	stats := e.CacheStats()
 	b.ReportMetric(stats.HitRate(), "cache-hit-rate")
 	b.ReportMetric(float64(stats.Hits), "cache-hits")
+}
+
+// maybeWriteObs dumps the engine's merged metrics snapshot to the file
+// named by $BENCH_OBS (make bench sets BENCH_obs.json), so benchmark runs
+// leave a machine-readable observability artifact next to the timings.
+func maybeWriteObs(b *testing.B, e *core.Engine) {
+	b.Helper()
+	path := os.Getenv("BENCH_OBS")
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatalf("BENCH_OBS: %v", err)
+	}
+	defer f.Close()
+	if err := obs.WriteSnapshotJSON(f, e.MetricsSnapshot()); err != nil {
+		b.Fatalf("BENCH_OBS: %v", err)
+	}
 }

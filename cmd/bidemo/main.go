@@ -9,6 +9,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"plabi"
@@ -19,6 +20,8 @@ func main() {
 	n := flag.Int("n", 5000, "number of prescriptions")
 	showAudit := flag.Bool("audit", false, "dump the full audit log (JSONL)")
 	workers := flag.Int("workers", 0, "enforcement workers (0 = one per CPU)")
+	showMetrics := flag.Bool("metrics", false, "dump the metrics snapshot (JSON) after the run")
+	serve := flag.String("serve", "", "serve /metrics and /debug/pprof on this address after the run (e.g. localhost:6060)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -80,6 +83,19 @@ func main() {
 		len(e.Audit().ByKind("transform")), len(e.Audit().Violations()))
 	if *showAudit {
 		if err := e.Audit().WriteJSONL(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bidemo:", err)
+			os.Exit(1)
+		}
+	}
+	if *showMetrics {
+		if err := e.WriteMetricsJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bidemo:", err)
+			os.Exit(1)
+		}
+	}
+	if *serve != "" {
+		fmt.Printf("serving /metrics and /debug/pprof on http://%s\n", *serve)
+		if err := http.ListenAndServe(*serve, e.DebugHandler()); err != nil {
 			fmt.Fprintln(os.Stderr, "bidemo:", err)
 			os.Exit(1)
 		}

@@ -27,11 +27,26 @@
 // block and errors.As recovers the *plabi.BlockedError carrying the
 // decisions.
 //
+// Every engine is observable: a dependency-free metrics registry
+// (counters, gauges, latency histograms) and span tracer instrument the
+// whole enforcement path. MetricsSnapshot reads every metric (the
+// decision-cache counters folded in), WriteMetricsJSON and DebugHandler
+// expose the same snapshot as JSON and over HTTP (/metrics plus
+// /debug/pprof), and Spans returns recent operations with their
+// correlation ids — the same ids stamped on the audit events each
+// operation appended, so the audit trail, metrics and spans join on one
+// id. Ids are deterministic; WithCorrelationID stitches in an external
+// request id. WithMetrics shares one registry across engines or, with
+// nil, disables instrumentation. README.md § Observability lists every
+// exported metric name.
+//
 // plabi.OpenHealthcare assembles the paper's Fig. 1 healthcare scenario
 // (five owners, scenario PLAs, guarded ETL, report portfolio, approved
 // meta-reports) over a deterministic synthetic workload. See README.md
-// for the tour, DESIGN.md for the system inventory and concurrency
-// model, and EXPERIMENTS.md for the paper-claim vs measured results.
-// bench_test.go carries one benchmark per experiment plus the
-// render-path concurrency benchmarks (BenchmarkConcurrentRender).
+// for the tour, docs/ARCHITECTURE.md for the level-by-level data flow,
+// docs/PLA_REFERENCE.md for the PLA language, DESIGN.md for the system
+// inventory and concurrency model, and EXPERIMENTS.md for the
+// paper-claim vs measured results. bench_test.go carries one benchmark
+// per experiment plus the render-path concurrency benchmarks
+// (BenchmarkConcurrentRender).
 package plabi

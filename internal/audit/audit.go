@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"plabi/internal/enforce"
+	"plabi/internal/obs"
 	"plabi/internal/policy"
 	"plabi/internal/provenance"
 	"plabi/internal/relation"
@@ -32,15 +33,20 @@ type Event struct {
 	Outcome string `json:"outcome,omitempty"`
 	// PLAs lists the PLA ids involved.
 	PLAs []string `json:"plas,omitempty"`
+	// Trace is the correlation id of the span covering the operation that
+	// emitted the event, joining the audit trail with the obs span stream
+	// and metrics.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Log is a thread-safe append-only audit log. An optional sink receives
 // every event as one JSON line at append time, so deployments can stream
 // the trail to stable storage while keeping the in-memory log queryable.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
-	sink   io.Writer
+	mu      sync.Mutex
+	events  []Event
+	sink    io.Writer
+	metrics *obs.Metrics
 }
 
 // NewLog returns an empty log.
@@ -55,15 +61,30 @@ func (l *Log) SetSink(w io.Writer) {
 	l.sink = w
 }
 
+// SetMetrics wires the log into an obs registry: Append maintains the
+// audit.events counter, the audit.depth gauge, and audit.sink_drops for
+// sink write failures.
+func (l *Log) SetMetrics(m *obs.Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = m
+}
+
 // Append stamps and stores an event, returning its sequence number.
 func (l *Log) Append(e Event) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = len(l.events)
 	l.events = append(l.events, e)
+	l.metrics.Counter("audit.events").Inc()
+	l.metrics.Gauge("audit.depth").Set(int64(len(l.events)))
 	if l.sink != nil {
-		if b, err := json.Marshal(e); err == nil {
-			l.sink.Write(append(b, '\n'))
+		b, err := json.Marshal(e)
+		if err == nil {
+			_, err = l.sink.Write(append(b, '\n'))
+		}
+		if err != nil {
+			l.metrics.Counter("audit.sink_drops").Inc()
 		}
 	}
 	return e.Seq
@@ -71,6 +92,13 @@ func (l *Log) Append(e Event) int {
 
 // Decision records an enforcement decision as an audit event.
 func (l *Log) Decision(actor, object string, d enforce.Decision) int {
+	return l.DecisionTraced(actor, object, "", d)
+}
+
+// DecisionTraced records an enforcement decision carrying the correlation
+// id of the span it was made under, so the audit trail and the obs span
+// stream can be joined on Trace.
+func (l *Log) DecisionTraced(actor, object, trace string, d enforce.Decision) int {
 	kind := "decision"
 	if d.Outcome == enforce.Block {
 		kind = "violation"
@@ -80,6 +108,7 @@ func (l *Log) Decision(actor, object string, d enforce.Decision) int {
 		Detail:  d.Rule + ": " + d.Detail + evidenceSuffix(d.Evidence),
 		Outcome: d.Outcome.String(),
 		PLAs:    d.PLAs,
+		Trace:   trace,
 	})
 }
 

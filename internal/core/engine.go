@@ -13,12 +13,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"plabi/internal/audit"
 	"plabi/internal/enforce"
 	"plabi/internal/etl"
 	"plabi/internal/metadata"
 	"plabi/internal/metareport"
+	"plabi/internal/obs"
 	"plabi/internal/policy"
 	"plabi/internal/provenance"
 	"plabi/internal/relation"
@@ -45,9 +47,10 @@ type Engine struct {
 	workers int
 
 	enforcer *enforce.ReportEnforcer
+	obsp     atomic.Pointer[obs.Metrics]
 }
 
-// New returns an empty engine.
+// New returns an empty engine with its own observability registry.
 func New() *Engine {
 	e := &Engine{
 		Policies: policy.NewRegistry(),
@@ -61,7 +64,34 @@ func New() *Engine {
 		assign:   map[string]string{},
 	}
 	e.enforcer = enforce.NewReportEnforcer(e.Policies, e.Catalog, e.Tracer)
+	e.SetMetrics(obs.New())
 	return e
+}
+
+// SetMetrics replaces the engine's observability registry and rewires the
+// audit log and the report enforcer to record into it. Passing nil
+// disables instrumentation (every emission point degrades to a no-op).
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	e.obsp.Store(m)
+	e.Audit.SetMetrics(m)
+	e.enforcer.SetMetrics(m)
+}
+
+// Obs returns the engine's observability registry (nil when detached; a
+// nil registry is safe to record into).
+func (e *Engine) Obs() *obs.Metrics { return e.obsp.Load() }
+
+// MetricsSnapshot captures the engine's metrics, folding in the render
+// decision-cache counters (cache.*) which are kept authoritative inside
+// the cache itself rather than instrumented on the hot path.
+func (e *Engine) MetricsSnapshot() obs.Snapshot {
+	s := e.Obs().Snapshot()
+	cs := e.CacheStats()
+	s.Counters["cache.hits"] = cs.Hits
+	s.Counters["cache.misses"] = cs.Misses
+	s.Counters["cache.invalidations"] = cs.Invalidations
+	s.Gauges["cache.entries"] = int64(cs.Entries)
+	return s
 }
 
 // SetWorkers bounds parallelism for ETL waves and render row enforcement
@@ -142,11 +172,18 @@ func (e *Engine) RunETL(p *etl.Pipeline, continueOnViolation bool) (etl.Result, 
 
 // RunETLContext is RunETL honouring ctx between pipeline waves.
 func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnViolation bool) (etl.Result, error) {
+	m := e.Obs()
+	ctx, span := m.StartSpan(ctx, "etl")
+	span.Set("pipeline", p.Name)
+	defer span.End()
+	trace := span.ID()
 	ectx := etl.NewContext(enforce.NewPLAGuard(e.Policies))
 	ectx.Graph = e.Graph
+	ectx.Metrics = m
 	ectx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
 		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
-			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut)}
+			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut),
+			Trace:  trace}
 		if err != nil {
 			ev.Kind = "violation"
 			ev.Detail = err.Error()
@@ -159,6 +196,7 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 		e.mu.RUnlock()
 	}
 	res, err := p.RunContext(ctx, ectx, continueOnViolation)
+	span.Set("violations", fmt.Sprint(len(res.Violations)))
 	// Register every staging output for reporting and tracing.
 	for name, t := range ectx.Staging {
 		reg := t
@@ -274,6 +312,12 @@ func (e *Engine) CheckReportComplianceContext(ctx context.Context, reportID stri
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	m := e.Obs()
+	_, span := m.StartSpan(ctx, "check")
+	span.Set("report", reportID)
+	span.Set("role", c.Role)
+	defer span.End()
+	m.Counter("check.total").Inc()
 	d, ok := e.Reports.Get(reportID)
 	if !ok {
 		return nil, fmt.Errorf("core: %w %q", report.ErrUnknownReport, reportID)
@@ -306,7 +350,14 @@ func (e *Engine) CheckReportComplianceContext(ctx context.Context, reportID stri
 	if err != nil {
 		return nil, err
 	}
-	return append(out, static...), nil
+	out = append(out, static...)
+	if len(out) > 0 {
+		m.Counter("check.noncompliant").Inc()
+		span.Set("decision", "noncompliant")
+	} else {
+		span.Set("decision", "compliant")
+	}
+	return out, nil
 }
 
 // Render renders a report with full enforcement for the consumer,
@@ -320,12 +371,24 @@ func (e *Engine) Render(reportID string, c report.Consumer) (*enforce.Enforced, 
 // (report, role, purpose) are served from the decision cache. The
 // unknown-report case wraps report.ErrUnknownReport.
 func (e *Engine) RenderContext(ctx context.Context, reportID string, c report.Consumer) (*enforce.Enforced, error) {
+	m := e.Obs()
+	ctx, span := m.StartSpan(ctx, "render")
+	span.Set("report", reportID)
+	span.Set("role", c.Role)
+	span.Set("purpose", c.Purpose)
+	defer span.End()
+	m.Counter("render.total").Inc()
+
 	d, ok := e.Reports.Get(reportID)
 	if !ok {
+		m.Counter("render.errors").Inc()
+		span.Set("decision", "error")
 		return nil, fmt.Errorf("core: %w %q", report.ErrUnknownReport, reportID)
 	}
 	enf, err := e.enforcer.RenderContext(ctx, d, c)
 	if err != nil {
+		m.Counter("render.errors").Inc()
+		span.Set("decision", "error")
 		return nil, err
 	}
 	if sel, perr := d.Parse(); perr == nil {
@@ -335,11 +398,30 @@ func (e *Engine) RenderContext(ctx context.Context, reportID string, c report.Co
 		}
 		e.Graph.AddStep("render", inputs, d.ID, "consumer "+c.Name, 0, enf.Table.NumRows())
 	}
+	// The span records the verdict and — for blocks — the deciding rule
+	// and PLA, so the span stream, the metrics and the audit trail all
+	// agree on one correlation id per render.
+	span.Set("decision", "allow")
+	if blocked := enforce.Blocked(enf.Decisions); len(blocked) > 0 {
+		m.Counter("render.blocked").Inc()
+		span.Set("decision", "block")
+		for _, dec := range blocked {
+			m.Counter("enforce.block." + dec.Rule).Inc()
+			span.Set("rule", dec.Rule)
+			if len(dec.PLAs) > 0 {
+				span.Set("pla", strings.Join(dec.PLAs, ","))
+			}
+		}
+	}
+	m.Counter("render.rows").Add(uint64(enf.Table.NumRows()))
+	m.Counter("render.masked_cells").Add(uint64(enf.MaskedCells))
+	m.Counter("render.suppressed_rows").Add(uint64(enf.SuppressedRows))
 	e.Audit.Append(audit.Event{Kind: "render", Actor: c.Name, Object: reportID,
 		Detail: fmt.Sprintf("role=%s purpose=%s rows=%d masked=%d suppressed=%d",
-			c.Role, c.Purpose, enf.Table.NumRows(), enf.MaskedCells, enf.SuppressedRows)})
+			c.Role, c.Purpose, enf.Table.NumRows(), enf.MaskedCells, enf.SuppressedRows),
+		Trace: span.ID()})
 	for _, dec := range enf.Decisions {
-		e.Audit.Decision(c.Name, reportID, dec)
+		e.Audit.DecisionTraced(c.Name, reportID, span.ID(), dec)
 	}
 	return enf, nil
 }
@@ -374,7 +456,7 @@ func (e *Engine) Auditor() *audit.Auditor {
 // SourceEnforcer returns the Fig. 2a release filter over this engine's
 // policies and metadata.
 func (e *Engine) SourceEnforcer() *enforce.SourceEnforcer {
-	return &enforce.SourceEnforcer{Registry: e.Policies, Metadata: e.Metadata}
+	return &enforce.SourceEnforcer{Registry: e.Policies, Metadata: e.Metadata, Metrics: e.Obs()}
 }
 
 // QueryRewriter returns the VPD-style rewriter over this engine's

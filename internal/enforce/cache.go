@@ -77,6 +77,10 @@ type renderPlan struct {
 	minBy      map[string]int
 	filters    []relation.Expr
 	aggregated bool
+	// aggPLAs / filterPLAs name the agreements behind the thresholds and
+	// row filters, replayed into runtime suppression decisions.
+	aggPLAs    []string
+	filterPLAs []string
 
 	colOnce sync.Once
 	cols    []colPlan // per output-column index; nil until first render

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"plabi/internal/obs"
 	"plabi/internal/policy"
 	"plabi/internal/provenance"
 	"plabi/internal/relation"
@@ -43,6 +45,7 @@ type ReportEnforcer struct {
 
 	cache   atomic.Pointer[planCache]
 	workers atomic.Int32
+	metrics atomic.Pointer[obs.Metrics]
 }
 
 // NewReportEnforcer builds an enforcer consulting every level, with the
@@ -90,6 +93,17 @@ func (e *ReportEnforcer) SetCacheSize(n int) {
 func (e *ReportEnforcer) SetWorkers(n int) {
 	e.workers.Store(int32(n))
 }
+
+// SetMetrics attaches an observability registry; query execution and
+// row-enforcement timings and intervention counters are recorded into it
+// (nil detaches).
+func (e *ReportEnforcer) SetMetrics(m *obs.Metrics) {
+	e.metrics.Store(m)
+}
+
+// obs returns the attached registry (nil — a no-op registry — when none
+// was set).
+func (e *ReportEnforcer) obs() *obs.Metrics { return e.metrics.Load() }
 
 // CacheStats snapshots the plan-cache counters.
 func (e *ReportEnforcer) CacheStats() CacheStats {
@@ -211,6 +225,8 @@ func (e *ReportEnforcer) buildPlan(def *report.Definition, role, purpose string,
 		aggCols:    aggregateColumns(sel),
 		filters:    comp.Filters(),
 		minBy:      map[string]int{},
+		aggPLAs:    comp.AggregationPLAs(),
+		filterPLAs: comp.FilterPLAs(),
 	}
 	if prof.Aggregated {
 		for _, rule := range comp.AggregationRules() {
@@ -249,10 +265,12 @@ func (e *ReportEnforcer) staticDecisions(comp *policy.Composite, prof *sql.Profi
 		b := e.perTableComposite(jp.B)
 		if ok, reason := a.JoinAllowed(jp.B); !ok {
 			out = append(out, Decision{Outcome: Block, Rule: "join-permission",
-				Subject: jp.A + " JOIN " + jp.B, Detail: reason})
+				Subject: jp.A + " JOIN " + jp.B, Detail: reason,
+				PLAs: plaList(a.DenyingJoinPLA(jp.B))})
 		} else if ok, reason := b.JoinAllowed(jp.A); !ok {
 			out = append(out, Decision{Outcome: Block, Rule: "join-permission",
-				Subject: jp.B + " JOIN " + jp.A, Detail: reason})
+				Subject: jp.B + " JOIN " + jp.A, Detail: reason,
+				PLAs: plaList(b.DenyingJoinPLA(jp.A))})
 		}
 	}
 
@@ -284,7 +302,8 @@ func (e *ReportEnforcer) staticDecisions(comp *policy.Composite, prof *sql.Profi
 			}
 			out = append(out, Decision{Outcome: Block, Rule: "aggregation-threshold",
 				Subject: subject,
-				Detail:  fmt.Sprintf("report is not aggregated but a min-%d threshold applies", rule.MinCount)})
+				Detail:  fmt.Sprintf("report is not aggregated but a min-%d threshold applies", rule.MinCount),
+				PLAs:    comp.AggregationPLAs()})
 		}
 	}
 	return out
@@ -341,7 +360,8 @@ func (e *ReportEnforcer) decideColumn(comp *policy.Composite, refs []policy.Attr
 	if d.Effect == policy.Deny {
 		if len(d.Matched) > 0 {
 			return &Decision{Outcome: Mask, Rule: "access-deny", Subject: name,
-				Detail: fmt.Sprintf("attribute %q denied to role %q", name, role)}, nil
+				Detail: fmt.Sprintf("attribute %q denied to role %q", name, role),
+				PLAs:   d.PLAs}, nil
 		}
 		return &Decision{Outcome: Mask, Rule: "access-default-deny", Subject: name,
 			Detail: fmt.Sprintf("no PLA allows attribute %q for role %q (closed world)", name, role)}, nil
@@ -398,20 +418,24 @@ func (e *ReportEnforcer) RenderContext(ctx context.Context, def *report.Definiti
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	m := e.obs()
 	plan, hit, err := e.planFor(def, consumer.Role, consumer.Purpose)
 	if err != nil {
 		return nil, err
 	}
+	execStart := time.Now()
 	raw, err := e.Catalog.Exec(plan.sel)
 	if err != nil {
 		return nil, fmt.Errorf("report %s: %w", def.ID, err)
 	}
+	m.Histogram("enforce.exec.duration").Observe(time.Since(execStart))
 	raw.Name = def.ID
 	enf := &Enforced{Def: def, CacheHit: hit}
 
 	// Static blocks abort rendering entirely.
 	enf.Decisions = append(enf.Decisions, Blocked(plan.static)...)
 	if len(enf.Decisions) > 0 {
+		m.Counter("enforce.static_blocks").Inc()
 		empty := raw.Clone()
 		empty.Rows = nil
 		empty.Lineage = nil
@@ -437,10 +461,13 @@ func (e *ReportEnforcer) RenderContext(ctx context.Context, def *report.Definiti
 		}
 	}
 
+	rowsStart := time.Now()
 	results, err := e.enforceRows(ctx, plan, raw, out, cols)
 	if err != nil {
 		return nil, err
 	}
+	m.Histogram("enforce.rows.duration").Observe(time.Since(rowsStart))
+	m.Counter("enforce.rows.in").Add(uint64(len(results)))
 	var keptRows []relation.Row
 	var keptLineage []relation.LineageSet
 	for ri := range results {
@@ -462,8 +489,18 @@ func (e *ReportEnforcer) RenderContext(ctx context.Context, def *report.Definiti
 			out.Schema.Columns[ci].Type = relation.TString
 		}
 	}
+	m.Counter("enforce.cells.masked").Add(uint64(enf.MaskedCells))
+	m.Counter("enforce.rows.suppressed").Add(uint64(enf.SuppressedRows))
 	enf.Table = out
 	return enf, nil
+}
+
+// plaList wraps one PLA id as a decision attribution ("" yields nil).
+func plaList(id string) []string {
+	if id == "" {
+		return nil
+	}
+	return []string{id}
 }
 
 // rowResult is the per-row outcome of runtime enforcement, collected
@@ -573,6 +610,7 @@ func (e *ReportEnforcer) enforceRow(plan *renderPlan, raw, out *relation.Table, 
 				Outcome: SuppressGroup, Rule: "aggregation-threshold",
 				Subject:  fmt.Sprintf("%s[%d]", out.Name, ri),
 				Detail:   fmt.Sprintf("support %d < min %d (by %q)", support, k, by),
+				PLAs:     plan.aggPLAs,
 				Evidence: lineageEvidence(rt),
 			})
 			return nil
@@ -586,6 +624,7 @@ func (e *ReportEnforcer) enforceRow(plan *renderPlan, raw, out *relation.Table, 
 			res.decisions = append(res.decisions, Decision{
 				Outcome: SuppressRow, Rule: "row-filter",
 				Subject:  fmt.Sprintf("%s[%d]", out.Name, ri),
+				PLAs:     plan.filterPLAs,
 				Evidence: evidence,
 			})
 			return nil

@@ -7,6 +7,7 @@ import (
 
 	"plabi/internal/anon"
 	"plabi/internal/metadata"
+	"plabi/internal/obs"
 	"plabi/internal/policy"
 	"plabi/internal/relation"
 )
@@ -33,6 +34,9 @@ type SourceEnforcer struct {
 	// Now is the reference date for retention enforcement; the zero value
 	// disables retention (useful for deterministic replays).
 	Now time.Time
+	// Metrics, when non-nil, receives release timings and intervention
+	// counters (release.* names).
+	Metrics *obs.Metrics
 	// RetentionColumns maps a table name to the date column its retention
 	// window is measured on; tables not listed default to a column named
 	// "date" when present.
@@ -56,6 +60,7 @@ var MaskValue = relation.Str("***")
 // Release produces the BI-accessible version of a source table under its
 // source-level PLAs.
 func (e *SourceEnforcer) Release(t *relation.Table) (*relation.Table, *ReleaseReport, error) {
+	start := time.Now()
 	comp := e.Registry.ForScope(policy.LevelSource, t.Name)
 	rep := &ReleaseReport{RowsIn: t.NumRows()}
 	cur := t
@@ -171,6 +176,12 @@ func (e *SourceEnforcer) Release(t *relation.Table) (*relation.Table, *ReleaseRe
 
 	out := cur.Clone()
 	out.Name = t.Name
+	e.Metrics.Histogram("release.duration").Observe(time.Since(start))
+	e.Metrics.Counter("release.rows.in").Add(uint64(rep.RowsIn))
+	e.Metrics.Counter("release.rows.filtered").Add(uint64(rep.RowsFiltered))
+	e.Metrics.Counter("release.rows.suppressed").Add(uint64(rep.RowsSuppressed))
+	e.Metrics.Counter("release.cells.masked").Add(uint64(rep.CellsMasked))
+	e.Metrics.Counter("release.columns.anonymized").Add(uint64(len(rep.ColumnsAnon)))
 	return out, rep, nil
 }
 

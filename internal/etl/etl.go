@@ -12,7 +12,9 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"plabi/internal/obs"
 	"plabi/internal/provenance"
 	"plabi/internal/relation"
 )
@@ -73,6 +75,9 @@ type Context struct {
 	// always called sequentially, in pipeline step order, even when steps
 	// execute in parallel waves.
 	Observe func(step, op, output string, rowsIn, rowsOut int, err error)
+	// Metrics, when non-nil, receives per-wave durations and step /
+	// violation counters (etl.* names).
+	Metrics *obs.Metrics
 }
 
 // NewContext returns a context with an empty staging area and the given
@@ -202,6 +207,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 			}
 		}
 		// Dependencies only point backwards, so a wave is never empty.
+		waveStart := time.Now()
 		outcomes := make([]stepOutcome, len(wave))
 		// rowsIn is stable across the wave: no step in a wave writes a
 		// relation another wave member reads.
@@ -226,6 +232,8 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 			}
 			wg.Wait()
 		}
+		c.Metrics.Histogram("etl.wave.duration").Observe(time.Since(waveStart))
+		c.Metrics.Counter("etl.waves").Inc()
 		// Record outcomes sequentially in original step order — identical
 		// observable trace to a sequential run.
 		for wi, si := range wave {
@@ -237,6 +245,10 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 			if o.err != nil {
 				if IsViolation(o.err) {
 					res.Violations = append(res.Violations, o.err)
+					c.Metrics.Counter("etl.violations").Inc()
+					if ve := violationOf(o.err); ve != nil && ve.Rule != "" {
+						c.Metrics.Counter("etl.block." + ve.Rule).Inc()
+					}
 					if continueOnViolation {
 						done[si] = true
 						completed++
@@ -248,6 +260,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 			}
 			c.Graph.AddStep(s.Op(), s.Inputs(), s.Output(), s.Name(), o.rowsIn, o.rowsOut)
 			res.StepsRun++
+			c.Metrics.Counter("etl.steps").Inc()
 			done[si] = true
 			completed++
 		}
@@ -321,15 +334,21 @@ func (e *ViolationError) Unwrap() error { return e.Cause }
 
 // IsViolation reports whether err is (or wraps) a ViolationError.
 func IsViolation(err error) bool {
+	return violationOf(err) != nil
+}
+
+// violationOf unwraps err to its *ViolationError (nil when it is not
+// one).
+func violationOf(err error) *ViolationError {
 	for err != nil {
-		if _, ok := err.(*ViolationError); ok {
-			return true
+		if ve, ok := err.(*ViolationError); ok {
+			return ve
 		}
 		u, ok := err.(interface{ Unwrap() error })
 		if !ok {
-			return false
+			return nil
 		}
 		err = u.Unwrap()
 	}
-	return false
+	return nil
 }

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the snapshot produced by fn as JSON — the body of a
+// /metrics endpoint. fn lets callers merge engine-level gauges (cache
+// stats, audit depth) into the registry snapshot per request.
+func Handler(fn func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteSnapshotJSON(w, fn())
+	})
+}
+
+// DebugMux returns a mux serving GET /metrics (the JSON snapshot) and
+// the standard /debug/pprof profiling endpoints, for wiring into a demo
+// or operations listener.
+func DebugMux(fn func() Snapshot) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(fn))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,80 @@
+// Package obs is the engine's dependency-free observability layer: a
+// metrics registry of atomic counters, gauges and bucketed latency
+// histograms, plus lightweight span tracing with correlation ids that
+// flow through context.Context.
+//
+// The paper's central claim is that PLA compliance must be checkable at
+// every level of the BI stack; in an operating system that means the
+// enforcement path itself must be observable. Every instrumented
+// operation (render, ETL run, compliance check) opens a span; the span's
+// correlation id is attached to the audit events the operation emits, so
+// "which PLA blocked this report and how long did enforcement take" is
+// answerable by joining the span stream with the audit trail on one id.
+//
+// Design constraints:
+//
+//   - stdlib only — obs is imported by enforce, etl, audit and core, so
+//     it must sit below all of them and carry no dependencies;
+//   - every method is safe for concurrent use and nil-receiver-safe, so
+//     instrumentation points never need a nil check: a nil *Metrics (and
+//     the nil *Counter/*Gauge/*Histogram/*Span it hands out) is a
+//     zero-cost no-op registry;
+//   - correlation ids are drawn from an atomic counter, not a clock or
+//     RNG, so runs stay reproducible (the audit log records no wall
+//     time); durations feed histograms only, never the audit trail.
+package obs
+
+import "sync"
+
+// Metrics is a registry of named counters, gauges and histograms plus
+// the span tracer. The zero value is NOT ready for use — call New; a nil
+// *Metrics is a valid no-op registry.
+type Metrics struct {
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	hists    sync.Map // string -> *Histogram
+	tracer   tracer
+}
+
+// New returns an empty registry.
+func New() *Metrics { return &Metrics{} }
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := m.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := m.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// Histogram returns the named latency histogram (default buckets),
+// creating it on first use. A nil registry returns a nil (no-op)
+// histogram.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := m.hists.LoadOrStore(name, NewHistogram(DefaultLatencyBuckets...))
+	return v.(*Histogram)
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is a point-in-time copy of every registered metric. Maps are
+// always non-nil, so callers may merge further entries in (the engine
+// merges its cache and audit gauges this way).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every counter, gauge and histogram. Safe to call
+// concurrently with writers; each metric is read atomically.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if m == nil {
+		return s
+	}
+	m.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	m.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	m.hists.Range(func(k, v any) bool {
+		s.Histograms[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return s
+}
+
+// Flat renders the snapshot as one expvar-style map: counter and gauge
+// names to numbers, histogram names to summary objects.
+func (s Snapshot) Flat() map[string]any {
+	out := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k, v := range s.Counters {
+		out[k] = v
+	}
+	for k, v := range s.Gauges {
+		out[k] = v
+	}
+	for k, h := range s.Histograms {
+		out[k] = map[string]any{
+			"count":   h.Count,
+			"sum_ns":  int64(h.Sum),
+			"mean_ns": int64(h.Mean()),
+			"p50_ns":  int64(h.Quantile(0.50)),
+			"p99_ns":  int64(h.Quantile(0.99)),
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the full snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	return WriteSnapshotJSON(w, m.Snapshot())
+}
+
+// WriteSnapshotJSON writes an (optionally merged) snapshot as indented
+// JSON.
+func WriteSnapshotJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ExpvarFunc adapts the registry for expvar publication:
+//
+//	expvar.Publish("plabi", expvar.Func(m.ExpvarFunc()))
+func (m *Metrics) ExpvarFunc() func() any {
+	return func() any { return m.Snapshot().Flat() }
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// correlationKey carries the correlation id through context.Context.
+type correlationKey struct{}
+
+// CorrelationID returns the correlation id attached to ctx ("" when the
+// context carries none).
+func CorrelationID(ctx context.Context) string {
+	id, _ := ctx.Value(correlationKey{}).(string)
+	return id
+}
+
+// WithCorrelationID returns a context carrying the given correlation id.
+// Spans started under it — and the audit events of the operations they
+// cover — share that id, so callers can stitch a request id from an
+// outer system into the engine's telemetry.
+func WithCorrelationID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, correlationKey{}, id)
+}
+
+// Attr is one span attribute (e.g. the deciding PLA id, the decision).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one in-flight traced operation. Set attaches attributes; End
+// records the duration into the "span.<name>" histogram and publishes
+// the completed record to the registry's span ring. The nil span is a
+// no-op.
+type Span struct {
+	m     *Metrics
+	name  string
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	done  bool
+}
+
+// StartSpan opens a span named name. The returned context carries the
+// span's correlation id: an id already present in ctx is reused (child
+// spans correlate with their parent), otherwise a fresh deterministic id
+// is drawn from the registry's atomic sequence. A nil registry returns
+// ctx unchanged and a nil span.
+func (m *Metrics) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if m == nil {
+		return ctx, nil
+	}
+	id := CorrelationID(ctx)
+	if id == "" {
+		id = fmt.Sprintf("c%08d", m.tracer.seq.Add(1))
+		ctx = WithCorrelationID(ctx, id)
+	}
+	return ctx, &Span{m: m, name: name, id: id, start: time.Now()}
+}
+
+// ID returns the span's correlation id ("" on the nil span).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Set attaches one attribute (last write for a key wins at read time via
+// SpanRecord.Attr).
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End completes the span: the duration is observed into the
+// "span.<name>" histogram and the record enters the span ring. End is
+// idempotent; only the first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	d := time.Since(s.start)
+	s.m.Histogram("span." + s.name).Observe(d)
+	s.m.tracer.ring.add(SpanRecord{Name: s.name, CorrelationID: s.id, Duration: d, Attrs: attrs})
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	Name          string        `json:"name"`
+	CorrelationID string        `json:"correlation_id"`
+	Duration      time.Duration `json:"duration_ns"`
+	Attrs         []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the last attribute set under key ("" when
+// absent).
+func (r SpanRecord) Attr(key string) string {
+	for i := len(r.Attrs) - 1; i >= 0; i-- {
+		if r.Attrs[i].Key == key {
+			return r.Attrs[i].Value
+		}
+	}
+	return ""
+}
+
+// Spans returns the most recent completed spans, oldest first (bounded
+// by the internal ring size).
+func (m *Metrics) Spans() []SpanRecord {
+	if m == nil {
+		return nil
+	}
+	return m.tracer.ring.snapshot()
+}
+
+// tracer is the per-registry span state: the correlation-id sequence and
+// the bounded ring of completed spans.
+type tracer struct {
+	seq  atomic.Uint64
+	ring spanRing
+}
+
+// spanRingSize bounds the retained completed spans; heavy traffic
+// overwrites the oldest records.
+const spanRingSize = 256
+
+type spanRing struct {
+	mu  sync.Mutex
+	buf [spanRingSize]SpanRecord
+	n   uint64 // total records ever added
+}
+
+func (r *spanRing) add(rec SpanRecord) {
+	r.mu.Lock()
+	r.buf[r.n%spanRingSize] = rec
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *spanRing) snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.n
+	if size > spanRingSize {
+		size = spanRingSize
+	}
+	out := make([]SpanRecord, 0, size)
+	start := r.n - size
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i%spanRingSize])
+	}
+	return out
+}

@@ -117,8 +117,9 @@ func (c *Composite) DecideAttribute(attr, role, purpose string) AccessDecision {
 			continue // abstain
 		}
 		out.Matched = append(out.Matched, d.Matched...)
+		out.PLAs = mergeIDs(out.PLAs, d.PLAs)
 		if d.Effect == Deny {
-			return AccessDecision{Effect: Deny, Matched: d.Matched}
+			return AccessDecision{Effect: Deny, Matched: d.Matched, PLAs: d.PLAs}
 		}
 		sawAllow = true
 		out.Conditions = append(out.Conditions, d.Conditions...)
@@ -158,8 +159,9 @@ func (c *Composite) DecideAttributeRefs(refs []AttrRef, role, purpose string) Ac
 				continue
 			}
 			out.Matched = append(out.Matched, d.Matched...)
+			out.PLAs = mergeIDs(out.PLAs, d.PLAs)
 			if d.Effect == Deny {
-				return AccessDecision{Effect: Deny, Matched: d.Matched}
+				return AccessDecision{Effect: Deny, Matched: d.Matched, PLAs: d.PLAs}
 			}
 			sawAllow = true
 			out.Conditions = append(out.Conditions, d.Conditions...)
@@ -221,6 +223,57 @@ func (c *Composite) AggregationRules() []AggregationRule {
 		out = append(out, p.Aggregations...)
 	}
 	return out
+}
+
+// AggregationPLAs returns the ids of the member PLAs imposing aggregation
+// thresholds — the deciding agreements behind a threshold block.
+func (c *Composite) AggregationPLAs() []string {
+	var out []string
+	for _, p := range c.PLAs {
+		if len(p.Aggregations) > 0 {
+			out = mergeIDs(out, []string{p.ID})
+		}
+	}
+	return out
+}
+
+// FilterPLAs returns the ids of the member PLAs imposing row filters.
+func (c *Composite) FilterPLAs() []string {
+	var out []string
+	for _, p := range c.PLAs {
+		if len(p.Filters) > 0 {
+			out = mergeIDs(out, []string{p.ID})
+		}
+	}
+	return out
+}
+
+// DenyingJoinPLA returns the id of the first member PLA forbidding a join
+// with the named relation ("" when the join is allowed).
+func (c *Composite) DenyingJoinPLA(other string) string {
+	for _, p := range c.PLAs {
+		if ok, _ := p.JoinAllowed(other); !ok {
+			return p.ID
+		}
+	}
+	return ""
+}
+
+// mergeIDs appends the ids not already present, preserving order.
+func mergeIDs(dst, add []string) []string {
+	for _, id := range add {
+		found := false
+		for _, have := range dst {
+			if have == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, id)
+		}
+	}
+	return dst
 }
 
 // AnonymizeRules returns the union of member anonymization rules.

@@ -259,6 +259,9 @@ type AccessDecision struct {
 	Conditions []relation.Expr
 	// Matched lists the rules that fired, for audit evidence.
 	Matched []AccessRule
+	// PLAs lists the ids of the agreements whose rules fired — on a deny,
+	// the deciding PLA.
+	PLAs []string
 }
 
 // DecideAttribute evaluates the PLA's access rules for one attribute/role/
@@ -273,7 +276,7 @@ func (p *PLA) DecideAttribute(attr, role, purpose string) AccessDecision {
 		}
 		d.Matched = append(d.Matched, r)
 		if r.Effect == Deny {
-			return AccessDecision{Effect: Deny, Matched: []AccessRule{r}}
+			return AccessDecision{Effect: Deny, Matched: []AccessRule{r}, PLAs: []string{p.ID}}
 		}
 		anyAllow = true
 		if r.When != nil {
@@ -282,6 +285,9 @@ func (p *PLA) DecideAttribute(attr, role, purpose string) AccessDecision {
 	}
 	if anyAllow {
 		d.Effect = Allow
+	}
+	if len(d.Matched) > 0 {
+		d.PLAs = []string{p.ID}
 	}
 	return d
 }

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 
 	"plabi/internal/audit"
 	"plabi/internal/core"
 	"plabi/internal/enforce"
 	"plabi/internal/etl"
 	"plabi/internal/metareport"
+	"plabi/internal/obs"
 	"plabi/internal/relation"
 	"plabi/internal/report"
 	"plabi/internal/sql"
@@ -67,7 +69,34 @@ type (
 	// ReleaseReport documents one source-level release (Fig. 2a):
 	// anonymization, suppression and consent filtering applied.
 	ReleaseReport = enforce.ReleaseReport
+	// Metrics is an observability registry: counters, gauges, latency
+	// histograms and span tracing. A nil *Metrics is a valid no-op
+	// registry.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of every metric.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is the frozen state of one latency histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// SpanRecord is one completed span: name, correlation id, duration
+	// and attributes.
+	SpanRecord = obs.SpanRecord
 )
+
+// NewMetrics returns an empty observability registry, for sharing one
+// registry across engines or publishing it before Open.
+func NewMetrics() *Metrics { return obs.New() }
+
+// CorrelationID returns the correlation id carried by ctx ("" when none).
+// Every Render / RunETL / CheckReportCompliance call stamps its span's id
+// into the audit events it appends, so logs, spans and metrics join on it.
+func CorrelationID(ctx context.Context) string { return obs.CorrelationID(ctx) }
+
+// WithCorrelationID returns a ctx carrying an externally chosen
+// correlation id (e.g. a request id); spans started under it adopt the id
+// instead of minting one.
+func WithCorrelationID(ctx context.Context, id string) context.Context {
+	return obs.WithCorrelationID(ctx, id)
+}
 
 // NewSource builds a source from tables, keyed by table name.
 func NewSource(name, owner string, tables ...*Table) *Source {
@@ -78,9 +107,27 @@ func NewSource(name, owner string, tables ...*Table) *Source {
 type Option func(*options)
 
 type options struct {
-	auditSink io.Writer
-	cacheSize int
-	workers   int
+	auditSink  io.Writer
+	cacheSize  int
+	workers    int
+	metrics    *obs.Metrics
+	metricsSet bool
+}
+
+// apply configures a core engine from the collected options.
+func (o *options) apply(ce *core.Engine) {
+	if o.metricsSet {
+		ce.SetMetrics(o.metrics)
+	}
+	if o.auditSink != nil {
+		ce.Audit.SetSink(o.auditSink)
+	}
+	if o.cacheSize > 0 {
+		ce.SetCacheSize(o.cacheSize)
+	}
+	if o.workers > 0 {
+		ce.SetWorkers(o.workers)
+	}
 }
 
 // WithAuditSink streams every audit event to w as one JSON line at append
@@ -103,6 +150,14 @@ func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithMetrics attaches an observability registry at Open time, replacing
+// the registry every engine otherwise creates for itself. Use it to share
+// one registry across engines or to pre-publish it (expvar, /metrics).
+// Passing nil disables instrumentation entirely.
+func WithMetrics(m *Metrics) Option {
+	return func(o *options) { o.metrics = m; o.metricsSet = true }
+}
+
 // Engine is one privacy-aware BI deployment: sources, PLAs, guarded ETL,
 // reports, meta-reports, enforcement, audit. All methods are safe for
 // concurrent use.
@@ -117,15 +172,7 @@ func Open(opts ...Option) *Engine {
 		fn(&o)
 	}
 	e := core.New()
-	if o.auditSink != nil {
-		e.Audit.SetSink(o.auditSink)
-	}
-	if o.cacheSize > 0 {
-		e.SetCacheSize(o.cacheSize)
-	}
-	if o.workers > 0 {
-		e.SetWorkers(o.workers)
-	}
+	o.apply(e)
 	return &Engine{core: e}
 }
 
@@ -155,21 +202,12 @@ func OpenHealthcare(cfg HealthcareConfig, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{core: ce}
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
-	if o.auditSink != nil {
-		ce.Audit.SetSink(o.auditSink)
-	}
-	if o.cacheSize > 0 {
-		ce.SetCacheSize(o.cacheSize)
-	}
-	if o.workers > 0 {
-		ce.SetWorkers(o.workers)
-	}
-	return e, nil
+	o.apply(ce)
+	return &Engine{core: ce}, nil
 }
 
 // AddSource registers a data provider; its tables become queryable and
@@ -287,6 +325,35 @@ func (e *Engine) Table(name string) (*Table, bool) { return e.core.Table(name) }
 
 // CacheStats snapshots the render decision-cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.core.CacheStats() }
+
+// Metrics returns the engine's observability registry (nil when
+// instrumentation was disabled with WithMetrics(nil)).
+func (e *Engine) Metrics() *Metrics { return e.core.Obs() }
+
+// MetricsSnapshot captures every counter, gauge and histogram, with the
+// decision-cache counters (cache.*) folded in. Safe to call concurrently
+// with renders.
+func (e *Engine) MetricsSnapshot() MetricsSnapshot { return e.core.MetricsSnapshot() }
+
+// Spans returns the most recent completed spans (render / etl / check),
+// oldest first, each carrying its correlation id, duration and the
+// deciding rule and PLA for blocks.
+func (e *Engine) Spans() []SpanRecord { return e.core.Obs().Spans() }
+
+// WriteMetricsJSON writes the merged metrics snapshot as indented JSON —
+// the same document /metrics serves.
+func (e *Engine) WriteMetricsJSON(w io.Writer) error {
+	return obs.WriteSnapshotJSON(w, e.core.MetricsSnapshot())
+}
+
+// DebugHandler serves the engine's observability surface over HTTP:
+// GET /metrics returns the merged snapshot as JSON, and /debug/pprof/*
+// exposes the standard Go profiles. Mount it on a private listener:
+//
+//	go http.ListenAndServe("localhost:6060", eng.DebugHandler())
+func (e *Engine) DebugHandler() http.Handler {
+	return obs.DebugMux(e.core.MetricsSnapshot)
+}
 
 // SetWorkers re-bounds the worker pools at runtime (0 restores the
 // default of one worker per CPU).

@@ -15,6 +15,14 @@ import (
 func quickEngine(t *testing.T) *Engine {
 	t.Helper()
 	e := Open()
+	seedQuickScenario(t, e)
+	return e
+}
+
+// seedQuickScenario loads the paper's literal prescriptions fixture, a
+// source-level PLA and one report into an already-opened engine.
+func seedQuickScenario(t *testing.T, e *Engine) {
+	t.Helper()
 	e.AddSource(NewSource("hospital", "hospital", workload.PrescriptionsFixture()))
 	err := e.AddPLAs(`
 pla "src" { owner "hospital"; level source; scope "prescriptions";
@@ -28,7 +36,6 @@ pla "src" { owner "hospital"; level source; scope "prescriptions";
 	if err != nil {
 		t.Fatal(err)
 	}
-	return e
 }
 
 func TestPublicAPIRoundTrip(t *testing.T) {
