@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-smoke bench ci
+.PHONY: build vet test race lint bench-smoke bench ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static analysis: go vet plus plalint over every shipped PLA document
+# and the full healthcare deployment (error severity gates the build;
+# the scenario's intentionally blocked report stays a warning).
+lint: vet
+	$(GO) run ./cmd/plalint docs/sample.pla
+	for f in examples/*/policy.pla; do $(GO) run ./cmd/plalint $$f || exit 1; done
+	$(GO) run ./cmd/plalint -severity error -healthcare
+
 # One-iteration benchmark pass: catches bitrot in the bench harness
 # without paying for a full measurement run. BENCH_OBS makes the render
 # benchmarks dump the engine's metrics snapshot alongside the timings.
@@ -25,4 +33,4 @@ bench-smoke:
 bench:
 	BENCH_OBS=BENCH_obs.json $(GO) test -run XXX -bench . -benchtime=2s .
 
-ci: vet build race bench-smoke
+ci: lint build race bench-smoke

@@ -22,6 +22,7 @@ func main() {
 	workers := flag.Int("workers", 0, "enforcement workers (0 = one per CPU)")
 	showMetrics := flag.Bool("metrics", false, "dump the metrics snapshot (JSON) after the run")
 	serve := flag.String("serve", "", "serve /metrics and /debug/pprof on this address after the run (e.g. localhost:6060)")
+	doLint := flag.Bool("lint", false, "statically lint the loaded scenario before serving; refuse to start on error-severity findings")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -31,6 +32,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bidemo:", err)
 		os.Exit(1)
+	}
+	if *doLint {
+		findings := plabi.Lint(e)
+		if len(findings) > 0 {
+			if err := plabi.WriteLintText(os.Stderr, findings); err != nil {
+				fmt.Fprintln(os.Stderr, "bidemo:", err)
+				os.Exit(1)
+			}
+		}
+		if max, ok := plabi.MaxLintSeverity(findings); ok && max >= plabi.LintError {
+			fmt.Fprintln(os.Stderr, "bidemo: refusing to start: scenario has error-severity lint findings")
+			os.Exit(1)
+		}
+		fmt.Printf("lint: %d finding(s), none at error severity\n", len(findings))
 	}
 	for _, name := range []string{"prescriptions", "familydoctor", "drugcost", "labresults", "residents"} {
 		if t, ok := e.Table(name); ok {

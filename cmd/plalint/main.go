@@ -1,0 +1,122 @@
+// Command plalint statically analyzes PLA deployments: dead and
+// shadowed rules, cross-agreement conflicts, schema drift, reports no
+// consumer can ever see, threshold contradictions across levels, ETL
+// plans that leak, and conditions the runtime cannot evaluate.
+//
+// Usage:
+//
+//	plalint [flags] file.pla [file2.pla ...]
+//	plalint -healthcare            # lint the built-in Fig. 1 deployment
+//
+// Exit codes: 0 no findings at or above -severity, 1 findings reported,
+// 2 unreadable input, parse failure or bad configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plabi"
+	"plabi/internal/lint"
+	"plabi/internal/policy"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	sevName := flag.String("severity", "warning", "minimum severity to report and gate on (info|warning|error)")
+	applyFix := flag.Bool("fix", false, "apply machine-applicable suggested fixes to the input files (rewrites them in canonical form)")
+	healthcare := flag.Bool("healthcare", false, "lint the built-in healthcare scenario deployment (catalog, reports, ETL plan and meta-reports included)")
+	flag.Parse()
+
+	minSev, err := lint.ParseSeverity(*sevName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plalint:", err)
+		os.Exit(2)
+	}
+	if flag.NArg() == 0 && !*healthcare {
+		fmt.Fprintln(os.Stderr, "plalint: no PLA files given (and -healthcare not set)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var findings []plabi.LintFinding
+	if flag.NArg() > 0 {
+		fs, err := plabi.LintFiles(flag.Args()...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plalint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if *healthcare {
+		// A small workload suffices: lint inspects agreements, schemas and
+		// plans, never row counts.
+		e, err := plabi.OpenHealthcare(plabi.HealthcareConfig{Seed: 1, Prescriptions: 200})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plalint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, plabi.Lint(e)...)
+	}
+	lint.Sort(findings)
+
+	if *applyFix && flag.NArg() > 0 {
+		if err := fixFiles(flag.Args(), lint.Fixes(findings)); err != nil {
+			fmt.Fprintln(os.Stderr, "plalint:", err)
+			os.Exit(2)
+		}
+	}
+
+	shown := lint.Filter(findings, minSev)
+	if *asJSON {
+		err = plabi.WriteLintJSON(os.Stdout, shown)
+	} else {
+		err = plabi.WriteLintText(os.Stdout, shown)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plalint:", err)
+		os.Exit(2)
+	}
+	if len(shown) > 0 {
+		os.Exit(1)
+	}
+}
+
+// fixFiles rewrites each input file whose PLAs have applicable fixes.
+// Files are re-parsed individually so fixes land in the file that
+// declared the agreement; untouched files are left byte-identical.
+func fixFiles(paths []string, fixes []lint.Fix) error {
+	if len(fixes) == 0 {
+		return nil
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		plas, err := policy.ParseFileNamed(path, string(src))
+		if err != nil {
+			return err
+		}
+		local := map[string]bool{}
+		for _, p := range plas {
+			local[p.ID] = true
+		}
+		var mine []lint.Fix
+		for _, fx := range fixes {
+			if local[fx.PLAID] {
+				mine = append(mine, fx)
+			}
+		}
+		applied := lint.ApplyFixes(plas, mine)
+		if applied == 0 {
+			continue
+		}
+		if err := os.WriteFile(path, []byte(lint.FormatPLAs(plas)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "plalint: %s: applied %d fix(es)\n", path, applied)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -13,19 +14,18 @@ import (
 	"plabi/internal/workload"
 )
 
+// The municipality's release agreement, kept as a standalone lintable
+// DSL file (`plalint policy.pla`).
+//
+//go:embed policy.pla
+var policyDSL string
+
 func main() {
 	ds := workload.Generate(workload.DefaultConfig(7))
 
 	engine := plabi.Open()
 	engine.AddSource(plabi.NewSource("municipality", "municipality", ds.Residents))
-	err := engine.AddPLAs(`
-pla "municipality-residents" {
-    owner "municipality"; level source; scope "residents";
-    allow attribute *;
-    anonymize attribute patient using pseudonym;
-    release kanonymity 5 quasi age, zip ldiversity 2 on municipality;
-}`)
-	if err != nil {
+	if err := engine.AddPLAs(policyDSL); err != nil {
 		log.Fatal(err)
 	}
 

@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -14,19 +15,18 @@ import (
 	"plabi/internal/workload"
 )
 
+// The agreements governing the audited deployment, kept as a standalone
+// lintable DSL file (`plalint policy.pla`).
+//
+//go:embed policy.pla
+var policyDSL string
+
 func main() {
 	// Stream the audit trail to stderr-free storage as it is written; the
 	// in-memory log stays queryable.
 	engine := plabi.Open()
 	engine.AddSource(plabi.NewSource("hospital", "hospital", workload.Fig4Prescriptions(1)))
-	err := engine.AddPLAs(`
-pla "src" { owner "hospital"; level source; scope "prescriptions"; allow attribute *; }
-pla "report-pla" {
-    owner "hospital"; level report; scope "drug-consumption";
-    allow attribute drug;
-    aggregate min 5 by patient;
-}`)
-	if err != nil {
+	if err := engine.AddPLAs(policyDSL); err != nil {
 		log.Fatal(err)
 	}
 	def := &plabi.ReportDefinition{ID: "drug-consumption", Title: "Drug consumption",

@@ -5,6 +5,7 @@ package main
 
 import (
 	"context"
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -12,27 +13,26 @@ import (
 	"plabi/internal/workload"
 )
 
+// The privacy agreement, in the PLA DSL, kept lintable as a standalone
+// file (`plalint policy.pla`). The intensional condition reproduces the
+// paper's §5 example: patient names are visible only where the
+// supporting rows are not HIV-related.
+//
+//go:embed policy.pla
+var policyDSL string
+
 func main() {
 	// 1. An engine and a data source (the paper's Fig. 2b table).
 	engine := plabi.Open()
 	engine.AddSource(plabi.NewSource("hospital", "hospital", workload.PrescriptionsFixture()))
 
-	// 2. The privacy agreement, in the PLA DSL. The intensional
-	// condition reproduces the paper's §5 example: patient names are
-	// visible only where the supporting rows are not HIV-related.
-	err := engine.AddPLAs(`
-pla "hospital-prescriptions" {
-    owner "hospital"; level source; scope "prescriptions";
-    allow attribute drug;
-    allow attribute date;
-    allow attribute patient when disease <> 'HIV';
-}`)
-	if err != nil {
+	// 2. Register the agreement.
+	if err := engine.AddPLAs(policyDSL); err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. A report over the source.
-	err = engine.DefineReport(&plabi.ReportDefinition{
+	err := engine.DefineReport(&plabi.ReportDefinition{
 		ID:    "rx-list",
 		Title: "Prescriptions",
 		Query: "SELECT patient, drug, date FROM prescriptions ORDER BY date",

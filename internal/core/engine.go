@@ -40,11 +40,12 @@ type Engine struct {
 	Reports  *report.Registry
 	Audit    *audit.Log
 
-	mu      sync.RWMutex
-	sources map[string]*etl.Source
-	metas   []*metareport.MetaReport
-	assign  map[string]string
-	workers int
+	mu        sync.RWMutex
+	sources   map[string]*etl.Source
+	metas     []*metareport.MetaReport
+	assign    map[string]string
+	pipelines []*etl.Pipeline
+	workers   int
 
 	enforcer *enforce.ReportEnforcer
 	obsp     atomic.Pointer[obs.Metrics]
@@ -144,6 +145,24 @@ func (e *Engine) SourceNames() []string {
 	return out
 }
 
+// SourceOwners lists the distinct owners behind the registered
+// providers, sorted — the universe of legitimate integration
+// beneficiaries.
+func (e *Engine) SourceOwners() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range e.sources {
+		if !seen[s.Owner] {
+			seen[s.Owner] = true
+			out = append(out, s.Owner)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // AddPLAs parses a PLA DSL document and registers every block. Cached
 // render decisions computed under the previous policy set stop validating
 // immediately (the registry generation moves).
@@ -195,6 +214,7 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 		p.Workers = e.workers
 		e.mu.RUnlock()
 	}
+	e.recordPipeline(p)
 	res, err := p.RunContext(ctx, ectx, continueOnViolation)
 	span.Set("violations", fmt.Sprint(len(res.Violations)))
 	// Register every staging output for reporting and tracing.
@@ -210,6 +230,42 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 		}
 	}
 	return res, err
+}
+
+// recordPipeline keeps the plan of every pipeline the engine has run
+// (latest per name) so the static analyzer can re-check ETL data flow
+// against evolved agreements without re-executing it.
+func (e *Engine) recordPipeline(p *etl.Pipeline) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, have := range e.pipelines {
+		if have.Name == p.Name {
+			e.pipelines[i] = p
+			return
+		}
+	}
+	e.pipelines = append(e.pipelines, p)
+}
+
+// Pipelines returns the recorded ETL plans, sorted by name.
+func (e *Engine) Pipelines() []*etl.Pipeline {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := append([]*etl.Pipeline(nil), e.pipelines...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Assignments returns a copy of the full report-to-meta-report
+// assignment map.
+func (e *Engine) Assignments() map[string]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]string, len(e.assign))
+	for k, v := range e.assign {
+		out[k] = v
+	}
+	return out
 }
 
 // DefineReport registers a report definition.

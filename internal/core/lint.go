@@ -1,0 +1,23 @@
+package core
+
+import (
+	"plabi/internal/lint"
+)
+
+// Lint statically analyzes the whole deployment — agreements, catalog,
+// reports, meta-report assignments and recorded ETL plans — without
+// executing any data flow, and returns the findings in deterministic
+// order. Metrics are emitted to the engine's observability registry
+// under lint.*.
+func (e *Engine) Lint() []lint.Finding {
+	return lint.Run(&lint.Pass{
+		Registry:  e.Policies,
+		Catalog:   e.Catalog,
+		Reports:   e.Reports.All(),
+		Metas:     e.MetaReports(),
+		Assign:    e.Assignments(),
+		Pipelines: e.Pipelines(),
+		Owners:    e.SourceOwners(),
+		Metrics:   e.Obs(),
+	})
+}

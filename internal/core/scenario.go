@@ -20,7 +20,6 @@ pla "hospital-prescriptions" {
     allow attribute drug;
     allow attribute disease to roles auditor;
     allow attribute date;
-    allow attribute cost;
     allow attribute patient to roles analyst when disease <> 'HIV';
     allow attribute doctor to roles auditor;
     aggregate min 3 by patient;

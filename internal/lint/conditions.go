@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+
+	"plabi/internal/policy"
+	"plabi/internal/relation"
+)
+
+// conditions (PL007) finds intensional conditions the rewrite layer can
+// never evaluate: a "when" or "filter" expression referencing a column
+// that does not exist in the rows the condition is checked against. The
+// runtime treats rows where a condition is inapplicable as unconstrained
+// — an unenforceable condition silently degrades an allow-when into an
+// unconditional allow, the worst possible failure mode for a privacy
+// rule.
+type conditions struct{}
+
+func init() { Register(conditions{}) }
+
+func (conditions) Code() string { return "PL007" }
+func (conditions) Name() string { return "unenforceable-conditions" }
+func (conditions) Doc() string {
+	return "Intensional conditions referencing columns invisible to the enforcement " +
+		"layer: the condition is silently skipped and the rule holds unconditionally."
+}
+
+func (conditions) Run(p *Pass) []Finding {
+	if p.Catalog == nil {
+		return nil
+	}
+	var out []Finding
+	for _, pla := range p.PLAs {
+		switch pla.Level {
+		case policy.LevelSource, policy.LevelWarehouse:
+			cols, ok := p.relationColumns(pla.Scope)
+			if !ok {
+				continue // PL003 reports the dangling scope
+			}
+			visible := func(c string) bool { return cols[c] }
+			out = append(out, checkConditions(pla, visible, "table "+pla.Scope)...)
+		case policy.LevelReport:
+			def := p.reportByID(pla.Scope)
+			if def == nil {
+				continue
+			}
+			prof := p.profile(def)
+			if prof == nil {
+				continue
+			}
+			// Report-level conditions are evaluated against the source
+			// rows supporting each value; any base column of the report
+			// is visible.
+			base := map[string]bool{}
+			for _, t := range prof.BaseTables {
+				if cols, ok := p.relationColumns(t); ok {
+					for c := range cols {
+						base[c] = true
+					}
+				}
+			}
+			visible := func(c string) bool { return base[c] }
+			out = append(out, checkConditions(pla, visible, fmt.Sprintf("the sources of report %q", def.ID))...)
+		}
+	}
+	return out
+}
+
+func checkConditions(pla *policy.PLA, visible func(string) bool, where string) []Finding {
+	var out []Finding
+	for _, r := range pla.Access {
+		if r.When != nil {
+			out = append(out, checkExpr(pla, r.Pos, r.When, visible, where,
+				fmt.Sprintf("condition on the %s rule for attribute %q", r.Effect, r.Attribute))...)
+		}
+	}
+	for _, f := range pla.Filters {
+		out = append(out, checkExpr(pla, f.Pos, f.When, visible, where, "row filter")...)
+	}
+	return out
+}
+
+func checkExpr(pla *policy.PLA, pos policy.Pos, e relation.Expr, visible func(string) bool, where, what string) []Finding {
+	var out []Finding
+	for _, col := range conditionColumns(e) {
+		if visible(col) {
+			continue
+		}
+		out = append(out, Finding{
+			Code: "PL007", Severity: SevError, Level: pla.Level, Pos: pos,
+			Subject: pla.ID + "/" + col,
+			Message: fmt.Sprintf("%s in PLA %q references column %q, which is not visible in %s: the enforcement layer cannot evaluate it and silently treats the condition as satisfied",
+				what, pla.ID, col, where),
+			PLAs: []string{pla.ID},
+		})
+	}
+	return out
+}

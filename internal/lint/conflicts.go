@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/policy"
+)
+
+// conflicts (PL002) surfaces explicit allow/deny disagreements between
+// agreements that co-govern the same data — per scope group, and (when
+// reports are available) across levels through each report's runtime
+// composite. The composition semantics resolve these restrictively, but
+// a conflict means two owners agreed to contradictory things with no
+// tiebreaker: §2 challenge ii says the requirements engineer must see it.
+type conflicts struct{}
+
+func init() { Register(conflicts{}) }
+
+func (conflicts) Code() string { return "PL002" }
+func (conflicts) Name() string { return "conflicting-plas" }
+func (conflicts) Doc() string {
+	return "Explicit allow in one PLA vs explicit deny in another on the same attribute/" +
+		"role, join partner or integration beneficiary, with no tiebreaker: the runtime " +
+		"denies, but the disagreement needs re-elicitation."
+}
+
+func (conflicts) Run(p *Pass) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	emit := func(level policy.Level, cs []policy.Conflict) {
+		for _, c := range cs {
+			key := fmt.Sprintf("%s|%s|%s|%s", c.Kind, c.Subject, c.AllowBy, c.DenyBy)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Finding{
+				Code: "PL002", Severity: SevError, Level: level,
+				Pos:     allowRulePos(p, c),
+				Subject: c.Subject,
+				Message: fmt.Sprintf("%s conflict on %q: allowed by PLA %q, denied by PLA %q with no tiebreaker (the runtime resolves restrictively — re-elicit)",
+					c.Kind, c.Subject, c.AllowBy, c.DenyBy),
+				PLAs: []string{c.AllowBy, c.DenyBy},
+			})
+		}
+	}
+	for _, g := range p.scopeGroups() {
+		emit(g.level, policy.Compose(g.plas...).Conflicts)
+	}
+	// Cross-level conflicts show up in the composite a report actually
+	// renders under.
+	if p.Catalog != nil {
+		for _, def := range p.Reports {
+			comp, _, err := p.enforcer().CompositeFor(def)
+			if err != nil {
+				continue
+			}
+			emit(policy.LevelReport, comp.Conflicts)
+		}
+	}
+	return out
+}
+
+// allowRulePos locates the allowing rule of a conflict for the finding
+// position.
+func allowRulePos(p *Pass, c policy.Conflict) policy.Pos {
+	pla, ok := p.Registry.ByID(c.AllowBy)
+	if !ok {
+		return policy.Pos{}
+	}
+	subject := c.Subject
+	if i := strings.IndexByte(subject, '/'); i >= 0 {
+		subject = subject[:i] // access keys are "attr" or "attr/role"
+	}
+	switch c.Kind {
+	case "access":
+		for _, r := range pla.Access {
+			if r.Effect == policy.Allow && strings.EqualFold(r.Attribute, subject) {
+				return r.Pos
+			}
+		}
+	case "join":
+		for _, r := range pla.Joins {
+			if r.Effect == policy.Allow && strings.EqualFold(r.Other, subject) {
+				return r.Pos
+			}
+		}
+	case "integration":
+		for _, r := range pla.Integrations {
+			if r.Effect == policy.Allow && strings.EqualFold(r.Beneficiary, subject) {
+				return r.Pos
+			}
+		}
+	}
+	return pla.Pos
+}

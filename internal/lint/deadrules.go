@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/policy"
+)
+
+// deadRules (PL001) finds access rules that can never influence a
+// decision under compose.go's most-restrictive-wins semantics: an allow
+// rule fully covered by an unconditional deny in any co-governing
+// agreement (shadowed — the author believes access is granted, the
+// runtime always refuses), and a rule fully covered by an earlier,
+// broader rule of the same effect in the same agreement (redundant).
+type deadRules struct{}
+
+func init() { Register(deadRules{}) }
+
+func (deadRules) Code() string { return "PL001" }
+func (deadRules) Name() string { return "dead-rules" }
+func (deadRules) Doc() string {
+	return "Access rules that are unreachable under most-restrictive-wins composition: " +
+		"allow rules always overridden by an unconditional deny (shadowed), and rules " +
+		"subsumed by an earlier broader rule of the same effect (redundant)."
+}
+
+func (deadRules) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, g := range p.scopeGroups() {
+		for _, pla := range g.plas {
+			for i, r := range pla.Access {
+				if r.Effect == policy.Allow {
+					if by, s := shadowedBy(g, r); by != nil {
+						out = append(out, shadowFinding(pla, i, r, by, s))
+						continue
+					}
+				}
+				if j := coveredEarlier(pla, i); j >= 0 {
+					out = append(out, redundantFinding(pla, i, j))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shadowedBy returns the agreement and rule whose unconditional deny
+// covers every (attribute, role, purpose) the allow rule r matches.
+func shadowedBy(g group, r policy.AccessRule) (*policy.PLA, *policy.AccessRule) {
+	for _, pla := range g.plas {
+		for i, s := range pla.Access {
+			// A deny's condition is ignored by DecideAttribute, so any
+			// covering deny shadows unconditionally.
+			if s.Effect == policy.Deny && ruleCovers(s, r) {
+				return pla, &pla.Access[i]
+			}
+		}
+	}
+	return nil, nil
+}
+
+// coveredEarlier returns the index of an earlier rule in the same PLA
+// with the same effect, no condition, covering rule i (which must itself
+// be unconditional for the subsumption to be outcome-neutral).
+func coveredEarlier(pla *policy.PLA, i int) int {
+	r := pla.Access[i]
+	if r.When != nil {
+		return -1
+	}
+	for j := 0; j < i; j++ {
+		s := pla.Access[j]
+		if s.Effect == r.Effect && s.When == nil && ruleCovers(s, r) {
+			return j
+		}
+	}
+	return -1
+}
+
+// ruleCovers reports whether s matches every triple r matches.
+func ruleCovers(s, r policy.AccessRule) bool {
+	if s.Attribute != "*" && !strings.EqualFold(s.Attribute, r.Attribute) {
+		return false
+	}
+	return setCovers(s.Roles, r.Roles) && setCovers(s.Purposes, r.Purposes)
+}
+
+// setCovers reports whether the matcher set sup (empty = everything)
+// accepts at least everything sub accepts.
+func setCovers(sup, sub []string) bool {
+	if len(sup) == 0 {
+		return true
+	}
+	if len(sub) == 0 {
+		return false
+	}
+	for _, v := range sub {
+		found := false
+		for _, w := range sup {
+			if strings.EqualFold(v, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func shadowFinding(pla *policy.PLA, idx int, r policy.AccessRule, by *policy.PLA, s *policy.AccessRule) Finding {
+	at := ""
+	if s.Pos.IsValid() {
+		at = fmt.Sprintf(" at %s", s.Pos)
+	}
+	return Finding{
+		Code: "PL001", Severity: SevWarning, Level: pla.Level, Pos: r.Pos,
+		Subject: pla.ID + "/" + r.Attribute,
+		Message: fmt.Sprintf("allow rule for attribute %q%s in PLA %q is dead: always overridden by the deny rule%s in PLA %q (most-restrictive-wins)",
+			r.Attribute, ruleScopeSuffix(r), pla.ID, at, by.ID),
+		PLAs: plaIDs(pla, by),
+		SuggestedFix: &Fix{
+			Summary: fmt.Sprintf("remove the shadowed allow rule for %q from PLA %q", r.Attribute, pla.ID),
+			PLAID:   pla.ID, Kind: "access", Index: idx, Action: "remove",
+		},
+	}
+}
+
+func redundantFinding(pla *policy.PLA, i, j int) Finding {
+	r, s := pla.Access[i], pla.Access[j]
+	return Finding{
+		Code: "PL001", Severity: SevInfo, Level: pla.Level, Pos: r.Pos,
+		Subject: pla.ID + "/" + r.Attribute,
+		Message: fmt.Sprintf("%s rule for attribute %q%s in PLA %q is redundant: already covered by the broader %s rule for %q",
+			r.Effect, r.Attribute, ruleScopeSuffix(r), pla.ID, s.Effect, s.Attribute),
+		PLAs: []string{pla.ID},
+		SuggestedFix: &Fix{
+			Summary: fmt.Sprintf("remove the redundant %s rule for %q from PLA %q", r.Effect, r.Attribute, pla.ID),
+			PLAID:   pla.ID, Kind: "access", Index: i, Action: "remove",
+		},
+	}
+}
+
+// ruleScopeSuffix renders the role/purpose restriction of a rule for
+// messages (" (roles analyst)", "").
+func ruleScopeSuffix(r policy.AccessRule) string {
+	var parts []string
+	if len(r.Roles) > 0 {
+		parts = append(parts, "roles "+strings.Join(r.Roles, ", "))
+	}
+	if len(r.Purposes) > 0 {
+		parts = append(parts, "purpose "+strings.Join(r.Purposes, ", "))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, "; ") + ")"
+}
+
+func plaIDs(plas ...*policy.PLA) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range plas {
+		if !seen[p.ID] {
+			seen[p.ID] = true
+			out = append(out, p.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plabi/internal/etl"
+	"plabi/internal/policy"
+)
+
+// etlLeaks (PL006) analyzes ETL plans without running them: base-table
+// provenance is propagated symbolically through the steps, and every
+// join, integration and extraction is checked against the same
+// source/warehouse composites the runtime guard consults. A plan that
+// would trip the guard at run time — or that loads an attribute no role
+// may ever see — is reported at lint time, the paper's level-2 compliance
+// check (§5, Fig. 3) moved before deployment.
+type etlLeaks struct{}
+
+func init() { Register(etlLeaks{}) }
+
+func (etlLeaks) Code() string { return "PL006" }
+func (etlLeaks) Name() string { return "etl-leak-paths" }
+func (etlLeaks) Doc() string {
+	return "ETL steps whose symbolic data flow violates join or integration permissions, " +
+		"or that extract attributes denied to every role into the warehouse."
+}
+
+func (etlLeaks) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, pipe := range p.Pipelines {
+		out = append(out, analyzePipeline(p, pipe)...)
+	}
+	return out
+}
+
+func analyzePipeline(p *Pass, pipe *etl.Pipeline) []Finding {
+	var out []Finding
+	// bases maps each staging name to the source base tables feeding it.
+	bases := map[string]map[string]bool{}
+	get := func(name string) map[string]bool {
+		if bases[name] == nil {
+			bases[name] = map[string]bool{}
+		}
+		return bases[name]
+	}
+	// Steps are listed in producer order; a second sweep covers plans
+	// listed out of order (the scheduler runs them by dependency anyway).
+	for sweep := 0; sweep < 2; sweep++ {
+		emit := sweep == 1
+		for _, s := range pipe.Steps {
+			switch st := s.(type) {
+			case *etl.Extract:
+				get(st.As)[strings.ToLower(st.Table)] = true
+				if emit {
+					out = append(out, extractLeaks(p, pipe, st)...)
+				}
+			case *etl.JoinStep:
+				union(get(st.Out), bases[st.Left], bases[st.Right])
+				if emit {
+					out = append(out, joinLeaks(p, pipe, st, bases[st.Left], bases[st.Right])...)
+				}
+			case *etl.EntityResolution:
+				union(get(s.Output()), bases[st.Input])
+				if emit {
+					out = append(out, integrationLeaks(p, pipe, st, bases[st.Canon])...)
+				}
+			default:
+				// Transforms, aggregations and custom steps carry their
+				// inputs' provenance through.
+				for _, in := range s.Inputs() {
+					union(get(s.Output()), bases[in])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func union(dst map[string]bool, srcs ...map[string]bool) {
+	for _, src := range srcs {
+		for t := range src {
+			dst[t] = true
+		}
+	}
+}
+
+// joinLeaks checks every pair of base tables meeting in a join step
+// against both sides' join permissions, exactly as the runtime guard
+// would.
+func joinLeaks(p *Pass, pipe *etl.Pipeline, st *etl.JoinStep, left, right map[string]bool) []Finding {
+	var out []Finding
+	for _, lt := range sortedSet(left) {
+		for _, rt := range sortedSet(right) {
+			if strings.EqualFold(lt, rt) {
+				continue
+			}
+			denier, a, b := "", lt, rt
+			if ok, reason := p.tableComposite(lt).JoinAllowed(rt); !ok {
+				denier = reason
+			} else if ok, reason := p.tableComposite(rt).JoinAllowed(lt); !ok {
+				denier, a, b = reason, rt, lt
+			}
+			if denier == "" {
+				continue
+			}
+			id := denierID(denier)
+			out = append(out, Finding{
+				Code: "PL006", Severity: SevError, Level: policy.LevelWarehouse,
+				Pos:     joinRulePos(p, id, b),
+				Subject: fmt.Sprintf("%s/%s: %s JOIN %s", pipe.Name, st.Name(), lt, rt),
+				Message: fmt.Sprintf("ETL step %q of pipeline %q joins data from %q with %q, forbidden by PLA %s — the pipeline will be blocked at run time",
+					st.Name(), pipe.Name, a, b, denier),
+				PLAs: []string{id},
+			})
+		}
+	}
+	return out
+}
+
+// integrationLeaks checks an entity-resolution step: every donor table
+// behind the canonical side must permit integration for the beneficiary.
+func integrationLeaks(p *Pass, pipe *etl.Pipeline, st *etl.EntityResolution, donors map[string]bool) []Finding {
+	var out []Finding
+	for _, donor := range sortedSet(donors) {
+		if ok, reason := p.tableComposite(donor).IntegrationAllowed(st.Beneficiary); !ok {
+			id := denierID(reason)
+			out = append(out, Finding{
+				Code: "PL006", Severity: SevError, Level: policy.LevelWarehouse,
+				Pos:     integrationRulePos(p, id, st.Beneficiary),
+				Subject: fmt.Sprintf("%s/%s: %s for %s", pipe.Name, st.Name(), donor, st.Beneficiary),
+				Message: fmt.Sprintf("ETL step %q of pipeline %q uses %q to clean data of owner %q, forbidden by PLA %s — the pipeline will be blocked at run time",
+					st.Name(), pipe.Name, donor, st.Beneficiary, reason),
+				PLAs: []string{id},
+			})
+		}
+	}
+	return out
+}
+
+// extractLeaks flags extraction of attributes that an unconditional,
+// role-free deny rule makes invisible to every consumer: loading them
+// into the warehouse creates a copy no report may ever release.
+func extractLeaks(p *Pass, pipe *etl.Pipeline, st *etl.Extract) []Finding {
+	t, ok := st.Source.Table(st.Table)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	comp := p.Registry.ForScope(policy.LevelSource, st.Table)
+	for _, col := range t.Schema.ColumnNames() {
+		for _, pla := range comp.PLAs {
+			for _, r := range pla.Access {
+				if r.Effect != policy.Deny || len(r.Roles) > 0 || len(r.Purposes) > 0 {
+					continue
+				}
+				if r.Attribute != "*" && !strings.EqualFold(r.Attribute, col) {
+					continue
+				}
+				out = append(out, Finding{
+					Code: "PL006", Severity: SevWarning, Level: policy.LevelWarehouse,
+					Pos:     r.Pos,
+					Subject: fmt.Sprintf("%s/%s: %s.%s", pipe.Name, st.Name(), st.Table, col),
+					Message: fmt.Sprintf("ETL step %q of pipeline %q extracts attribute %q of %q into the warehouse although PLA %q denies it to every role — no report can ever release it; project it away before loading",
+						st.Name(), pipe.Name, col, st.Table, pla.ID),
+					PLAs: []string{pla.ID},
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Subject < out[j].Subject })
+	return out
+}
+
+// denierID strips the explanatory suffix JoinAllowed/IntegrationAllowed
+// reasons carry ("id (forbid join with x)" -> "id").
+func denierID(reason string) string {
+	if i := strings.IndexByte(reason, ' '); i >= 0 {
+		return reason[:i]
+	}
+	return reason
+}
+
+func joinRulePos(p *Pass, plaID, other string) policy.Pos {
+	if pla, ok := p.Registry.ByID(plaID); ok {
+		for _, r := range pla.Joins {
+			if r.Effect == policy.Deny && (strings.EqualFold(r.Other, other) || r.Other == "*") {
+				return r.Pos
+			}
+		}
+		return pla.Pos
+	}
+	return policy.Pos{}
+}
+
+func integrationRulePos(p *Pass, plaID, beneficiary string) policy.Pos {
+	if pla, ok := p.Registry.ByID(plaID); ok {
+		for _, r := range pla.Integrations {
+			if r.Effect == policy.Deny && (strings.EqualFold(r.Beneficiary, beneficiary) || r.Beneficiary == "*") {
+				return r.Pos
+			}
+		}
+		return pla.Pos
+	}
+	return policy.Pos{}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plabi/internal/policy"
+)
+
+// Fixes extracts the suggested fixes from a set of findings.
+func Fixes(fs []Finding) []Fix {
+	var out []Fix
+	for _, f := range fs {
+		if f.SuggestedFix != nil {
+			out = append(out, *f.SuggestedFix)
+		}
+	}
+	return out
+}
+
+// ApplyFixes applies machine-applicable fixes to parsed PLAs in place
+// and returns how many were applied. Fixes address rules by parse-time
+// index; removals within one PLA/kind are applied highest index first so
+// earlier indices stay valid. Fixes for unknown PLAs, kinds or indices
+// are skipped, never guessed.
+//
+// Every suggested fix is restriction-neutral by construction: removing a
+// shadowed or redundant rule, or raising a threshold to the value
+// composition enforces anyway, cannot release more data.
+func ApplyFixes(plas []*policy.PLA, fixes []Fix) int {
+	byID := map[string]*policy.PLA{}
+	for _, p := range plas {
+		byID[p.ID] = p
+	}
+	// Group removals so descending-index application is safe even when
+	// several target the same slice.
+	sort.SliceStable(fixes, func(i, j int) bool {
+		if fixes[i].PLAID != fixes[j].PLAID {
+			return fixes[i].PLAID < fixes[j].PLAID
+		}
+		if fixes[i].Kind != fixes[j].Kind {
+			return fixes[i].Kind < fixes[j].Kind
+		}
+		return fixes[i].Index > fixes[j].Index
+	})
+	applied := 0
+	for _, fx := range fixes {
+		pla := byID[fx.PLAID]
+		if pla == nil {
+			continue
+		}
+		switch {
+		case fx.Kind == "access" && fx.Action == "remove":
+			if fx.Index >= 0 && fx.Index < len(pla.Access) {
+				pla.Access = append(pla.Access[:fx.Index], pla.Access[fx.Index+1:]...)
+				applied++
+			}
+		case fx.Kind == "aggregation" && fx.Action == "set-min":
+			if fx.Index >= 0 && fx.Index < len(pla.Aggregations) && fx.Value > 0 {
+				pla.Aggregations[fx.Index].MinCount = fx.Value
+				applied++
+			}
+		}
+	}
+	return applied
+}
+
+// FormatPLAs renders PLAs back to DSL text in canonical form (the
+// pretty-printer's output; comments and original layout are not
+// preserved).
+func FormatPLAs(plas []*policy.PLA) string {
+	var b strings.Builder
+	for i, p := range plas {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintln(&b, p.String())
+	}
+	return b.String()
+}

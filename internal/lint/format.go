@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings one per line in the canonical, stable text
+// form used by golden tests and CI logs.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findingJSON is the stable machine-readable shape of a finding.
+type findingJSON struct {
+	Code     string   `json:"code"`
+	Severity string   `json:"severity"`
+	Level    string   `json:"level"`
+	Pos      string   `json:"pos,omitempty"`
+	Subject  string   `json:"subject"`
+	Message  string   `json:"message"`
+	PLAs     []string `json:"plas,omitempty"`
+	Fix      *fixJSON `json:"suggested_fix,omitempty"`
+}
+
+type fixJSON struct {
+	Summary string `json:"summary"`
+	PLAID   string `json:"pla"`
+	Kind    string `json:"kind"`
+	Index   int    `json:"index"`
+	Action  string `json:"action"`
+	Value   int    `json:"value,omitempty"`
+}
+
+// WriteJSON renders findings as a JSON array (always an array, [] when
+// clean) for CI artifacts and tooling.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	out := make([]findingJSON, 0, len(fs))
+	for _, f := range fs {
+		j := findingJSON{
+			Code:     f.Code,
+			Severity: f.Severity.String(),
+			Level:    f.Level.String(),
+			Pos:      f.Pos.String(),
+			Subject:  f.Subject,
+			Message:  f.Message,
+			PLAs:     f.PLAs,
+		}
+		if f.SuggestedFix != nil {
+			j.Fix = &fixJSON{
+				Summary: f.SuggestedFix.Summary,
+				PLAID:   f.SuggestedFix.PLAID,
+				Kind:    f.SuggestedFix.Kind,
+				Index:   f.SuggestedFix.Index,
+				Action:  f.SuggestedFix.Action,
+				Value:   f.SuggestedFix.Value,
+			}
+		}
+		out = append(out, j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,213 @@
+// Package lint is the static analyzer over the whole four-level plabi
+// stack: parsed PLAs, the SQL catalog, report definitions, ETL plans and
+// derived meta-reports. It proves properties about a deployment without
+// executing any data flow — the paper's "test before deploy" loop (§5,
+// Figs. 4–5), where meta-reports and PLAs act as test cases for the
+// compliance of ETL and reporting.
+//
+// Analyzers are pluggable: each registers itself under a stable finding
+// code (PL001…) the way go/analysis passes do, receives the shared *Pass
+// and returns typed Findings. Output order is fully deterministic so runs
+// are byte-identical and diffable in CI.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"plabi/internal/policy"
+)
+
+// Severity ranks findings. Errors are provable misconfigurations (a
+// conflict, a leak path, a reference to nothing); warnings are almost
+// certainly mistakes that the runtime still handles restrictively; infos
+// are redundancies worth cleaning up.
+type Severity int
+
+// Severity levels, least severe first.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+var severityNames = map[Severity]string{
+	SevInfo: "info", SevWarning: "warning", SevError: "error",
+}
+
+// String returns "info", "warning" or "error".
+func (s Severity) String() string { return severityNames[s] }
+
+// ParseSeverity parses a severity name.
+func ParseSeverity(name string) (Severity, error) {
+	for s, n := range severityNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("lint: unknown severity %q (want info, warning or error)", name)
+}
+
+// Finding is one defect discovered by an analyzer.
+type Finding struct {
+	// Code is the stable analyzer code, e.g. "PL002".
+	Code     string
+	Severity Severity
+	// Level is the abstraction level the finding concerns.
+	Level policy.Level
+	// Pos points at the offending DSL construct (zero when the finding
+	// concerns an artifact with no source position, e.g. an ETL step).
+	Pos policy.Pos
+	// Subject is the element found defective: attribute, report id, join
+	// pair, …
+	Subject string
+	// Message explains the defect and its runtime consequence.
+	Message string
+	// PLAs lists the ids of the agreements involved.
+	PLAs []string
+	// SuggestedFix is a machine-applicable remediation, present only when
+	// applying it provably cannot weaken enforcement.
+	SuggestedFix *Fix
+}
+
+// String renders the finding in the canonical single-line text form.
+func (f Finding) String() string {
+	pos := f.Pos.String()
+	if pos == "" {
+		pos = "-"
+	}
+	return fmt.Sprintf("%s: %s: %s: [%s] %s", pos, f.Severity, f.Code, f.Level, f.Message)
+}
+
+// Fix is a machine-applicable remediation: an edit to one rule of one
+// PLA, addressed by rule kind and index within the parsed PLA.
+type Fix struct {
+	// Summary is the human-readable description of the edit.
+	Summary string
+	// PLAID names the agreement to edit.
+	PLAID string
+	// Kind selects the rule slice: "access" or "aggregation".
+	Kind string
+	// Index is the rule's position within that slice at parse time.
+	Index int
+	// Action is "remove" or "set-min".
+	Action string
+	// Value is the new threshold for "set-min".
+	Value int
+}
+
+// Analyzer is one registered static pass.
+type Analyzer interface {
+	// Code is the stable finding code this analyzer emits ("PL003").
+	Code() string
+	// Name is a short slug ("schema-drift").
+	Name() string
+	// Doc is a one-paragraph description of what the pass proves.
+	Doc() string
+	// Run inspects the pass state and returns findings. Analyzers must
+	// abstain (return nil) for checks whose inputs are absent — linting
+	// bare PLA files carries no catalog, reports or pipelines.
+	Run(p *Pass) []Finding
+}
+
+var (
+	registryMu sync.RWMutex
+	analyzers  = map[string]Analyzer{}
+)
+
+// Register adds an analyzer under its code. It panics on a duplicate
+// code: codes are the stable public contract of the tool.
+func Register(a Analyzer) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := analyzers[a.Code()]; dup {
+		panic(fmt.Sprintf("lint: duplicate analyzer code %s", a.Code()))
+	}
+	analyzers[a.Code()] = a
+}
+
+// Analyzers returns every registered analyzer, ordered by code.
+func Analyzers() []Analyzer {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code() < out[j].Code() })
+	return out
+}
+
+// Run executes every registered analyzer over the pass and returns the
+// findings in deterministic order. Metrics (lint.runs, lint.findings,
+// lint.findings.<code>, lint.duration_ms) are emitted to p.Metrics,
+// which may be nil.
+func Run(p *Pass) []Finding {
+	start := time.Now()
+	p.prepare()
+	var out []Finding
+	for _, a := range Analyzers() {
+		out = append(out, a.Run(p)...)
+	}
+	Sort(out)
+	m := p.Metrics
+	m.Counter("lint.runs").Inc()
+	m.Counter("lint.findings").Add(uint64(len(out)))
+	for _, f := range out {
+		m.Counter("lint.findings." + f.Code).Inc()
+	}
+	m.Histogram("lint.duration_ms").Observe(time.Since(start))
+	return out
+}
+
+// Sort orders findings deterministically: by code, then position, then
+// subject and message.
+func Sort(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		return a.Message < b.Message
+	})
+}
+
+// MaxSeverity returns the highest severity among the findings, and false
+// when there are none.
+func MaxSeverity(fs []Finding) (Severity, bool) {
+	if len(fs) == 0 {
+		return 0, false
+	}
+	best := fs[0].Severity
+	for _, f := range fs[1:] {
+		if f.Severity > best {
+			best = f.Severity
+		}
+	}
+	return best, true
+}
+
+// Filter returns the findings at or above the given severity.
+func Filter(fs []Finding, min Severity) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}

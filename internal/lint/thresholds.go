@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"plabi/internal/policy"
+)
+
+// thresholds (PL005) cross-checks aggregation thresholds between levels.
+// Composition takes the maximum, so a report-level threshold looser than
+// its sources is dead text (the runtime enforces the source value — the
+// agreement misleads its reader), and a report-level threshold stricter
+// than the assigned meta-report's means the meta the owners approved
+// under-specifies what the report actually requires (§5 Fig. 5: the meta
+// level is where thresholds should stabilize).
+type thresholds struct{}
+
+func init() { Register(thresholds{}) }
+
+func (thresholds) Code() string { return "PL005" }
+func (thresholds) Name() string { return "threshold-contradictions" }
+func (thresholds) Doc() string {
+	return "Aggregation thresholds that contradict across levels: a report threshold " +
+		"looser than its sources (ineffective) or stricter than its meta-report " +
+		"(the approved meta under-specifies)."
+}
+
+func (thresholds) Run(p *Pass) []Finding {
+	if p.Catalog == nil || len(p.Reports) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, pla := range p.PLAs {
+		switch pla.Level {
+		case policy.LevelReport:
+			out = append(out, reportThresholds(p, pla)...)
+		case policy.LevelMetaReport:
+			out = append(out, metaThresholds(p, pla)...)
+		}
+	}
+	return out
+}
+
+func reportThresholds(p *Pass, pla *policy.PLA) []Finding {
+	def := p.reportByID(pla.Scope)
+	if def == nil {
+		return nil // PL003 reports the dangling scope
+	}
+	prof := p.profile(def)
+	if prof == nil {
+		return nil
+	}
+	var out []Finding
+	for i, ar := range pla.Aggregations {
+		srcMin, srcPLA := upstreamMin(p, prof.BaseTables, ar.By)
+		if srcMin > ar.MinCount {
+			out = append(out, Finding{
+				Code: "PL005", Severity: SevWarning, Level: policy.LevelReport,
+				Pos:     ar.Pos,
+				Subject: pla.ID + "/" + bySubject(ar.By),
+				Message: fmt.Sprintf("report-level threshold %s in PLA %q is looser than source agreement %q (min %d): the runtime enforces %d, the report agreement misleads its reader",
+					byPhrase(ar), pla.ID, srcPLA, srcMin, srcMin),
+				PLAs: []string{pla.ID, srcPLA},
+				SuggestedFix: &Fix{
+					Summary: fmt.Sprintf("raise the threshold %s in PLA %q to the source minimum %d", byPhrase(ar), pla.ID, srcMin),
+					PLAID:   pla.ID, Kind: "aggregation", Index: i, Action: "set-min", Value: srcMin,
+				},
+			})
+		}
+		if mid := p.Assign[def.ID]; mid != "" {
+			metaMin, metaPLA := levelMin(p, policy.LevelMetaReport, []string{mid}, ar.By)
+			if metaMin > 0 && ar.MinCount > metaMin {
+				out = append(out, Finding{
+					Code: "PL005", Severity: SevWarning, Level: policy.LevelReport,
+					Pos:     ar.Pos,
+					Subject: pla.ID + "/" + bySubject(ar.By),
+					Message: fmt.Sprintf("report-level threshold %s in PLA %q is stricter than meta-report agreement %q (min %d): the approved meta-report under-specifies the report's requirement — re-elicit at the meta level",
+						byPhrase(ar), pla.ID, metaPLA, metaMin),
+					PLAs: []string{pla.ID, metaPLA},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// metaThresholds flags meta-report thresholds looser than the sources of
+// any report assigned to the meta.
+func metaThresholds(p *Pass, pla *policy.PLA) []Finding {
+	var out []Finding
+	for i, ar := range pla.Aggregations {
+		for _, def := range p.Reports {
+			if !strings.EqualFold(p.Assign[def.ID], pla.Scope) {
+				continue
+			}
+			prof := p.profile(def)
+			if prof == nil {
+				continue
+			}
+			srcMin, srcPLA := upstreamMin(p, prof.BaseTables, ar.By)
+			if srcMin > ar.MinCount {
+				out = append(out, Finding{
+					Code: "PL005", Severity: SevWarning, Level: policy.LevelMetaReport,
+					Pos:     ar.Pos,
+					Subject: pla.ID + "/" + bySubject(ar.By),
+					Message: fmt.Sprintf("meta-report threshold %s in PLA %q is looser than source agreement %q (min %d) behind report %q: the runtime enforces %d",
+						byPhrase(ar), pla.ID, srcPLA, srcMin, def.ID, srcMin),
+					PLAs: []string{pla.ID, srcPLA},
+					SuggestedFix: &Fix{
+						Summary: fmt.Sprintf("raise the threshold %s in PLA %q to the source minimum %d", byPhrase(ar), pla.ID, srcMin),
+						PLAID:   pla.ID, Kind: "aggregation", Index: i, Action: "set-min", Value: srcMin,
+					},
+				})
+				break // one finding per meta rule is enough
+			}
+		}
+	}
+	return out
+}
+
+// upstreamMin returns the strongest source/warehouse threshold for the
+// same "by" attribute over the given base tables, and the imposing PLA.
+func upstreamMin(p *Pass, tables []string, by string) (int, string) {
+	best, bestPLA := 0, ""
+	for _, lvl := range []policy.Level{policy.LevelSource, policy.LevelWarehouse} {
+		if m, id := levelMin(p, lvl, tables, by); m > best {
+			best, bestPLA = m, id
+		}
+	}
+	return best, bestPLA
+}
+
+// levelMin returns the strongest threshold for "by" among PLAs of the
+// level scoped to any of the names.
+func levelMin(p *Pass, lvl policy.Level, names []string, by string) (int, string) {
+	best, bestPLA := 0, ""
+	for _, n := range names {
+		for _, pla := range p.Registry.ForScope(lvl, n).PLAs {
+			for _, ar := range pla.Aggregations {
+				if strings.EqualFold(ar.By, by) && ar.MinCount > best {
+					best, bestPLA = ar.MinCount, pla.ID
+				}
+			}
+		}
+	}
+	return best, bestPLA
+}
+
+func bySubject(by string) string {
+	if by == "" {
+		return "rows"
+	}
+	return "by " + strings.ToLower(by)
+}
+
+func byPhrase(ar policy.AggregationRule) string {
+	if ar.By == "" {
+		return fmt.Sprintf("min %d", ar.MinCount)
+	}
+	return fmt.Sprintf("min %d by %s", ar.MinCount, ar.By)
+}

@@ -376,6 +376,10 @@ func (r *Registry) ByID(id string) (*PLA, bool) {
 
 // ForScope returns the composite of all PLAs at the given level whose
 // scope matches name (case-insensitive; "*" scopes match everything).
+// Selected PLAs are ordered by id, never by registration order, so that
+// composition — and in particular which of two equally specific
+// agreements is reported as the deciding one — is identical across runs
+// regardless of load order.
 func (r *Registry) ForScope(level Level, name string) *Composite {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -388,11 +392,13 @@ func (r *Registry) ForScope(level Level, name string) *Composite {
 			sel = append(sel, p)
 		}
 	}
+	sortByID(sel)
 	return Compose(sel...)
 }
 
 // ForScopes returns the composite of all PLAs at the given level matching
-// any of the names (e.g. every base table a report reads).
+// any of the names (e.g. every base table a report reads), ordered by id
+// for run-to-run determinism.
 func (r *Registry) ForScopes(level Level, names []string) *Composite {
 	var sel []*PLA
 	seen := map[string]bool{}
@@ -404,7 +410,14 @@ func (r *Registry) ForScopes(level Level, names []string) *Composite {
 			}
 		}
 	}
+	sortByID(sel)
 	return Compose(sel...)
+}
+
+// sortByID orders PLAs lexicographically by id — the deterministic
+// tie-break applied before composition.
+func sortByID(plas []*PLA) {
+	sort.Slice(plas, func(i, j int) bool { return plas[i].ID < plas[j].ID })
 }
 
 // AtomCount sums elicited atoms across all PLAs at a level (Fig. 5 and E6

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -34,8 +35,25 @@ import (
 // expression syntax and refer to source attributes.
 
 type dslScanner struct {
-	src string
-	pos int
+	src  string
+	pos  int
+	file string // optional source name for positions and errors
+
+	lineStarts []int // lazily built byte offsets of line beginnings
+}
+
+// posAt converts a byte offset into a file:line:col position.
+func (s *dslScanner) posAt(off int) Pos {
+	if s.lineStarts == nil {
+		s.lineStarts = []int{0}
+		for i := 0; i < len(s.src); i++ {
+			if s.src[i] == '\n' {
+				s.lineStarts = append(s.lineStarts, i+1)
+			}
+		}
+	}
+	line := sort.Search(len(s.lineStarts), func(i int) bool { return s.lineStarts[i] > off })
+	return Pos{File: s.file, Line: line, Col: off - s.lineStarts[line-1] + 1}
 }
 
 type dslTok struct {
@@ -146,9 +164,12 @@ func (p *dslParser) advance() error {
 }
 
 func (p *dslParser) errf(format string, args ...any) error {
-	return fmt.Errorf("policy: %s (near position %d, token %q)",
-		fmt.Sprintf(format, args...), p.tok.pos, p.tok.text)
+	return fmt.Errorf("policy: %s (at %s, token %q)",
+		fmt.Sprintf(format, args...), p.sc.posAt(p.tok.pos), p.tok.text)
 }
+
+// posHere returns the position of the current token.
+func (p *dslParser) posHere() Pos { return p.sc.posAt(p.tok.pos) }
 
 func (p *dslParser) isKw(kw string) bool {
 	return p.tok.kind == 'i' && strings.EqualFold(p.tok.text, kw)
@@ -223,7 +244,14 @@ func (p *dslParser) number() (int, error) {
 
 // ParseFile parses a DSL document containing any number of PLA blocks.
 func ParseFile(src string) ([]*PLA, error) {
-	p := &dslParser{sc: &dslScanner{src: src}}
+	return ParseFileNamed("", src)
+}
+
+// ParseFileNamed parses a DSL document, recording filename in the Pos of
+// every PLA and rule (and in parse-error messages) so diagnostics point
+// at the offending source line.
+func ParseFileNamed(filename, src string) ([]*PLA, error) {
+	p := &dslParser{sc: &dslScanner{src: src, file: filename}}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
@@ -257,13 +285,14 @@ func ParseOne(src string) (*PLA, error) {
 }
 
 func (p *dslParser) parsePLA() (*PLA, error) {
+	pos := p.posHere()
 	if err := p.expectKw("pla"); err != nil {
 		return nil, err
 	}
 	if p.tok.kind != 's' && p.tok.kind != 'i' {
 		return nil, p.errf("expected PLA id")
 	}
-	pla := &PLA{ID: p.tok.text, Level: LevelReport}
+	pla := &PLA{ID: p.tok.text, Level: LevelReport, Pos: pos}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
@@ -284,6 +313,7 @@ func (p *dslParser) parsePLA() (*PLA, error) {
 }
 
 func (p *dslParser) parseClause(pla *PLA) error {
+	pos := p.posHere()
 	switch {
 	case p.isKw("owner"):
 		if err := p.advance(); err != nil {
@@ -341,7 +371,7 @@ func (p *dslParser) parseClause(pla *PLA) error {
 		if err != nil {
 			return err
 		}
-		rule := AggregationRule{MinCount: n}
+		rule := AggregationRule{MinCount: n, Pos: pos}
 		if ok, err := p.acceptKw("by"); err != nil {
 			return err
 		} else if ok {
@@ -374,7 +404,7 @@ func (p *dslParser) parseClause(pla *PLA) error {
 		if err != nil {
 			return err
 		}
-		rule := AnonymizeRule{Attribute: attr, Method: method}
+		rule := AnonymizeRule{Attribute: attr, Method: method, Pos: pos}
 		if ok, err := p.acceptKw("level"); err != nil {
 			return err
 		} else if ok {
@@ -409,7 +439,7 @@ func (p *dslParser) parseClause(pla *PLA) error {
 		if err != nil {
 			return err
 		}
-		rule := ReleaseRule{K: k, Quasi: quasi}
+		rule := ReleaseRule{K: k, Quasi: quasi, Pos: pos}
 		if ok, err := p.acceptKw("ldiversity"); err != nil {
 			return err
 		} else if ok {
@@ -437,7 +467,7 @@ func (p *dslParser) parseClause(pla *PLA) error {
 		if err := p.expectKw("days"); err != nil {
 			return err
 		}
-		pla.Retention = &RetentionRule{Days: days}
+		pla.Retention = &RetentionRule{Days: days, Pos: pos}
 	case p.isKw("filter"):
 		if err := p.advance(); err != nil {
 			return err
@@ -454,7 +484,7 @@ func (p *dslParser) parseClause(pla *PLA) error {
 		if err != nil {
 			return fmt.Errorf("policy: bad filter condition %q: %w", raw, err)
 		}
-		pla.Filters = append(pla.Filters, RowFilterRule{When: expr})
+		pla.Filters = append(pla.Filters, RowFilterRule{When: expr, Pos: pos})
 		if err := p.advance(); err != nil { // move onto ';'
 			return err
 		}
@@ -467,6 +497,7 @@ func (p *dslParser) parseClause(pla *PLA) error {
 // parseEffectClause handles allow/deny/forbid for attributes, joins and
 // integrations, consuming the trailing semicolon.
 func (p *dslParser) parseEffectClause(pla *PLA) error {
+	pos := p.posHere()
 	effect := Allow
 	if p.isKw("deny") || p.isKw("forbid") {
 		effect = Deny
@@ -483,7 +514,7 @@ func (p *dslParser) parseEffectClause(pla *PLA) error {
 		if err != nil {
 			return err
 		}
-		rule := AccessRule{Effect: effect, Attribute: attr}
+		rule := AccessRule{Effect: effect, Attribute: attr, Pos: pos}
 		if ok, err := p.acceptKw("to"); err != nil {
 			return err
 		} else if ok {
@@ -528,7 +559,7 @@ func (p *dslParser) parseEffectClause(pla *PLA) error {
 		if err != nil {
 			return err
 		}
-		pla.Joins = append(pla.Joins, JoinRule{Effect: effect, Other: other})
+		pla.Joins = append(pla.Joins, JoinRule{Effect: effect, Other: other, Pos: pos})
 	case p.isKw("integration"):
 		if err := p.advance(); err != nil {
 			return err
@@ -540,7 +571,7 @@ func (p *dslParser) parseEffectClause(pla *PLA) error {
 		if err != nil {
 			return err
 		}
-		pla.Integrations = append(pla.Integrations, IntegrationRule{Effect: effect, Beneficiary: b})
+		pla.Integrations = append(pla.Integrations, IntegrationRule{Effect: effect, Beneficiary: b, Pos: pos})
 	default:
 		return p.errf("expected 'attribute', 'join' or 'integration' after effect")
 	}

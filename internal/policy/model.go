@@ -55,6 +55,32 @@ func Levels() []Level {
 	return []Level{LevelSource, LevelWarehouse, LevelMetaReport, LevelReport}
 }
 
+// Pos locates a construct in its PLA DSL source document (1-based line
+// and byte column). The zero Pos means "position unknown" — e.g. a PLA
+// assembled in code rather than parsed. Pos is diagnostic metadata only:
+// it does not participate in JSON round-trips, printing, or equality of
+// the rules it annotates.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries line information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "file:line:col" ("line:col" without a file name, and ""
+// for the zero Pos).
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return ""
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
 // Effect is the polarity of a rule.
 type Effect int
 
@@ -82,6 +108,7 @@ type AccessRule struct {
 	Roles     []string // empty = every role
 	Purposes  []string // empty = every purpose
 	When      relation.Expr
+	Pos       Pos
 }
 
 // Matches reports whether the rule applies to the attribute/role/purpose
@@ -106,6 +133,7 @@ func (r AccessRule) Matches(attr, role, purpose string) bool {
 type AggregationRule struct {
 	MinCount int
 	By       string
+	Pos      Pos
 }
 
 // AnonMethod enumerates per-attribute anonymization methods (§5 iii).
@@ -144,6 +172,7 @@ type AnonymizeRule struct {
 	Attribute string
 	Method    AnonMethod
 	Param     int
+	Pos       Pos
 }
 
 // ReleaseRule imposes a table-level anonymity requirement on data released
@@ -154,6 +183,7 @@ type ReleaseRule struct {
 	L         int // 0 = no l-diversity requirement
 	Quasi     []string
 	Sensitive string
+	Pos       Pos
 }
 
 // JoinRule permits or forbids joining the scoped data with another
@@ -161,6 +191,7 @@ type ReleaseRule struct {
 type JoinRule struct {
 	Effect Effect
 	Other  string
+	Pos    Pos
 }
 
 // IntegrationRule permits or forbids using the scoped data to clean or
@@ -168,18 +199,21 @@ type JoinRule struct {
 type IntegrationRule struct {
 	Effect      Effect
 	Beneficiary string // owner name; "*" = any
+	Pos         Pos
 }
 
 // RetentionRule bounds how long the data may be retained by the BI
 // provider.
 type RetentionRule struct {
 	Days int
+	Pos  Pos
 }
 
 // RowFilterRule is a VPD-style row restriction: only rows satisfying the
 // condition may be released or shown.
 type RowFilterRule struct {
 	When relation.Expr
+	Pos  Pos
 }
 
 // PLA is one privacy level agreement between a source owner and the BI
@@ -190,6 +224,7 @@ type PLA struct {
 	Level    Level
 	Scope    string // table / ETL step / meta-report / report identifier
 	Purposes []string
+	Pos      Pos // position of the "pla" keyword in the source document
 
 	Access       []AccessRule
 	Aggregations []AggregationRule

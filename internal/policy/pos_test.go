@@ -1,0 +1,147 @@
+package policy
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+const posDoc = `# leading comment
+pla "first" {
+    owner "hospital"; level source; scope "prescriptions";
+    allow attribute drug;
+    deny attribute disease;
+    aggregate min 5 by patient;
+    anonymize attribute patient using pseudonym;
+    forbid join with familydoctor;
+    forbid integration for municipality;
+    retain 730 days;
+    filter when disease <> 'HIV';
+    release kanonymity 5 quasi age, zip;
+}
+`
+
+func TestParseFileNamedPositions(t *testing.T) {
+	plas, err := ParseFileNamed("doc.pla", posDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plas[0]
+	if got := p.Pos.String(); got != "doc.pla:2:1" {
+		t.Errorf("PLA pos = %q, want doc.pla:2:1", got)
+	}
+	checks := []struct {
+		what string
+		pos  Pos
+		want string
+	}{
+		{"access[0]", p.Access[0].Pos, "doc.pla:4:5"},
+		{"access[1]", p.Access[1].Pos, "doc.pla:5:5"},
+		{"aggregation", p.Aggregations[0].Pos, "doc.pla:6:5"},
+		{"anonymize", p.Anonymize[0].Pos, "doc.pla:7:5"},
+		{"join", p.Joins[0].Pos, "doc.pla:8:5"},
+		{"integration", p.Integrations[0].Pos, "doc.pla:9:5"},
+		{"retention", p.Retention.Pos, "doc.pla:10:5"},
+		{"filter", p.Filters[0].Pos, "doc.pla:11:5"},
+		{"release", p.Release[0].Pos, "doc.pla:12:5"},
+	}
+	for _, c := range checks {
+		if got := c.pos.String(); got != c.want {
+			t.Errorf("%s pos = %q, want %q", c.what, got, c.want)
+		}
+	}
+}
+
+func TestParseFileAnonymousPositions(t *testing.T) {
+	// ParseFile keeps working without a filename: positions carry only
+	// line and column.
+	plas, err := ParseFile(posDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plas[0].Pos.String(); got != "2:1" {
+		t.Errorf("PLA pos = %q, want 2:1", got)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{}).String(); got != "" {
+		t.Errorf("zero pos = %q, want empty", got)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos is valid")
+	}
+	if got := (Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("fileless pos = %q", got)
+	}
+}
+
+func TestParseErrorCarriesPosition(t *testing.T) {
+	_, err := ParseFileNamed("bad.pla", "pla \"x\" {\n    bogus clause;\n}")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if want := "bad.pla:2:5"; !contains(err.Error(), want) {
+		t.Errorf("error %q does not carry position %s", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestJSONRoundTripIgnoresPos: positions are a parse-time artifact and
+// must not leak into the stable JSON representation.
+func TestJSONRoundTripIgnoresPos(t *testing.T) {
+	plas, err := ParseFileNamed("doc.pla", posDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(plas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PLA
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Pos.IsValid() || (len(back.Access) > 0 && back.Access[0].Pos.IsValid()) {
+		t.Error("positions survived the JSON round trip")
+	}
+	if back.String() != plas[0].String() {
+		t.Errorf("round trip changed the agreement:\n%s\nvs\n%s", back.String(), plas[0].String())
+	}
+}
+
+// TestForScopeDeterministicOrder: composition order is sorted by PLA id
+// regardless of registration order, so conflict attribution and cache
+// keys are stable run to run.
+func TestForScopeDeterministicOrder(t *testing.T) {
+	mk := func(id string) *PLA {
+		return &PLA{ID: id, Owner: "o", Level: LevelSource, Scope: "t",
+			Access: []AccessRule{{Effect: Allow, Attribute: "a"}}}
+	}
+	for _, order := range [][]string{{"zeta", "alpha", "mid"}, {"mid", "zeta", "alpha"}} {
+		reg := NewRegistry()
+		for _, id := range order {
+			if err := reg.Add(mk(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		comp := reg.ForScope(LevelSource, "t")
+		var ids []string
+		for _, p := range comp.PLAs {
+			ids = append(ids, p.ID)
+		}
+		want := []string{"alpha", "mid", "zeta"}
+		for i := range want {
+			if ids[i] != want[i] {
+				t.Fatalf("order %v composed as %v, want %v", order, ids, want)
+			}
+		}
+	}
+}
