@@ -1,8 +1,10 @@
-# Developer entry points. CI (.github/workflows/ci.yml) runs `make ci`.
+# Developer entry points. CI (.github/workflows/ci.yml) runs these targets
+# across parallel jobs; `make ci` replicates the gating set locally.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build vet test race lint bench-smoke bench ci
+.PHONY: build vet test race lint cover bench-smoke bench bench-core fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,13 +26,31 @@ lint: vet
 	for f in examples/*/policy.pla; do $(GO) run ./cmd/plalint $$f || exit 1; done
 	$(GO) run ./cmd/plalint -severity error -healthcare
 
-# One-iteration benchmark pass: catches bitrot in the bench harness
-# without paying for a full measurement run. BENCH_OBS makes the render
-# benchmarks dump the engine's metrics snapshot alongside the timings.
+# Coverage with floors: internal/relation and internal/enforce must stay
+# at or above 80% statement coverage (see scripts/cover.sh).
+cover:
+	bash scripts/cover.sh
+
+# One-iteration pass over EVERY benchmark family: catches bitrot in the
+# bench harnesses without paying for a full measurement run. BENCH_OBS
+# makes the render benchmarks dump the engine's metrics snapshot.
 bench-smoke:
-	BENCH_OBS=BENCH_obs.json $(GO) test -run XXX -bench 'ConcurrentRender' -benchtime=1x .
+	BENCH_OBS=BENCH_obs.json $(GO) test -run '^$$' -bench . -benchtime=1x .
 
 bench:
-	BENCH_OBS=BENCH_obs.json $(GO) test -run XXX -bench . -benchtime=2s .
+	BENCH_OBS=BENCH_obs.json $(GO) test -run '^$$' -bench . -benchtime=2s .
 
-ci: lint build race bench-smoke
+# Full core-kernel measurement run: vectorized vs row-at-a-time vs
+# nested-loop at 1k/10k/100k, converted to BENCH_core.json with the
+# >=5x speedup floors enforced.
+bench-core:
+	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchtime=5x -benchmem . | tee bench_core.txt
+	$(GO) run ./cmd/benchjson -in bench_core.txt -out BENCH_core.json -check
+
+# Short fuzz campaigns over the SQL parser and the PLA DSL parser; the
+# checked-in corpora under */testdata/fuzz replay first.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseSelect -fuzztime $(FUZZTIME) ./internal/sql
+	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime $(FUZZTIME) ./internal/policy
+
+ci: lint build race bench-smoke cover

@@ -1,0 +1,235 @@
+// Command benchjson turns the output of the core benchmark suite
+//
+//	go test -run '^$' -bench '^BenchmarkCore' -benchmem .
+//
+// into BENCH_core.json: one record per benchmark plus the speedups of the
+// vectorized execution mode over the two reference baselines measured in
+// the same run — the seed's row-at-a-time operators (mode=row) and the
+// nested-loop join (BenchmarkCoreJoinNested). Recording both sides of
+// every ratio in a single run keeps the perf trajectory honest: no number
+// in the file was taken on a different machine, commit, or load.
+//
+// With -check, the tool enforces the acceptance floor of the vectorized
+// kernel: at the largest scale the hash join must beat the nested-loop
+// reference and the batched render must beat the row-at-a-time reference,
+// each by at least -min (default 5.0). CI fails the bench job on a
+// violation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Family      string  `json:"family"`
+	N           int     `json:"n"`
+	Mode        string  `json:"mode,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup is one vectorized-over-baseline ratio at one scale.
+type Speedup struct {
+	Family       string  `json:"family"`
+	N            int     `json:"n"`
+	Baseline     string  `json:"baseline"` // "row" or "nested"
+	VectorizedNs float64 `json:"vectorized_ns"`
+	BaselineNs   float64 `json:"baseline_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	Suite      string      `json:"suite"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups"`
+}
+
+// benchLine matches a go-test benchmark result, e.g.
+//
+//	BenchmarkCoreJoin/n=100000/mode=vectorized-8  5  27555877 ns/op  17127030 B/op  1073 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(m[1])}
+		b.Iterations, _ = strconv.Atoi(m[2])
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		for _, seg := range strings.Split(b.Name, "/") {
+			switch {
+			case strings.HasPrefix(seg, "Benchmark"):
+				b.Family = strings.TrimPrefix(seg, "BenchmarkCore")
+			case strings.HasPrefix(seg, "n="):
+				b.N, _ = strconv.Atoi(seg[2:])
+			case strings.HasPrefix(seg, "mode="):
+				b.Mode = seg[5:]
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// trimProcs drops the trailing -<GOMAXPROCS> go test appends to the last
+// name segment.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// speedups derives every same-run ratio the suite supports: vectorized vs
+// row for each (family, n), and vectorized join vs the nested-loop
+// baseline family.
+func speedups(benchmarks []Benchmark) []Speedup {
+	type key struct {
+		family string
+		n      int
+		mode   string
+	}
+	ns := map[key]float64{}
+	for _, b := range benchmarks {
+		ns[key{b.Family, b.N, b.Mode}] = b.NsPerOp
+	}
+	var out []Speedup
+	for _, b := range benchmarks {
+		if b.Mode != "vectorized" {
+			continue
+		}
+		if base, ok := ns[key{b.Family, b.N, "row"}]; ok && base > 0 {
+			out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "row",
+				VectorizedNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+		}
+		if base, ok := ns[key{b.Family + "Nested", b.N, ""}]; ok && base > 0 {
+			out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "nested",
+				VectorizedNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		if out[i].N != out[j].N {
+			return out[i].N < out[j].N
+		}
+		return out[i].Baseline < out[j].Baseline
+	})
+	return out
+}
+
+// check enforces the acceptance floor: at the largest measured scale, the
+// hash join must be ≥ min× the nested-loop baseline and the batched render
+// ≥ min× the row-at-a-time baseline.
+func check(sp []Speedup, min float64) error {
+	floors := []struct{ family, baseline string }{
+		{"Join", "nested"},
+		{"Render", "row"},
+	}
+	for _, f := range floors {
+		best := Speedup{}
+		for _, s := range sp {
+			if s.Family == f.family && s.Baseline == f.baseline && s.N > best.N {
+				best = s
+			}
+		}
+		if best.N == 0 {
+			return fmt.Errorf("missing %s-vs-%s measurement", f.family, f.baseline)
+		}
+		if best.Speedup < min {
+			return fmt.Errorf("%s at n=%d is only %.2fx the %s baseline (floor %.1fx)",
+				f.family, best.N, best.Speedup, f.baseline, min)
+		}
+	}
+	return nil
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark output to parse ('-' for stdin)")
+	out := flag.String("out", "BENCH_core.json", "where to write the JSON report")
+	doCheck := flag.Bool("check", false, "fail unless the 100k join/render speedup floors hold")
+	min := flag.Float64("min", 5.0, "speedup floor enforced by -check")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	benchmarks, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	rep := Report{
+		Suite:      "core",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benchmarks,
+		Speedups:   speedups(benchmarks),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Printf("%-10s n=%-7d vs %-6s %6.2fx\n", s.Family, s.N, s.Baseline, s.Speedup)
+	}
+	if *doCheck {
+		if err := check(rep.Speedups, *min); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup floors hold (>= %.1fx)\n", *min)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: plabi
+BenchmarkCoreJoin/n=1000/mode=vectorized-8         	    2000	    500000 ns/op	  100000 B/op	      50 allocs/op
+BenchmarkCoreJoin/n=1000/mode=row-8                	    1000	   1000000 ns/op	  200000 B/op	    3000 allocs/op
+BenchmarkCoreJoin/n=100000/mode=vectorized-8       	      20	  58000000 ns/op	68000000 B/op	      75 allocs/op
+BenchmarkCoreJoin/n=100000/mode=row-8              	      15	  80000000 ns/op	95000000 B/op	  300000 allocs/op
+BenchmarkCoreJoinNested/n=100000-8                 	       1	1700000000 ns/op	900000000 B/op	 2600000 allocs/op
+BenchmarkCoreRender/n=100000/mode=vectorized-8     	      40	  27000000 ns/op	17000000 B/op	    1000 allocs/op
+BenchmarkCoreRender/n=100000/mode=row-8            	       7	 160000000 ns/op	54000000 B/op	  420000 allocs/op
+PASS
+ok  	plabi	42.000s
+`
+
+func TestParse(t *testing.T) {
+	bs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 7 {
+		t.Fatalf("parsed %d benchmarks, want 7", len(bs))
+	}
+	b := bs[2]
+	if b.Family != "Join" || b.N != 100000 || b.Mode != "vectorized" {
+		t.Fatalf("unexpected parse: %+v", b)
+	}
+	if b.NsPerOp != 58000000 || b.BytesPerOp != 68000000 || b.AllocsPerOp != 75 {
+		t.Fatalf("unexpected metrics: %+v", b)
+	}
+	nested := bs[4]
+	if nested.Family != "JoinNested" || nested.Mode != "" || nested.N != 100000 {
+		t.Fatalf("unexpected nested parse: %+v", nested)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	bs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speedups(bs)
+	want := map[string]float64{
+		"Join/1000/row":      2.0,
+		"Join/100000/row":    80.0 / 58.0,
+		"Join/100000/nested": 1700.0 / 58.0,
+		"Render/100000/row":  160.0 / 27.0,
+	}
+	if len(sp) != len(want) {
+		t.Fatalf("got %d speedups, want %d: %+v", len(sp), len(want), sp)
+	}
+	for _, s := range sp {
+		k := s.Family + "/" + strconv.Itoa(s.N) + "/" + s.Baseline
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("unexpected speedup entry %q", k)
+		}
+		if diff := s.Speedup - w; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("%s: speedup %.3f, want %.3f", k, s.Speedup, w)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	bs, _ := parse(strings.NewReader(sample))
+	sp := speedups(bs)
+	if err := check(sp, 5.0); err != nil {
+		t.Fatalf("floors should hold on sample: %v", err)
+	}
+	if err := check(sp, 50.0); err == nil {
+		t.Fatal("a 50x floor should fail on the sample")
+	}
+	if err := check(nil, 5.0); err == nil {
+		t.Fatal("missing measurements should fail the check")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"plabi/internal/enforce"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/workload"
+)
+
+// scenarioRun captures everything observable about one full scenario run:
+// rendered tables, enforcement decisions, intervention counters, and the
+// audit trail. The vectorized and row-at-a-time execution modes must
+// produce identical runs — the acceptance bar for the batch kernel layer.
+type scenarioRun struct {
+	tables     map[string]string
+	decisions  map[string][]string
+	masked     map[string]int
+	suppressed map[string]int
+	auditKinds map[string]int
+	etlTables  map[string]string
+}
+
+func runScenario(t *testing.T, mode relation.ExecMode) scenarioRun {
+	t.Helper()
+	prev := relation.SetExecMode(mode)
+	defer relation.SetExecMode(prev)
+
+	e, _, err := BuildHealthcareEngine(workload.DefaultConfig(7))
+	if err != nil {
+		t.Fatalf("mode %v: build: %v", mode, err)
+	}
+	run := scenarioRun{
+		tables:     map[string]string{},
+		decisions:  map[string][]string{},
+		masked:     map[string]int{},
+		suppressed: map[string]int{},
+		auditKinds: map[string]int{},
+		etlTables:  map[string]string{},
+	}
+	for _, name := range []string{"rx_cost", "rx_wide", "familydoctor_resolved"} {
+		tab, ok := e.Table(name)
+		if !ok {
+			t.Fatalf("mode %v: warehouse table %s missing", mode, name)
+		}
+		run.etlTables[name] = tab.String()
+	}
+	consumers := []report.Consumer{
+		{Name: "alice", Role: "analyst", Purpose: "quality"},
+		{Name: "audrey", Role: "auditor", Purpose: "quality"},
+		{Name: "rob", Role: "analyst", Purpose: "reimbursement"},
+	}
+	for _, d := range StandardReports() {
+		for _, c := range consumers {
+			key := d.ID + "/" + c.Role + "/" + c.Purpose
+			enf, err := e.Render(d.ID, c)
+			if err != nil {
+				run.tables[key] = "ERR: " + err.Error()
+				continue
+			}
+			run.tables[key] = enf.Table.String()
+			run.masked[key] = enf.MaskedCells
+			run.suppressed[key] = enf.SuppressedRows
+			for _, dec := range enf.Decisions {
+				run.decisions[key] = append(run.decisions[key],
+					fmt.Sprintf("%v|%s|%s|%s", dec.Outcome, dec.Rule, dec.Subject, dec.Detail))
+			}
+			_ = enforce.Blocked(enf.Decisions)
+		}
+	}
+	for _, ev := range e.Audit.Events() {
+		run.auditKinds[ev.Kind]++
+	}
+	return run
+}
+
+// TestScenarioModeEquivalence runs the complete healthcare scenario —
+// synthetic workload, guarded ETL with entity resolution, every standard
+// report for three consumers — under both execution modes and requires
+// byte-identical tables, identical decision streams, identical
+// mask/suppression counters and identical audit event counts.
+func TestScenarioModeEquivalence(t *testing.T) {
+	vec := runScenario(t, relation.ExecVectorized)
+	row := runScenario(t, relation.ExecRowAtATime)
+
+	for name, vs := range vec.etlTables {
+		if rs := row.etlTables[name]; vs != rs {
+			t.Errorf("ETL table %s diverged between modes:\nvectorized:\n%s\nrow:\n%s", name, vs, rs)
+		}
+	}
+	for key, vs := range vec.tables {
+		if rs, ok := row.tables[key]; !ok || vs != rs {
+			t.Errorf("report %s diverged between modes:\nvectorized:\n%s\nrow:\n%s", key, vs, row.tables[key])
+		}
+	}
+	if len(vec.tables) != len(row.tables) {
+		t.Errorf("rendered report sets differ: %d vs %d", len(vec.tables), len(row.tables))
+	}
+	for key := range vec.tables {
+		if vec.masked[key] != row.masked[key] {
+			t.Errorf("%s: masked cells %d (vectorized) vs %d (row)", key, vec.masked[key], row.masked[key])
+		}
+		if vec.suppressed[key] != row.suppressed[key] {
+			t.Errorf("%s: suppressed rows %d (vectorized) vs %d (row)", key, vec.suppressed[key], row.suppressed[key])
+		}
+		vd, rd := vec.decisions[key], row.decisions[key]
+		if len(vd) != len(rd) {
+			t.Errorf("%s: decision count %d vs %d", key, len(vd), len(rd))
+			continue
+		}
+		for i := range vd {
+			if vd[i] != rd[i] {
+				t.Errorf("%s: decision %d diverged:\n  vectorized: %s\n  row:        %s", key, i, vd[i], rd[i])
+			}
+		}
+	}
+	for kind, n := range vec.auditKinds {
+		if row.auditKinds[kind] != n {
+			t.Errorf("audit events %q: %d (vectorized) vs %d (row)", kind, n, row.auditKinds[kind])
+		}
+	}
+}

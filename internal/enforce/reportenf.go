@@ -520,6 +520,7 @@ type rowResult struct {
 func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw, out *relation.Table, cols []colPlan) ([]rowResult, error) {
 	n := len(out.Rows)
 	results := make([]rowResult, n)
+	needsTrace := needsTrace(plan, cols)
 	workers := int(e.workers.Load())
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -531,7 +532,7 @@ func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw,
 					return nil, err
 				}
 			}
-			if err := e.enforceRow(plan, raw, out, cols, ri, &results[ri]); err != nil {
+			if err := e.enforceRow(plan, raw, out, cols, ri, needsTrace, &results[ri]); err != nil {
 				return nil, err
 			}
 		}
@@ -566,7 +567,7 @@ func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw,
 					end = n
 				}
 				for ri := start; ri < end; ri++ {
-					if err := e.enforceRow(plan, raw, out, cols, ri, &results[ri]); err != nil {
+					if err := e.enforceRow(plan, raw, out, cols, ri, needsTrace, &results[ri]); err != nil {
 						errOnce.Do(func() { firstErr = err })
 						return
 					}
@@ -581,14 +582,39 @@ func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw,
 	return results, nil
 }
 
+// needsTrace reports whether row enforcement consults provenance at all:
+// aggregation thresholds, row filters and intensional column conditions
+// are the only consumers of a RowTrace. Reports with none of them (plain
+// attribute masking, or fully permitted reports) skip the per-row trace —
+// the dominant cost on wide lineage — with byte-identical results, since
+// every branch reading the trace is unreachable.
+func needsTrace(plan *renderPlan, cols []colPlan) bool {
+	if len(plan.minBy) > 0 {
+		return true
+	}
+	if !plan.aggregated && len(plan.filters) > 0 {
+		return true
+	}
+	for ci := range cols {
+		if len(cols[ci].conditions) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // enforceRow enforces one output row: aggregation thresholds counted on
 // lineage support, row filters over supporting source rows, then
 // cell-level masking (denied columns and intensional conditions — the §5
 // HIV example).
-func (e *ReportEnforcer) enforceRow(plan *renderPlan, raw, out *relation.Table, cols []colPlan, ri int, res *rowResult) error {
-	rt, err := e.Tracer.TraceRow(raw, ri)
-	if err != nil {
-		return err
+func (e *ReportEnforcer) enforceRow(plan *renderPlan, raw, out *relation.Table, cols []colPlan, ri int, trace bool, res *rowResult) error {
+	var rt provenance.RowTrace
+	if trace {
+		var err error
+		rt, err = e.Tracer.TraceRow(raw, ri)
+		if err != nil {
+			return err
+		}
 	}
 	// Aggregation thresholds (iterated in sorted order for deterministic
 	// evidence when several thresholds fail).

@@ -108,14 +108,22 @@ func (e *EntityResolution) Run(c *Context) error {
 }
 
 // matcher indexes canonical strings with cheap blocking (first letter of
-// each word, normalized) so resolution stays near-linear.
+// each word, normalized) so resolution stays near-linear. Candidates carry
+// their normalized form, computed once at add time — normalization is
+// re-done per dirty value but never per (dirty value, candidate) pair.
 type matcher struct {
-	exact  map[string]string   // normalized -> canonical
-	blocks map[string][]string // block key -> canonical candidates
+	exact  map[string]string      // normalized -> canonical
+	blocks map[string][]candidate // block key -> canonical candidates
+}
+
+// candidate is a canonical string plus its cached normalization.
+type candidate struct {
+	canon string
+	norm  string
 }
 
 func newMatcher() *matcher {
-	return &matcher{exact: map[string]string{}, blocks: map[string][]string{}}
+	return &matcher{exact: map[string]string{}, blocks: map[string][]candidate{}}
 }
 
 func blockKeys(norm string) []string {
@@ -137,7 +145,7 @@ func (m *matcher) add(canonical string) {
 	}
 	m.exact[norm] = canonical
 	for _, k := range blockKeys(norm) {
-		m.blocks[k] = append(m.blocks[k], canonical)
+		m.blocks[k] = append(m.blocks[k], candidate{canon: canonical, norm: norm})
 	}
 }
 
@@ -151,13 +159,13 @@ func (m *matcher) match(s string, threshold float64) (string, bool) {
 	best, bestScore := "", 0.0
 	for _, k := range blockKeys(norm) {
 		for _, cand := range m.blocks[k] {
-			if seen[cand] {
+			if seen[cand.canon] {
 				continue
 			}
-			seen[cand] = true
-			score := textutil.JaroWinkler(norm, textutil.Normalize(cand))
+			seen[cand.canon] = true
+			score := textutil.JaroWinkler(norm, cand.norm)
 			if score > bestScore {
-				best, bestScore = cand, score
+				best, bestScore = cand.canon, score
 			}
 		}
 	}

@@ -1,0 +1,56 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFile drives the PLA DSL scanner and parser with arbitrary
+// documents. Invariants: the parser never panics, a successful parse
+// yields non-nil agreements, and every parsed PLA's canonical rendering
+// (String, the printer the elicitation tool ships) re-parses cleanly —
+// otherwise saved agreements could not be loaded back.
+func FuzzParseFile(f *testing.F) {
+	seeds := []string{
+		`pla "p1" { owner "hospital"; level source; scope "patients";
+			allow attribute name purpose "treatment";
+			deny attribute ssn; }`,
+		`pla "thresholds" { owner "hospital"; level report; scope "drug-consumption";
+			allow attribute drug;
+			aggregate min 3 by patient; }`,
+		`pla "anon" { owner "registry"; level interface;
+			scope "residents";
+			anonymize address with generalization; }`,
+		`# comment only`,
+		`pla "multi" { owner "a"; level etl; scope "x";
+			allow join "t1" "t2" purpose "integration";
+			allow integration beneficiary "b";
+			retain 30; }`,
+		`pla "roles" { owner "o"; level report; scope "s";
+			allow attribute a role "analyst" purpose "quality"; }`,
+		`pla "" {}`,
+		`pla "unterminated { owner`,
+		``,
+		"pla \"x\" {\n\towner \"y\";\n}",
+		"\x00\xfe\xff",
+		strings.Repeat(`pla "p" { owner "o"; level source; scope "s"; } `, 8),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		plas, err := ParseFile(src)
+		if err != nil {
+			return
+		}
+		for _, p := range plas {
+			if p == nil {
+				t.Fatalf("nil PLA without error for %q", src)
+			}
+			rendered := p.String()
+			if _, err := ParseFile(rendered); err != nil {
+				t.Fatalf("rendering of parsed PLA does not re-parse: %q: %v", rendered, err)
+			}
+		}
+	})
+}

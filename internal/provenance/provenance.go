@@ -68,21 +68,88 @@ func (t *Tracer) DistinctSupport(rt RowTrace, table, col string) int {
 	if ci < 0 {
 		return 0
 	}
-	seen := map[string]bool{}
+	if relation.CurrentExecMode() == relation.ExecRowAtATime {
+		// Reference path: canonical string keys, one allocation per ref.
+		seen := map[string]bool{}
+		for _, ref := range rt.Rows {
+			if ref.Table != table || ref.Row < 0 || ref.Row >= base.NumRows() {
+				continue
+			}
+			seen[base.Rows[ref.Row][ci].Key()] = true
+		}
+		return len(seen)
+	}
+	// Vectorized path: dictionary-encode the column once per (table,
+	// column) — relation.MapKey partitions values into exactly Value.Key's
+	// equivalence classes, so dense codes count the same distincts — and
+	// every subsequent threshold check is a branch-free array scan over a
+	// seen-bitmap instead of one hash probe per supporting row.
+	d := t.colDict(table, base, ci)
+	seen := make([]bool, d.card)
+	n := 0
 	for _, ref := range rt.Rows {
 		if ref.Table != table || ref.Row < 0 || ref.Row >= base.NumRows() {
 			continue
 		}
-		seen[base.Rows[ref.Row][ci].Key()] = true
+		if c := d.codes[ref.Row]; !seen[c] {
+			seen[c] = true
+			n++
+		}
 	}
-	return len(seen)
+	return n
+}
+
+// colDict is an immutable dictionary encoding of one base-table column:
+// codes[row] is a dense id of the value's Key-equivalence class.
+type colDict struct {
+	codes []int32
+	card  int
+}
+
+// colDict returns (building and caching on first use) the dictionary
+// encoding of column ci of the registered base table. The cache is
+// invalidated when RegisterBase replaces the table. The returned dict is
+// immutable, so concurrent enforcement workers share it safely.
+func (t *Tracer) colDict(table string, base *relation.Table, ci int) *colDict {
+	key := strings.ToLower(table)
+	t.mu.RLock()
+	if cols, ok := t.dicts[key]; ok {
+		if d, ok := cols[ci]; ok {
+			t.mu.RUnlock()
+			return d
+		}
+	}
+	t.mu.RUnlock()
+	ids := make(map[relation.ValKey]int32, len(base.Rows))
+	d := &colDict{codes: make([]int32, len(base.Rows))}
+	for ri, r := range base.Rows {
+		k := relation.MapKey(r[ci])
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(ids))
+			ids[k] = id
+		}
+		d.codes[ri] = id
+	}
+	d.card = len(ids)
+	t.mu.Lock()
+	if t.dicts == nil {
+		t.dicts = map[string]map[int]*colDict{}
+	}
+	if t.dicts[key] == nil {
+		t.dicts[key] = map[int]*colDict{}
+	}
+	t.dicts[key][ci] = d
+	t.mu.Unlock()
+	return d
 }
 
 // Tracer resolves lineage references against registered base tables.
 // It is safe for concurrent use.
 type Tracer struct {
-	mu    sync.RWMutex
-	bases map[string]*relation.Table
+	mu     sync.RWMutex
+	bases  map[string]*relation.Table
+	dicts map[string]map[int]*colDict // table -> column index -> encoding
 }
 
 // NewTracer returns an empty tracer.
@@ -95,7 +162,9 @@ func NewTracer() *Tracer {
 func (t *Tracer) RegisterBase(tb *relation.Table) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.bases[strings.ToLower(tb.Name)] = tb
+	key := strings.ToLower(tb.Name)
+	t.bases[key] = tb
+	delete(t.dicts, key) // cached encodings no longer describe the table
 }
 
 func (t *Tracer) base(name string) (*relation.Table, bool) {

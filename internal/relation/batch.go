@@ -1,0 +1,244 @@
+package relation
+
+import "math/bits"
+
+// Bitmap is a fixed-size selection bitmap over the rows of a Batch.
+type Bitmap struct {
+	bits []uint64
+	n    int
+}
+
+// NewBitmap returns an empty bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of addressable rows.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks row i as selected.
+func (b *Bitmap) Set(i int) { b.bits[i>>6] |= 1 << uint(i&63) }
+
+// Get reports whether row i is selected.
+func (b *Bitmap) Get(i int) bool { return b.bits[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of selected rows.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Batch is the columnar view of a Table: column vectors extracted lazily
+// (a kernel touching two columns of a twelve-column table decomposes only
+// those two) plus selection bitmaps produced by the filter kernels. It is
+// the execution representation behind the vectorized operators; the
+// row-oriented Table API stays the interchange format between packages.
+type Batch struct {
+	src  *Table
+	cols []*Vector
+}
+
+// NewBatch wraps t for columnar execution. The underlying table must not
+// be mutated while the batch is in use.
+func NewBatch(t *Table) *Batch {
+	return &Batch{src: t, cols: make([]*Vector, t.Schema.Len())}
+}
+
+// Len returns the row count.
+func (b *Batch) Len() int { return len(b.src.Rows) }
+
+// Schema returns the batch schema.
+func (b *Batch) Schema() *Schema { return b.src.Schema }
+
+// Col returns the vector of column ci, decomposing it on first use.
+func (b *Batch) Col(ci int) *Vector {
+	if b.cols[ci] == nil {
+		b.cols[ci] = NewVector(b.src, ci)
+	}
+	return b.cols[ci]
+}
+
+// Filter evaluates pred over the batch with the vectorized kernels and
+// returns the selection bitmap of rows where the predicate is exactly
+// TRUE. ok is false when the predicate shape has no kernel (the caller
+// falls back to compiled row-at-a-time evaluation); a nil predicate
+// selects every row.
+func (b *Batch) Filter(pred Expr) (*Bitmap, bool) {
+	n := b.Len()
+	sel := NewBitmap(n)
+	if pred == nil {
+		for i := 0; i < n; i++ {
+			sel.Set(i)
+		}
+		return sel, true
+	}
+	tv, ok := evalVecPred(pred, b)
+	if !ok {
+		return nil, false
+	}
+	for i, t := range tv {
+		if t == tT {
+			sel.Set(i)
+		}
+	}
+	return sel, true
+}
+
+// ToTable materializes the selected rows as a derived table. Rows are
+// shared with the source (not copied), matching the row-at-a-time Select.
+func (b *Batch) ToTable(name string, sel *Bitmap) *Table {
+	out := b.src.derived(name)
+	for i := 0; i < sel.Len(); i++ {
+		if sel.Get(i) {
+			out.Rows = append(out.Rows, b.src.Rows[i])
+			out.Lineage = append(out.Lineage, b.src.RowLineage(i))
+		}
+	}
+	return out
+}
+
+// evalVecPred evaluates a predicate tree over the batch using the truth
+// kernels. It supports comparison/logic trees over column references and
+// literals; any other shape reports ok=false.
+func evalVecPred(e Expr, b *Batch) (truth, bool) {
+	s := b.Schema()
+	switch ex := e.(type) {
+	case *LitExpr:
+		return broadcast(b.Len(), truthOf(ex.V)), true
+	case *ColExpr:
+		ci := s.Index(ex.Name)
+		if ci < 0 {
+			return nil, false
+		}
+		return boolVec(b.Col(ci)), true
+	case *BinExpr:
+		switch ex.Op {
+		case OpAnd, OpOr:
+			lt, ok := evalVecPred(ex.L, b)
+			if !ok {
+				return nil, false
+			}
+			rt, ok := evalVecPred(ex.R, b)
+			if !ok {
+				return nil, false
+			}
+			if ex.Op == OpAnd {
+				return andTruth(lt, rt), true
+			}
+			return orTruth(lt, rt), true
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			lc, lIsCol := ex.L.(*ColExpr)
+			rc, rIsCol := ex.R.(*ColExpr)
+			ll, lIsLit := ex.L.(*LitExpr)
+			rl, rIsLit := ex.R.(*LitExpr)
+			switch {
+			case lIsCol && rIsCol:
+				li, ri := s.Index(lc.Name), s.Index(rc.Name)
+				if li < 0 || ri < 0 {
+					return nil, false
+				}
+				return cmpVecVec(ex.Op, b.Col(li), b.Col(ri)), true
+			case lIsCol && rIsLit:
+				ci := s.Index(lc.Name)
+				if ci < 0 {
+					return nil, false
+				}
+				return cmpVecLit(ex.Op, b.Col(ci), rl.V), true
+			case lIsLit && rIsCol:
+				ci := s.Index(rc.Name)
+				if ci < 0 {
+					return nil, false
+				}
+				return cmpVecLit(flipCmp(ex.Op), b.Col(ci), ll.V), true
+			case lIsLit && rIsLit:
+				return broadcast(b.Len(), cmpValues(ex.Op, ll.V, rl.V)), true
+			default:
+				return nil, false
+			}
+		case OpLike:
+			lc, lIsCol := ex.L.(*ColExpr)
+			rl, rIsLit := ex.R.(*LitExpr)
+			if !lIsCol || !rIsLit {
+				return nil, false
+			}
+			ci := s.Index(lc.Name)
+			if ci < 0 {
+				return nil, false
+			}
+			return likeVec(b.Col(ci), rl.V), true
+		default:
+			return nil, false
+		}
+	case *NotExpr:
+		sub, ok := evalVecPred(ex.E, b)
+		if !ok {
+			return nil, false
+		}
+		return notTruth(sub), true
+	case *IsNullExpr:
+		switch inner := ex.E.(type) {
+		case *ColExpr:
+			ci := s.Index(inner.Name)
+			if ci < 0 {
+				return nil, false
+			}
+			return isNullVec(b.Col(ci), ex.Negate), true
+		case *LitExpr:
+			if inner.V.IsNull() != ex.Negate {
+				return broadcast(b.Len(), tT), true
+			}
+			return broadcast(b.Len(), tF), true
+		default:
+			return nil, false
+		}
+	case *InExpr:
+		inner, isCol := ex.E.(*ColExpr)
+		if !isCol {
+			return nil, false
+		}
+		ci := s.Index(inner.Name)
+		if ci < 0 {
+			return nil, false
+		}
+		lits := make([]Value, len(ex.List))
+		for i, le := range ex.List {
+			lt, isLit := le.(*LitExpr)
+			if !isLit {
+				return nil, false
+			}
+			lits[i] = lt.V
+		}
+		return inVec(b.Col(ci), lits, ex.Negate), true
+	default:
+		return nil, false
+	}
+}
+
+// flipCmp mirrors a comparison operator for swapped operands.
+func flipCmp(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default: // Eq, Ne are symmetric
+		return op
+	}
+}
+
+func broadcast(n int, t int8) truth {
+	out := make(truth, n)
+	if t != tF {
+		for i := range out {
+			out[i] = t
+		}
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package relation
+
+import "fmt"
+
+// compiledExpr is an expression bound to a fixed schema: every column
+// reference is resolved to its index once, so per-row evaluation performs
+// no name lookups. The closure reproduces the corresponding Expr.Eval
+// byte for byte, including errors (an unresolvable column only errors when
+// a row is actually evaluated, exactly like ColExpr.Eval).
+type compiledExpr struct {
+	eval func(r Row) (Value, error)
+	// safe reports that eval can never return an error for any row: every
+	// column resolves and every function call is statically well-formed.
+	safe bool
+}
+
+// compileExpr binds e against s.
+func compileExpr(e Expr, s *Schema) compiledExpr {
+	switch ex := e.(type) {
+	case *LitExpr:
+		v := ex.V
+		return compiledExpr{eval: func(Row) (Value, error) { return v, nil }, safe: true}
+	case *ColExpr:
+		i := s.Index(ex.Name)
+		if i < 0 {
+			err := fmt.Errorf("relation: unknown column %q in %s", ex.Name, s)
+			return compiledExpr{eval: func(Row) (Value, error) { return Null(), err }}
+		}
+		return compiledExpr{eval: func(r Row) (Value, error) { return r[i], nil }, safe: true}
+	case *BinExpr:
+		l := compileExpr(ex.L, s)
+		rr := compileExpr(ex.R, s)
+		op := ex.Op
+		if op == OpAnd || op == OpOr {
+			return compiledExpr{
+				eval: func(r Row) (Value, error) {
+					lv, err := l.eval(r)
+					if err != nil {
+						return Null(), err
+					}
+					rv, err := rr.eval(r)
+					if err != nil {
+						return Null(), err
+					}
+					return evalLogic(op, lv, rv)
+				},
+				safe: l.safe && rr.safe,
+			}
+		}
+		knownOp := op >= OpEq && op <= OpConcat
+		return compiledExpr{
+			eval: func(r Row) (Value, error) {
+				lv, err := l.eval(r)
+				if err != nil {
+					return Null(), err
+				}
+				rv, err := rr.eval(r)
+				if err != nil {
+					return Null(), err
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return Null(), nil
+				}
+				switch op {
+				case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+					c, ok := lv.Compare(rv)
+					if !ok {
+						return Null(), nil
+					}
+					switch op {
+					case OpEq:
+						return Bool(c == 0), nil
+					case OpNe:
+						return Bool(c != 0), nil
+					case OpLt:
+						return Bool(c < 0), nil
+					case OpLe:
+						return Bool(c <= 0), nil
+					case OpGt:
+						return Bool(c > 0), nil
+					default:
+						return Bool(c >= 0), nil
+					}
+				case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+					return evalArith(op, lv, rv)
+				case OpLike:
+					if lv.Kind != TString || rv.Kind != TString {
+						return Null(), nil
+					}
+					return Bool(likeMatch(rv.S, lv.S)), nil
+				case OpConcat:
+					return Str(lv.String() + rv.String()), nil
+				default:
+					return Null(), fmt.Errorf("relation: unknown operator %v", op)
+				}
+			},
+			safe: l.safe && rr.safe && knownOp,
+		}
+	case *NotExpr:
+		sub := compileExpr(ex.E, s)
+		return compiledExpr{
+			eval: func(r Row) (Value, error) {
+				v, err := sub.eval(r)
+				if err != nil || v.IsNull() {
+					return Null(), err
+				}
+				if v.Kind != TBool {
+					return Null(), nil
+				}
+				return Bool(!v.B), nil
+			},
+			safe: sub.safe,
+		}
+	case *NegExpr:
+		sub := compileExpr(ex.E, s)
+		return compiledExpr{
+			eval: func(r Row) (Value, error) {
+				v, err := sub.eval(r)
+				if err != nil || v.IsNull() {
+					return Null(), err
+				}
+				switch v.Kind {
+				case TInt:
+					return Int(-v.I), nil
+				case TFloat:
+					return Float(-v.F), nil
+				default:
+					return Null(), nil
+				}
+			},
+			safe: sub.safe,
+		}
+	case *IsNullExpr:
+		sub := compileExpr(ex.E, s)
+		neg := ex.Negate
+		return compiledExpr{
+			eval: func(r Row) (Value, error) {
+				v, err := sub.eval(r)
+				if err != nil {
+					return Null(), err
+				}
+				return Bool(v.IsNull() != neg), nil
+			},
+			safe: sub.safe,
+		}
+	case *InExpr:
+		sub := compileExpr(ex.E, s)
+		list := make([]compiledExpr, len(ex.List))
+		safe := sub.safe
+		for i, le := range ex.List {
+			list[i] = compileExpr(le, s)
+			safe = safe && list[i].safe
+		}
+		neg := ex.Negate
+		return compiledExpr{
+			eval: func(r Row) (Value, error) {
+				v, err := sub.eval(r)
+				if err != nil {
+					return Null(), err
+				}
+				if v.IsNull() {
+					return Null(), nil
+				}
+				sawNull := false
+				for _, le := range list {
+					lv, err := le.eval(r)
+					if err != nil {
+						return Null(), err
+					}
+					if lv.IsNull() {
+						sawNull = true
+						continue
+					}
+					if v.Equal(lv) {
+						return Bool(!neg), nil
+					}
+				}
+				if sawNull {
+					return Null(), nil
+				}
+				return Bool(neg), nil
+			},
+			safe: safe,
+		}
+	case *FuncExpr:
+		args := make([]compiledExpr, len(ex.Args))
+		safe := scalarStaticallySafe(ex.Name, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = compileExpr(a, s)
+			safe = safe && args[i].safe
+		}
+		name := ex.Name
+		return compiledExpr{
+			eval: func(r Row) (Value, error) {
+				vals := make([]Value, len(args))
+				for i, a := range args {
+					v, err := a.eval(r)
+					if err != nil {
+						return Null(), err
+					}
+					vals[i] = v
+				}
+				return callScalar(name, vals)
+			},
+			safe: safe,
+		}
+	default:
+		// Unknown node type: defer to its own Eval (no binding possible).
+		return compiledExpr{eval: func(r Row) (Value, error) { return e.Eval(r, s) }}
+	}
+}
+
+// scalarStaticallySafe reports whether a scalar call with the given arity
+// can never error at evaluation time (callScalar only errors on unknown
+// names and arity mismatches; value-level failures yield NULL).
+func scalarStaticallySafe(name string, arity int) bool {
+	switch name {
+	case "UPPER", "LOWER", "LENGTH", "TRIM", "ABS", "ROUND",
+		"YEAR", "MONTH", "DAY", "QUARTER", "DATE",
+		"CAST_INT", "CAST_FLOAT", "CAST_STRING":
+		return arity == 1
+	case "SUBSTR":
+		return arity == 3
+	case "COALESCE":
+		return true
+	default:
+		return false
+	}
+}
+
+// compiledPred is a bound row predicate: selected reports whether the row
+// evaluates to exactly TRUE (EvalPredicate semantics).
+type compiledPred struct {
+	selected func(r Row) (bool, error)
+	safe     bool
+}
+
+// compilePred binds e as a predicate against s; a nil predicate selects
+// every row.
+func compilePred(e Expr, s *Schema) compiledPred {
+	if e == nil {
+		return compiledPred{selected: func(Row) (bool, error) { return true, nil }, safe: true}
+	}
+	c := compileExpr(e, s)
+	return compiledPred{
+		selected: func(r Row) (bool, error) {
+			v, err := c.eval(r)
+			if err != nil {
+				return false, err
+			}
+			return v.Kind == TBool && v.B, nil
+		},
+		safe: c.safe,
+	}
+}
+
+// SafePredicate reports whether evaluating e against rows of s can never
+// return an error: every column reference resolves in s and every scalar
+// call is statically well-formed. Query planners use this to relocate a
+// predicate (e.g. push it below a join) without changing which renders
+// fail: an unsafe predicate errors on every row it touches, so moving it
+// could surface errors on rows the original plan never evaluated.
+func SafePredicate(e Expr, s *Schema) bool {
+	if e == nil {
+		return true
+	}
+	return compileExpr(e, s).safe
+}

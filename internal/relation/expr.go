@@ -75,7 +75,68 @@ func (e *ColExpr) Eval(r Row, s *Schema) (Value, error) {
 }
 
 // String implements Expr.
-func (e *ColExpr) String() string { return e.Name }
+func (e *ColExpr) String() string { return QuoteIdent(e.Name) }
+
+// QuoteIdent renders a column or table identifier for display and SQL
+// round-tripping: plain identifiers (optionally dot-qualified) pass
+// through, anything else is double-quoted so that re-parsing the rendered
+// form yields the same name instead of an alias or a syntax error.
+func QuoteIdent(name string) string {
+	plain := name != ""
+	segStart := true
+	for i := 0; plain && i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '.':
+			plain = !segStart && i != len(name)-1 // no empty segments
+			segStart = true
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			segStart = false
+		case c >= '0' && c <= '9':
+			plain = !segStart // segments must not start with a digit
+		default:
+			plain = false
+		}
+	}
+	if plain {
+		for rest := name; plain; {
+			seg := rest
+			if i := strings.IndexByte(rest, '.'); i >= 0 {
+				seg, rest = rest[:i], rest[i+1:]
+			} else {
+				rest = ""
+			}
+			if ReservedWord(seg) {
+				plain = false
+			}
+			if rest == "" {
+				break
+			}
+		}
+	}
+	if plain {
+		return name
+	}
+	return `"` + name + `"`
+}
+
+// reservedWords are the keywords of the SQL dialect built over this
+// expression language (internal/sql's lexer treats them as reserved, never
+// as identifiers). They live here so the renderer and the lexer agree on
+// exactly one list.
+var reservedWords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "JOIN": true,
+	"LEFT": true, "INNER": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "IS": true, "NULL": true, "LIKE": true,
+	"DISTINCT": true, "ASC": true, "DESC": true, "CREATE": true,
+	"VIEW": true, "TRUE": true, "FALSE": true, "DATE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"BETWEEN": true, "UNION": true, "ALL": true,
+}
+
+// ReservedWord reports whether s (case-insensitively) is a SQL keyword.
+func ReservedWord(s string) bool { return reservedWords[strings.ToUpper(s)] }
 
 // ColumnRefs implements Expr.
 func (e *ColExpr) ColumnRefs(dst []string) []string { return append(dst, e.Name) }

@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// ValKey is a comparable canonical key for a Value, usable directly as a
+// Go map key. Two values share a ValKey exactly when their Value.Key()
+// strings are equal, so hash joins, grouping and distinct-counting through
+// ValKey keep the string-keyed semantics of the original operators while
+// skipping the per-value string allocation.
+type ValKey struct {
+	kind uint8
+	i    int64
+	f    float64
+	s    string
+}
+
+// ValKey kind tags. Distinct tags keep the value spaces disjoint the same
+// way Key()'s "s:"/"i:"/... prefixes do.
+const (
+	vkNull uint8 = iota
+	vkStr
+	vkInt
+	vkFloat
+	vkBool
+	vkDate
+	vkNaN
+)
+
+// MapKey returns the canonical comparable key of v. The canonicalization
+// mirrors Value.Key() exactly: integral floats below 1e15 collapse onto
+// the matching integer key, dates key by calendar day, and every NaN maps
+// to one shared key (NaN is not equal to itself, so a raw float64 field
+// would make map lookups miss).
+func MapKey(v Value) ValKey {
+	switch v.Kind {
+	case TNull:
+		return ValKey{kind: vkNull}
+	case TString:
+		return ValKey{kind: vkStr, s: v.S}
+	case TInt:
+		return ValKey{kind: vkInt, i: v.I}
+	case TFloat:
+		if math.IsNaN(v.F) {
+			return ValKey{kind: vkNaN}
+		}
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			return ValKey{kind: vkInt, i: int64(v.F)}
+		}
+		return ValKey{kind: vkFloat, f: v.F}
+	case TBool:
+		if v.B {
+			return ValKey{kind: vkBool, i: 1}
+		}
+		return ValKey{kind: vkBool, i: 0}
+	case TDate:
+		y, m, d := v.T.Date()
+		return ValKey{kind: vkDate, i: int64(y)*10000 + int64(m)*100 + int64(d)}
+	default:
+		return ValKey{kind: vkNull}
+	}
+}
+
+// interner assigns small dense ids to distinct ValKeys. Ids start at 1 so
+// composite keys can reserve 0 if they ever need a sentinel. Strings — the
+// overwhelmingly common grouping key kind — get their own map so lookups
+// take the runtime's specialized string-map fast paths instead of hashing
+// a ValKey struct; MapKey sends strings nowhere else (vkStr only), so the
+// two maps partition the key space and can share one id counter.
+type interner struct {
+	ids  map[ValKey]uint32
+	strs map[string]uint32
+}
+
+func newInterner(capacity int) *interner {
+	return &interner{
+		ids:  make(map[ValKey]uint32),
+		strs: make(map[string]uint32, capacity),
+	}
+}
+
+// id returns the dense id of v, allocating one on first sight.
+func (in *interner) id(v Value) uint32 {
+	if v.Kind == TString {
+		if id, ok := in.strs[v.S]; ok {
+			return id
+		}
+		id := uint32(len(in.ids) + len(in.strs) + 1)
+		in.strs[v.S] = id
+		return id
+	}
+	k := MapKey(v)
+	if id, ok := in.ids[k]; ok {
+		return id
+	}
+	id := uint32(len(in.ids) + len(in.strs) + 1)
+	in.ids[k] = id
+	return id
+}
+
+// rowKeyer builds composite grouping keys over a fixed set of columns by
+// interning each column value to a dense id and packing the ids. Up to two
+// columns pack into a uint64 (no allocation); wider keys fall back to a
+// byte-string of the ids.
+type rowKeyer struct {
+	cols []int
+	ins  []*interner
+	buf  []byte
+}
+
+func newRowKeyer(cols []int, capacity int) *rowKeyer {
+	k := &rowKeyer{cols: cols, ins: make([]*interner, len(cols))}
+	for i := range k.ins {
+		k.ins[i] = newInterner(capacity)
+	}
+	if len(cols) > 2 {
+		k.buf = make([]byte, 4*len(cols))
+	}
+	return k
+}
+
+// compositeKey is the packed grouping key: wide holds up to two 32-bit ids;
+// str holds the byte-packed ids for wider keys.
+type compositeKey struct {
+	wide uint64
+	str  string
+}
+
+// key computes the composite key of row r over the keyer's columns.
+func (k *rowKeyer) key(r Row) compositeKey {
+	if len(k.cols) <= 2 {
+		var wide uint64
+		for i, ci := range k.cols {
+			wide |= uint64(k.ins[i].id(r[ci])) << (32 * uint(i))
+		}
+		return compositeKey{wide: wide}
+	}
+	for i, ci := range k.cols {
+		binary.LittleEndian.PutUint32(k.buf[4*i:], k.ins[i].id(r[ci]))
+	}
+	return compositeKey{str: string(k.buf)}
+}

@@ -9,6 +9,14 @@ import (
 // Select returns the rows of t satisfying pred, preserving lineage and
 // column origins.
 func Select(t *Table, pred Expr) (*Table, error) {
+	if CurrentExecMode() == ExecRowAtATime {
+		return selectRows(t, pred)
+	}
+	return selectVec(t, pred)
+}
+
+// selectRows is the row-at-a-time reference implementation of Select.
+func selectRows(t *Table, pred Expr) (*Table, error) {
 	out := t.derived(t.Name + "_sel")
 	for i, r := range t.Rows {
 		ok, err := EvalPredicate(pred, r, t.Schema)
@@ -51,6 +59,14 @@ func (p ProjCol) outName() string {
 // each output column are the union of origins of every input column the
 // expression references; row lineage is preserved.
 func Project(t *Table, cols ...ProjCol) (*Table, error) {
+	if CurrentExecMode() == ExecRowAtATime {
+		return projectRows(t, cols...)
+	}
+	return projectVec(t, cols...)
+}
+
+// projectRows is the row-at-a-time reference implementation of Project.
+func projectRows(t *Table, cols ...ProjCol) (*Table, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("relation: empty projection")
 	}
@@ -99,6 +115,14 @@ func ProjectCols(t *Table, names ...string) (*Table, error) {
 
 // Extend appends one computed column to every row.
 func Extend(t *Table, name string, e Expr) (*Table, error) {
+	if CurrentExecMode() == ExecRowAtATime {
+		return extendRows(t, name, e)
+	}
+	return extendVec(t, name, e)
+}
+
+// extendRows is the row-at-a-time reference implementation of Extend.
+func extendRows(t *Table, name string, e Expr) (*Table, error) {
 	out := t.derived(t.Name + "_ext")
 	out.Schema.Columns = append(out.Schema.Columns, Column{Name: name, Type: InferType(e, t.Schema)})
 	var origin ColRefSet
@@ -154,6 +178,21 @@ const (
 // Output columns are l's columns followed by r's; lineage of each output
 // row is the union of the matched input rows' lineage.
 func Join(l, r *Table, pred Expr, kind JoinKind) (*Table, error) {
+	if CurrentExecMode() == ExecRowAtATime {
+		return joinRows(l, r, pred, kind)
+	}
+	return joinVec(l, r, pred, kind)
+}
+
+// NestedLoopJoin joins l and r by evaluating pred on every row pair, with
+// no hash fast path. It is the semantic reference the hash joins must
+// match and the baseline the benchmark suite measures them against.
+func NestedLoopJoin(l, r *Table, pred Expr, kind JoinKind) (*Table, error) {
+	return nestedLoopInto(newJoinShell(l, r), l, r, pred, kind)
+}
+
+// joinRows is the row-at-a-time reference implementation of Join.
+func joinRows(l, r *Table, pred Expr, kind JoinKind) (*Table, error) {
 	out := &Table{Name: l.Name + "_join_" + r.Name}
 	cols := make([]Column, 0, l.Schema.Len()+r.Schema.Len())
 	cols = append(cols, l.Schema.Columns...)
@@ -306,7 +345,51 @@ type aggState struct {
 	sumInt   int64
 	allInt   bool
 	min, max Value
-	distinct map[string]bool
+	distinct map[string]bool // row path: Value.Key()-keyed
+	vdist    map[ValKey]bool // vectorized path: interned, same classes
+}
+
+// vkDistinct records v for COUNT(DISTINCT) through the interned key space
+// (ValKey classes coincide with Value.Key() classes, so the count matches
+// the row path exactly).
+func (st *aggState) vkDistinct(v Value) { st.vdist[MapKey(v)] = true }
+
+// distinctCount returns the number of distinct values seen, whichever key
+// space was used.
+func (st *aggState) distinctCount() int {
+	if st.vdist != nil {
+		return len(st.vdist)
+	}
+	return len(st.distinct)
+}
+
+// result finalizes one aggregate value from the accumulated state.
+func (st *aggState) result(kind AggKind) Value {
+	switch kind {
+	case AggCount:
+		return Int(st.n)
+	case AggSum:
+		if st.n == 0 {
+			return Null()
+		}
+		if st.allInt {
+			return Int(st.sumInt)
+		}
+		return Float(st.sum)
+	case AggAvg:
+		if st.n == 0 {
+			return Null()
+		}
+		return Float(st.sum / float64(st.n))
+	case AggMin:
+		return st.min
+	case AggMax:
+		return st.max
+	case AggCountDistinct:
+		return Int(int64(st.distinctCount()))
+	default:
+		return Null()
+	}
 }
 
 // GroupBy groups t by the key columns and computes the aggregates. The
@@ -315,6 +398,14 @@ type aggState struct {
 // aggregation-threshold enforcement (a group's base-row support is exactly
 // the size of its patient-level lineage).
 func GroupBy(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
+	if CurrentExecMode() == ExecRowAtATime {
+		return groupByRows(t, keys, aggs)
+	}
+	return groupByVec(t, keys, aggs)
+}
+
+// groupByRows is the row-at-a-time reference implementation of GroupBy.
+func groupByRows(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 	keyIdx := make([]int, len(keys))
 	for i, k := range keys {
 		idx := t.Schema.Index(k)
@@ -468,6 +559,14 @@ func GroupBy(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 // Distinct removes duplicate rows; the surviving row's lineage is the union
 // of all duplicates' lineage (the duplicates all "support" the output row).
 func Distinct(t *Table) *Table {
+	if CurrentExecMode() == ExecRowAtATime {
+		return distinctRows(t)
+	}
+	return distinctVec(t)
+}
+
+// distinctRows is the row-at-a-time reference implementation of Distinct.
+func distinctRows(t *Table) *Table {
 	out := t.derived(t.Name + "_dist")
 	index := map[string]int{}
 	for i, r := range t.Rows {

@@ -1,0 +1,424 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The vectorized kernels must be observationally identical to the
+// row-at-a-time reference implementations: same rows in the same order,
+// same lineage sets, same column origins, same schema types, same errors.
+// These property tests compare both paths on randomized tables and
+// predicates.
+
+// withBothModes runs op under each execution mode and returns the two
+// results.
+func withBothModes(t *testing.T, op func() (*Table, error)) (vec, row *Table, vecErr, rowErr error) {
+	t.Helper()
+	prev := SetExecMode(ExecVectorized)
+	vec, vecErr = op()
+	SetExecMode(ExecRowAtATime)
+	row, rowErr = op()
+	SetExecMode(prev)
+	return vec, row, vecErr, rowErr
+}
+
+// requireSameOutcome fails the test unless the two paths produced the
+// same table (or the same error).
+func requireSameOutcome(t *testing.T, label string, vec, row *Table, vecErr, rowErr error) {
+	t.Helper()
+	if (vecErr == nil) != (rowErr == nil) {
+		t.Fatalf("%s: error mismatch: vectorized=%v row=%v", label, vecErr, rowErr)
+	}
+	if vecErr != nil {
+		if vecErr.Error() != rowErr.Error() {
+			t.Fatalf("%s: error text mismatch:\n  vectorized: %v\n  row:        %v", label, vecErr, rowErr)
+		}
+		return
+	}
+	requireSameTable(t, label, vec, row)
+}
+
+func requireSameTable(t *testing.T, label string, vec, row *Table) {
+	t.Helper()
+	if !reflect.DeepEqual(vec.Schema, row.Schema) {
+		t.Fatalf("%s: schema mismatch:\n  vectorized: %v\n  row:        %v", label, vec.Schema, row.Schema)
+	}
+	if len(vec.Rows) != len(row.Rows) {
+		t.Fatalf("%s: row count mismatch: vectorized=%d row=%d", label, len(vec.Rows), len(row.Rows))
+	}
+	for i := range vec.Rows {
+		if !sameRow(vec.Rows[i], row.Rows[i]) {
+			t.Fatalf("%s: row %d mismatch:\n  vectorized: %v\n  row:        %v", label, i, vec.Rows[i], row.Rows[i])
+		}
+	}
+	if len(vec.Lineage) != len(row.Lineage) {
+		t.Fatalf("%s: lineage length mismatch: %d vs %d", label, len(vec.Lineage), len(row.Lineage))
+	}
+	for i := range vec.Lineage {
+		if !reflect.DeepEqual(vec.Lineage[i], row.Lineage[i]) {
+			t.Fatalf("%s: lineage %d mismatch:\n  vectorized: %v\n  row:        %v", label, i, vec.Lineage[i], row.Lineage[i])
+		}
+	}
+	if len(vec.ColOrigin) != len(row.ColOrigin) {
+		t.Fatalf("%s: origin length mismatch: %d vs %d", label, len(vec.ColOrigin), len(row.ColOrigin))
+	}
+	for i := range vec.ColOrigin {
+		if !reflect.DeepEqual(vec.ColOrigin[i], row.ColOrigin[i]) {
+			t.Fatalf("%s: column origin %d mismatch:\n  vectorized: %v\n  row:        %v", label, i, vec.ColOrigin[i], row.ColOrigin[i])
+		}
+	}
+	// Rendering covers Value.String of every cell.
+	if vec.String() != row.String() {
+		t.Fatalf("%s: rendered table mismatch:\n%s\nvs\n%s", label, vec.String(), row.String())
+	}
+}
+
+// sameRow compares cells bitwise-for-floats: reflect.DeepEqual rejects
+// NaN == NaN, but for equivalence purposes identical bit patterns (and
+// identical time instants) are the same cell.
+func sameRow(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind {
+			return false
+		}
+		switch x.Kind {
+		case TFloat:
+			if math.Float64bits(x.F) != math.Float64bits(y.F) {
+				return false
+			}
+		case TDate:
+			if !x.T.Equal(y.T) {
+				return false
+			}
+		default:
+			if x != y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randValue draws a value of roughly the given kind with a small domain so
+// joins and groups collide often. Edge values (NaN, integral floats,
+// negative zero, empty strings) appear deliberately.
+func randValue(rng *rand.Rand, kind Type) Value {
+	if rng.Intn(8) == 0 {
+		return Null()
+	}
+	switch kind {
+	case TString:
+		pool := []string{"", "a", "b", "ab", "HIV", "flu", "x y", "aspirin"}
+		return Str(pool[rng.Intn(len(pool))])
+	case TInt:
+		return Int(int64(rng.Intn(7) - 3))
+	case TFloat:
+		pool := []float64{0, math.Copysign(0, -1), 1, 2, 2.5, -3.25, 2, math.NaN(), math.Inf(1), 1e16}
+		return Float(pool[rng.Intn(len(pool))])
+	case TBool:
+		return Bool(rng.Intn(2) == 0)
+	case TDate:
+		return DateYMD(2007, time.Month(1+rng.Intn(3)), 1+rng.Intn(5))
+	default:
+		return Null()
+	}
+}
+
+// randTable builds a table with typed columns; with some probability a
+// column is polluted with a mixed-kind value (schemas are advisory), and
+// with some probability the table is derived with synthetic lineage.
+func randTable(rng *rand.Rand, name string, nCols, nRows int) *Table {
+	kinds := []Type{TString, TInt, TFloat, TBool, TDate}
+	cols := make([]Column, nCols)
+	colKinds := make([]Type, nCols)
+	for c := 0; c < nCols; c++ {
+		colKinds[c] = kinds[rng.Intn(len(kinds))]
+		cols[c] = Column{Name: fmt.Sprintf("c%d", c), Type: colKinds[c]}
+	}
+	t := NewBase(name, &Schema{Columns: cols})
+	for r := 0; r < nRows; r++ {
+		row := make(Row, nCols)
+		for c := 0; c < nCols; c++ {
+			if rng.Intn(20) == 0 { // mixed-kind pollution
+				row[c] = randValue(rng, kinds[rng.Intn(len(kinds))])
+			} else {
+				row[c] = randValue(rng, colKinds[c])
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if rng.Intn(3) == 0 {
+		// Make it a derived table with synthetic multi-ref lineage.
+		t.Base = false
+		t.Lineage = make([]LineageSet, nRows)
+		t.ColOrigin = make([]ColRefSet, nCols)
+		for r := 0; r < nRows; r++ {
+			var ls LineageSet
+			for k := 0; k <= rng.Intn(3); k++ {
+				ls = append(ls, RowRef{Table: "src" + string(rune('a'+rng.Intn(2))), Row: rng.Intn(10)})
+			}
+			t.Lineage[r] = ls.normalize()
+		}
+		for c := 0; c < nCols; c++ {
+			t.ColOrigin[c] = ColRefSet{{Table: "srca", Column: fmt.Sprintf("o%d", c)}}.normalize()
+		}
+	}
+	return t
+}
+
+// randPredicate builds a random predicate over s, spanning both the
+// kernel-supported shapes and fallback shapes (arithmetic, functions,
+// occasionally an unknown column to exercise error equivalence).
+func randPredicate(rng *rand.Rand, s *Schema, depth int) Expr {
+	col := func() Expr {
+		if rng.Intn(12) == 0 {
+			return ColRefExpr("no_such_col")
+		}
+		return ColRefExpr(s.Columns[rng.Intn(len(s.Columns))].Name)
+	}
+	lit := func() Expr {
+		kinds := []Type{TString, TInt, TFloat, TBool, TDate}
+		return Lit(randValue(rng, kinds[rng.Intn(len(kinds))]))
+	}
+	cmps := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	if depth <= 0 {
+		switch rng.Intn(8) {
+		case 0:
+			return Bin(cmps[rng.Intn(len(cmps))], col(), col())
+		case 1:
+			return Bin(cmps[rng.Intn(len(cmps))], lit(), col())
+		case 2:
+			return IsNull(col())
+		case 3:
+			return IsNotNull(col())
+		case 4:
+			return In(col(), lit(), lit(), lit())
+		case 5:
+			return Bin(OpLike, col(), Lit(Str("a%")))
+		case 6:
+			// Arithmetic comparison: no kernel, exercises the compiled
+			// fallback.
+			return Bin(cmps[rng.Intn(len(cmps))], Bin(OpAdd, col(), lit()), lit())
+		default:
+			return Bin(cmps[rng.Intn(len(cmps))], col(), lit())
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return And(randPredicate(rng, s, depth-1), randPredicate(rng, s, depth-1))
+	case 1:
+		return Or(randPredicate(rng, s, depth-1), randPredicate(rng, s, depth-1))
+	case 2:
+		return Not(randPredicate(rng, s, depth-1))
+	default:
+		return randPredicate(rng, s, depth-1)
+	}
+}
+
+func TestSelectEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randTable(rng, "t", 2+rng.Intn(3), rng.Intn(40))
+		pred := randPredicate(rng, tab.Schema, rng.Intn(3))
+		vec, row, ve, re := withBothModes(t, func() (*Table, error) { return Select(tab, pred) })
+		requireSameOutcome(t, fmt.Sprintf("select seed=%d pred=%s", seed, pred), vec, row, ve, re)
+	}
+}
+
+func TestProjectExtendEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		tab := randTable(rng, "t", 3+rng.Intn(2), rng.Intn(40))
+		cols := []ProjCol{
+			P("c0"),
+			PAs(Bin(OpAdd, ColRefExpr("c1"), Lit(Int(1))), "c1p"),
+			PAs(Fn("COALESCE", ColRefExpr("c2"), Lit(Str("?"))), "c2c"),
+		}
+		if rng.Intn(6) == 0 {
+			cols = append(cols, P("missing"))
+		}
+		vec, row, ve, re := withBothModes(t, func() (*Table, error) { return Project(tab, cols...) })
+		requireSameOutcome(t, fmt.Sprintf("project seed=%d", seed), vec, row, ve, re)
+
+		ext := randPredicate(rng, tab.Schema, 1)
+		vec, row, ve, re = withBothModes(t, func() (*Table, error) { return Extend(tab, "x", ext) })
+		requireSameOutcome(t, fmt.Sprintf("extend seed=%d expr=%s", seed, ext), vec, row, ve, re)
+	}
+}
+
+func TestJoinEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed + 2000))
+		l := randTable(rng, "l", 2+rng.Intn(2), rng.Intn(25))
+		r := randTable(rng, "r", 2+rng.Intn(2), rng.Intn(25))
+		lq := Rename(l, "l")
+		rq := Rename(r, "r")
+		kind := InnerJoin
+		if rng.Intn(3) == 0 {
+			kind = LeftJoin
+		}
+		var pred Expr
+		switch rng.Intn(5) {
+		case 0: // single equi pair (reference fast path)
+			pred = Eq(ColRefExpr("l.c0"), ColRefExpr("r.c0"))
+		case 1: // two pairs
+			pred = And(Eq(ColRefExpr("l.c0"), ColRefExpr("r.c0")),
+				Eq(ColRefExpr("l.c1"), ColRefExpr("r.c1")))
+		case 2: // pair + residual
+			pred = And(Eq(ColRefExpr("l.c0"), ColRefExpr("r.c0")),
+				Bin(OpNe, ColRefExpr("l.c1"), Lit(Int(0))))
+		case 3: // non-equi
+			pred = Bin(OpLt, ColRefExpr("l.c0"), ColRefExpr("r.c1"))
+		default: // pair + unsafe residual (unknown column -> nested loop)
+			pred = And(Eq(ColRefExpr("l.c0"), ColRefExpr("r.c0")),
+				Eq(ColRefExpr("l.zzz"), Lit(Int(1))))
+		}
+		vec, row, ve, re := withBothModes(t, func() (*Table, error) { return Join(lq, rq, pred, kind) })
+		requireSameOutcome(t, fmt.Sprintf("join seed=%d kind=%d pred=%s", seed, kind, pred), vec, row, ve, re)
+
+		// The hash paths must also agree with the nested-loop baseline
+		// whenever the predicate is total (no unknown columns).
+		if ve == nil && rng.Intn(5) != 4 {
+			nl, nlErr := NestedLoopJoin(lq, rq, pred, kind)
+			if nlErr != nil {
+				t.Fatalf("join seed=%d: nested-loop baseline errored: %v", seed, nlErr)
+			}
+			if pred != nil {
+				if _, _, single := equiJoinCols(pred, lq.Schema, rq.Schema); !single {
+					requireSameTable(t, fmt.Sprintf("join-vs-nested seed=%d pred=%s", seed, pred), vec, nl)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupByEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed + 3000))
+		tab := randTable(rng, "t", 4, rng.Intn(60))
+		var keys []string
+		for k := 0; k <= rng.Intn(3); k++ {
+			keys = append(keys, fmt.Sprintf("c%d", rng.Intn(3)))
+		}
+		if rng.Intn(5) == 0 {
+			keys = nil // implicit single group
+		}
+		aggs := []AggSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Col: "c1"},
+			{Kind: AggAvg, Col: "c2"},
+			{Kind: AggMin, Col: "c3"},
+			{Kind: AggMax, Col: "c3"},
+			{Kind: AggCountDistinct, Col: "c0", As: "nd"},
+		}
+		if rng.Intn(8) == 0 {
+			aggs = append(aggs, AggSpec{Kind: AggSum, Col: "missing"})
+		}
+		vec, row, ve, re := withBothModes(t, func() (*Table, error) { return GroupBy(tab, keys, aggs) })
+		requireSameOutcome(t, fmt.Sprintf("groupby seed=%d keys=%v", seed, keys), vec, row, ve, re)
+	}
+}
+
+func TestDistinctEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed + 4000))
+		tab := randTable(rng, "t", 1+rng.Intn(3), rng.Intn(60))
+		vec, row, ve, re := withBothModes(t, func() (*Table, error) { return Distinct(tab), nil })
+		requireSameOutcome(t, fmt.Sprintf("distinct seed=%d", seed), vec, row, ve, re)
+	}
+}
+
+// TestPipelineEquivalence chains operators the way the SQL executor does:
+// join, filter, group, distinct, sort — results must match end to end.
+func TestPipelineEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 5000))
+		l := randTable(rng, "lhs", 3, 5+rng.Intn(30))
+		r := randTable(rng, "rhs", 3, 5+rng.Intn(15))
+		run := func() (*Table, error) {
+			j, err := Join(Rename(l, "l"), Rename(r, "r"),
+				Eq(ColRefExpr("l.c0"), ColRefExpr("r.c0")), InnerJoin)
+			if err != nil {
+				return nil, err
+			}
+			f, err := Select(j, IsNotNull(ColRefExpr("l.c1")))
+			if err != nil {
+				return nil, err
+			}
+			g, err := GroupBy(f, []string{"l.c0"}, []AggSpec{
+				{Kind: AggCount, As: "n"}, {Kind: AggMin, Col: "l.c2", As: "lo"}})
+			if err != nil {
+				return nil, err
+			}
+			d := Distinct(g)
+			return Sort(d, SortKey{Col: "n", Desc: true}, SortKey{Col: "c0"})
+		}
+		vec, row, ve, re := withBothModes(t, func() (*Table, error) { return run() })
+		requireSameOutcome(t, fmt.Sprintf("pipeline seed=%d", seed), vec, row, ve, re)
+	}
+}
+
+// TestSafePredicate pins the planner gate: safe predicates resolve every
+// column and scalar call; unsafe ones don't.
+func TestSafePredicate(t *testing.T) {
+	s := NewSchema(Col("a", TInt), Col("b", TString))
+	cases := []struct {
+		e    Expr
+		safe bool
+	}{
+		{nil, true},
+		{ColEqStr("b", "x"), true},
+		{Eq(ColRefExpr("missing"), Lit(Int(1))), false},
+		{Fn("UPPER", ColRefExpr("b")), true},
+		{Fn("UPPER", ColRefExpr("b"), ColRefExpr("b")), false},
+		{Fn("NOPE", ColRefExpr("b")), false},
+		{And(ColEqStr("b", "x"), Bin(OpGt, ColRefExpr("a"), Lit(Int(0)))), true},
+		{In(ColRefExpr("a"), Lit(Int(1)), Lit(Int(2))), true},
+	}
+	for i, c := range cases {
+		if got := SafePredicate(c.e, s); got != c.safe {
+			t.Errorf("case %d (%v): SafePredicate=%v, want %v", i, c.e, got, c.safe)
+		}
+	}
+}
+
+// TestBatchFilterKernels pins that the common predicate shapes actually
+// take the kernel path (guarding against silent fallback regressions).
+func TestBatchFilterKernels(t *testing.T) {
+	tab := NewBase("t", NewSchema(Col("s", TString), Col("n", TInt)))
+	tab.MustAppend(Str("a"), Int(1))
+	tab.MustAppend(Str("b"), Int(2))
+	tab.MustAppend(Null(), Int(3))
+	b := NewBatch(tab)
+	kernels := []Expr{
+		ColEqStr("s", "a"),
+		Bin(OpGt, ColRefExpr("n"), Lit(Int(1))),
+		And(ColEqStr("s", "a"), Bin(OpLe, ColRefExpr("n"), Lit(Int(5)))),
+		IsNull(ColRefExpr("s")),
+		In(ColRefExpr("n"), Lit(Int(1)), Lit(Int(3))),
+		Not(ColEqStr("s", "b")),
+		Bin(OpLike, ColRefExpr("s"), Lit(Str("a%"))),
+		Eq(ColRefExpr("s"), ColRefExpr("s")),
+	}
+	for i, e := range kernels {
+		if _, ok := b.Filter(e); !ok {
+			t.Errorf("kernel %d (%s): expected vectorized support", i, e)
+		}
+	}
+	if _, ok := b.Filter(Bin(OpGt, Bin(OpAdd, ColRefExpr("n"), Lit(Int(1))), Lit(Int(1)))); ok {
+		t.Error("arithmetic predicate should not claim kernel support")
+	}
+	sel, ok := b.Filter(ColEqStr("s", "a"))
+	if !ok || sel.Count() != 1 || !sel.Get(0) {
+		t.Errorf("filter bitmap wrong: ok=%v count=%d", ok, sel.Count())
+	}
+}

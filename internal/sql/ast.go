@@ -133,12 +133,12 @@ func (s *SelectStmt) String() string {
 			b.WriteString(it.Expr.String())
 		}
 		if it.Alias != "" {
-			b.WriteString(" AS " + it.Alias)
+			b.WriteString(" AS " + relation.QuoteIdent(it.Alias))
 		}
 	}
-	b.WriteString(" FROM " + s.From.Name)
+	b.WriteString(" FROM " + relation.QuoteIdent(s.From.Name))
 	if s.From.Alias != "" {
-		b.WriteString(" AS " + s.From.Alias)
+		b.WriteString(" AS " + relation.QuoteIdent(s.From.Alias))
 	}
 	for _, j := range s.Joins {
 		if j.Kind == relation.LeftJoin {
@@ -146,9 +146,9 @@ func (s *SelectStmt) String() string {
 		} else {
 			b.WriteString(" JOIN ")
 		}
-		b.WriteString(j.Table.Name)
+		b.WriteString(relation.QuoteIdent(j.Table.Name))
 		if j.Table.Alias != "" {
-			b.WriteString(" AS " + j.Table.Alias)
+			b.WriteString(" AS " + relation.QuoteIdent(j.Table.Alias))
 		}
 		b.WriteString(" ON " + j.On.String())
 	}
@@ -173,7 +173,7 @@ func (s *SelectStmt) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(o.Col)
+			b.WriteString(relation.QuoteIdent(o.Col))
 			if o.Desc {
 				b.WriteString(" DESC")
 			}

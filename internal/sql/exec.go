@@ -10,27 +10,44 @@ import (
 // exec evaluates a SELECT against the catalog. The result is a derived
 // relation.Table carrying full lineage and column origins.
 func (c *Catalog) exec(s *SelectStmt, seen map[string]bool) (*relation.Table, error) {
-	// 1. FROM: resolve and qualify each input, then join left to right.
-	cur, err := c.resolve(s.From.Name, seen)
+	// 1. FROM: resolve and qualify each input in declaration order.
+	inputs := make([]*relation.Table, 0, 1+len(s.Joins))
+	first, err := c.resolve(s.From.Name, seen)
 	if err != nil {
 		return nil, err
 	}
-	cur = relation.Rename(cur, strings.ToLower(s.From.EffName()))
+	inputs = append(inputs, relation.Rename(first, strings.ToLower(s.From.EffName())))
 	for _, j := range s.Joins {
 		rt, err := c.resolve(j.Table.Name, seen)
 		if err != nil {
 			return nil, err
 		}
-		rt = relation.Rename(rt, strings.ToLower(j.Table.EffName()))
-		cur, err = relation.Join(cur, rt, j.On, j.Kind)
+		inputs = append(inputs, relation.Rename(rt, strings.ToLower(j.Table.EffName())))
+	}
+
+	// Push single-relation WHERE conjuncts below the joins (see
+	// pushdown.go for the soundness conditions), then join left to right.
+	pushed, residual := planPushdown(s, inputs)
+	for k, parts := range pushed {
+		if len(parts) == 0 {
+			continue
+		}
+		inputs[k], err = relation.Select(inputs[k], foldAnd(parts))
+		if err != nil {
+			return nil, err
+		}
+	}
+	cur := inputs[0]
+	for i, j := range s.Joins {
+		cur, err = relation.Join(cur, inputs[i+1], j.On, j.Kind)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	// 2. WHERE.
-	if s.Where != nil {
-		cur, err = relation.Select(cur, s.Where)
+	// 2. WHERE (conjuncts not claimed by the pushdown).
+	if residual != nil {
+		cur, err = relation.Select(cur, residual)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"plabi/internal/relation"
 )
 
 // tokKind enumerates token kinds.
@@ -33,16 +35,8 @@ type token struct {
 	pos  int
 }
 
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "JOIN": true,
-	"LEFT": true, "INNER": true, "ON": true, "AND": true, "OR": true,
-	"NOT": true, "IN": true, "IS": true, "NULL": true, "LIKE": true,
-	"DISTINCT": true, "ASC": true, "DESC": true, "CREATE": true,
-	"VIEW": true, "TRUE": true, "FALSE": true, "DATE": true,
-	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"BETWEEN": true, "UNION": true, "ALL": true,
-}
+// The reserved-word list lives in internal/relation next to QuoteIdent so
+// the renderer quotes exactly the identifiers this lexer would refuse.
 
 // lexer tokenizes a SQL string.
 type lexer struct {
@@ -74,7 +68,7 @@ func lex(src string) ([]token, error) {
 		case isIdentStart(c):
 			word := l.lexIdent()
 			up := strings.ToUpper(word)
-			if keywords[up] {
+			if relation.ReservedWord(up) {
 				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
 			} else {
 				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})

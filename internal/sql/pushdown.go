@@ -1,0 +1,126 @@
+package sql
+
+import (
+	"plabi/internal/relation"
+)
+
+// Predicate pushdown: WHERE conjuncts that touch a single FROM relation
+// are applied to that relation before the join fold, so privacy-view
+// rewrites (which arrive as WHERE filters) cut the input before rows are
+// materialized, instead of after the full join.
+//
+// A conjunct is pushed to relation k only when all of the following hold,
+// each required for the plan to stay observationally identical to
+// filter-after-join:
+//
+//   - Every column it references has relation k as its first carrier in
+//     FROM order. Post-join name resolution is left-biased over the
+//     concatenated schema, so the first carrier is exactly the relation
+//     whose column the joined row exposes under that name.
+//   - k == 0, or the join introducing relation k is an INNER join. The
+//     right side of a LEFT JOIN cannot be pre-filtered: rows removed
+//     early would resurface null-extended, while filter-after-join
+//     removes them outright. (The accumulated left side always commutes:
+//     left joins preserve left rows and their values.)
+//   - relation.SafePredicate holds for the conjunct on relation k's
+//     schema, and for every conjunct of the WHERE on the joined schema.
+//     The reference plan evaluates the full conjunction on every joined
+//     row with no short-circuit, so an error anywhere fails the query;
+//     pushdown evaluates conjuncts on different row sets and could
+//     otherwise suppress (or surface) errors the reference would not.
+//
+// The unpushed conjuncts are refolded in their original order as the
+// residual WHERE.
+
+// splitConjuncts flattens the AND tree of e into its conjuncts. The
+// conjunction is TRUE exactly when every conjunct is TRUE, so filtering
+// by the parts equals filtering by the whole.
+func splitConjuncts(e relation.Expr) []relation.Expr {
+	if be, ok := e.(*relation.BinExpr); ok && be.Op == relation.OpAnd {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []relation.Expr{e}
+}
+
+// foldAnd rebuilds a conjunction from parts (nil when empty), preserving
+// the left-deep shape Split produced them from.
+func foldAnd(parts []relation.Expr) relation.Expr {
+	var out relation.Expr
+	for _, p := range parts {
+		if out == nil {
+			out = p
+		} else {
+			out = relation.And(out, p)
+		}
+	}
+	return out
+}
+
+// firstCarrier returns the index of the first FROM relation whose schema
+// resolves name, or -1.
+func firstCarrier(name string, inputs []*relation.Table) int {
+	for k, t := range inputs {
+		if t.Schema.Index(name) >= 0 {
+			return k
+		}
+	}
+	return -1
+}
+
+// planPushdown splits s.Where into per-relation pushed filters and the
+// residual predicate. inputs are the resolved, renamed FROM relations in
+// declaration order. When nothing qualifies, pushed is all-empty and
+// residual is the original WHERE.
+func planPushdown(s *SelectStmt, inputs []*relation.Table) (pushed [][]relation.Expr, residual relation.Expr) {
+	pushed = make([][]relation.Expr, len(inputs))
+	if s.Where == nil {
+		return pushed, nil
+	}
+	conjuncts := splitConjuncts(s.Where)
+
+	// Whole-WHERE safety gate on the joined schema (the concatenation of
+	// the renamed FROM schemas, exactly what the join fold produces).
+	var joinedCols []relation.Column
+	for _, t := range inputs {
+		joinedCols = append(joinedCols, t.Schema.Columns...)
+	}
+	joined := &relation.Schema{Columns: joinedCols}
+	for _, c := range conjuncts {
+		if !relation.SafePredicate(c, joined) {
+			return make([][]relation.Expr, len(inputs)), s.Where
+		}
+	}
+
+	var rest []relation.Expr
+	for _, c := range conjuncts {
+		k := pushTarget(c, inputs)
+		if k >= 0 &&
+			(k == 0 || s.Joins[k-1].Kind == relation.InnerJoin) &&
+			relation.SafePredicate(c, inputs[k].Schema) {
+			pushed[k] = append(pushed[k], c)
+			continue
+		}
+		rest = append(rest, c)
+	}
+	return pushed, foldAnd(rest)
+}
+
+// pushTarget returns the single FROM relation all of c's columns resolve
+// to first, or -1. Column-free conjuncts (constants) go to relation 0:
+// they filter all-or-nothing wherever they run.
+func pushTarget(c relation.Expr, inputs []*relation.Table) int {
+	cols := relation.ColumnsOf(c)
+	if len(cols) == 0 {
+		return 0
+	}
+	k := firstCarrier(cols[0], inputs)
+	if k < 0 {
+		return -1
+	}
+	for _, col := range cols[1:] {
+		if firstCarrier(col, inputs) != k {
+			return -1
+		}
+	}
+	return k
+}

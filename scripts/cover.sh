@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Coverage gate: the packages that carry the enforcement semantics and the
+# relational kernel must stay above FLOOR percent statement coverage.
+# Writes coverage.out for the whole module so `go tool cover -html` works.
+set -euo pipefail
+
+FLOOR="${COVER_FLOOR:-80}"
+GATED_PKGS=(internal/relation internal/enforce)
+
+go test -coverprofile=coverage.out ./... >/dev/null
+
+fail=0
+for pkg in "${GATED_PKGS[@]}"; do
+    line=$(go test -cover "./$pkg" | grep -E '^ok' || true)
+    pct=$(echo "$line" | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+')
+    if [ -z "$pct" ]; then
+        echo "cover: could not determine coverage for $pkg" >&2
+        fail=1
+        continue
+    fi
+    ok=$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN { print (p >= f) ? 1 : 0 }')
+    if [ "$ok" = "1" ]; then
+        echo "cover: $pkg ${pct}% >= ${FLOOR}% (ok)"
+    else
+        echo "cover: FAIL: $pkg ${pct}% is below the ${FLOOR}% floor" >&2
+        fail=1
+    fi
+done
+exit $fail

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare two `go test -bench` outputs with benchstat
+# and fail when the sec/op geomean regressed by more than LIMIT percent.
+# Usage: perfgate.sh base_bench.txt pr_bench.txt
+set -euo pipefail
+
+BASE="$1"
+PR="$2"
+LIMIT="${PERF_REGRESSION_LIMIT:-15}"
+# BENCHSTAT is overridable so the gate logic can be exercised without
+# network access (tests feed it a stub that prints canned output).
+BENCHSTAT="${BENCHSTAT:-go run golang.org/x/perf/cmd/benchstat@latest}"
+
+out=$($BENCHSTAT "$BASE" "$PR")
+echo "$out"
+
+# benchstat prints one geomean row per metric table; the first table is
+# sec/op. Its delta column looks like "+4.32%", "-1.10%", or "~".
+delta=$(echo "$out" | awk '/^geomean/ { print $4; exit }')
+if [ -z "$delta" ] || [ "$delta" = "~" ]; then
+    echo "perfgate: no measurable geomean delta (ok)"
+    exit 0
+fi
+num=$(echo "$delta" | tr -d '+%')
+exceeds=$(awk -v d="$num" -v l="$LIMIT" 'BEGIN { print (d > l) ? 1 : 0 }')
+case "$delta" in
++*)
+    if [ "$exceeds" = "1" ]; then
+        echo "perfgate: FAIL: sec/op geomean regressed by $delta (limit +${LIMIT}%)" >&2
+        echo "perfgate: apply the 'perf-regression-ok' label if this is intentional" >&2
+        exit 1
+    fi
+    ;;
+esac
+echo "perfgate: geomean delta $delta within +${LIMIT}% (ok)"
