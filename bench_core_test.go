@@ -133,15 +133,6 @@ func BenchmarkCoreRender(b *testing.B) {
 					if enf.Table.NumRows() == 0 {
 						b.Fatal("all rows suppressed")
 					}
-					if relation.CurrentExecMode() == relation.ExecVectorized {
-						// Intentional slowdown: render twice more so the
-						// vectorized number regresses and the perf gate fires.
-						for j := 0; j < 2; j++ {
-							if _, err := e.Render("drug-consumption", consumer); err != nil {
-								b.Fatal(err)
-							}
-						}
-					}
 				}
 			})
 		})
