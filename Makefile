@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race lint cover bench-smoke bench bench-core fuzz-smoke ci
+.PHONY: build vet test race lint cover bench-smoke bench bench-core fuzz-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -47,10 +47,17 @@ bench-core:
 	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchtime=5x -benchmem . | tee bench_core.txt
 	$(GO) run ./cmd/benchjson -in bench_core.txt -out BENCH_core.json -check
 
+# Chaos suite: the healthcare scenario under deterministic fault
+# schedules (fixed seed matrix, override with CHAOS_SEEDS=1,2,3) with the
+# race detector on. On failure the fault schedule and the audit sink
+# contents land in ./chaos-artifacts for offline replay.
+chaos:
+	CHAOS_ARTIFACT_DIR=./chaos-artifacts $(GO) test -race -run TestChaos ./internal/core -count=1 -v
+
 # Short fuzz campaigns over the SQL parser and the PLA DSL parser; the
 # checked-in corpora under */testdata/fuzz replay first.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSelect -fuzztime $(FUZZTIME) ./internal/sql
 	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime $(FUZZTIME) ./internal/policy
 
-ci: lint build race bench-smoke cover
+ci: lint build race chaos bench-smoke cover

@@ -54,7 +54,7 @@ func withMode(b *testing.B, fn func(b *testing.B)) {
 func BenchmarkCoreJoin(b *testing.B) {
 	for _, n := range coreScales {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			ds := benchDataset(n)
+			ds := benchDataset(b, n)
 			l := relation.Rename(ds.Prescriptions, "p")
 			r := relation.Rename(ds.DrugCost, "c")
 			pred := relation.Eq(relation.ColRefExpr("p.drug"), relation.ColRefExpr("c.drug"))
@@ -80,7 +80,7 @@ func BenchmarkCoreJoin(b *testing.B) {
 func BenchmarkCoreJoinNested(b *testing.B) {
 	for _, n := range coreScales {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			ds := benchDataset(n)
+			ds := benchDataset(b, n)
 			l := relation.Rename(ds.Prescriptions, "p")
 			r := relation.Rename(ds.DrugCost, "c")
 			pred := relation.Eq(relation.ColRefExpr("p.drug"), relation.ColRefExpr("c.drug"))

@@ -83,12 +83,16 @@ func BenchmarkE11Linkage(b *testing.B) { benchExperiment(b, "e11") }
 
 // --- substrate micro-benchmarks ---
 
-func benchDataset(n int) *workload.Dataset {
+func benchDataset(b *testing.B, n int) *workload.Dataset {
 	cfg := workload.DefaultConfig(42)
 	cfg.Prescriptions = n
 	cfg.Patients = n / 10
 	cfg.LabResults = n / 10
-	return workload.Generate(cfg)
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
 }
 
 // BenchmarkRelationJoin measures the hash equi-join with lineage
@@ -96,7 +100,7 @@ func benchDataset(n int) *workload.Dataset {
 func BenchmarkRelationJoin(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			ds := benchDataset(n)
+			ds := benchDataset(b, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, err := relation.Join(relation.Rename(ds.Prescriptions, "p"),
@@ -116,7 +120,7 @@ func BenchmarkRelationJoin(b *testing.B) {
 func BenchmarkRelationGroupBy(b *testing.B) {
 	for _, n := range []int{1000, 10000, 100000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			ds := benchDataset(n)
+			ds := benchDataset(b, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, err := relation.GroupBy(ds.Prescriptions, []string{"drug"},
@@ -135,7 +139,10 @@ func BenchmarkKAnonymize(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			cfg := workload.DefaultConfig(42)
 			cfg.Patients = n
-			ds := workload.Generate(cfg)
+			ds, err := workload.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, _, err := anon.KAnonymize(ds.Residents, 5, []string{"age", "zip"})

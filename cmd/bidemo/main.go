@@ -23,12 +23,28 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "dump the metrics snapshot (JSON) after the run")
 	serve := flag.String("serve", "", "serve /metrics and /debug/pprof on this address after the run (e.g. localhost:6060)")
 	doLint := flag.Bool("lint", false, "statically lint the loaded scenario before serving; refuse to start on error-severity findings")
+	chaos := flag.String("chaos", "", `fault-injection schedule, e.g. "render.worker:panic:0.05,audit.sink.write:error:0.2:transient"`)
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injector seed (fixed seed replays the same schedule)")
+	failClosed := flag.Bool("fail-closed", false, "block report delivery when the audit sink is unavailable past the retry budget")
 	flag.Parse()
+
+	opts := []plabi.Option{plabi.WithWorkers(*workers)}
+	if *failClosed {
+		opts = append(opts, plabi.WithFailClosed())
+	}
+	var injector *plabi.FaultInjector
+	if *chaos != "" {
+		injector = plabi.NewFaultInjector(*chaosSeed)
+		if err := injector.EnableSpec(*chaos); err != nil {
+			fmt.Fprintln(os.Stderr, "bidemo: -chaos:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, plabi.WithFaultInjector(injector))
+	}
 
 	ctx := context.Background()
 	e, err := plabi.OpenHealthcare(
-		plabi.HealthcareConfig{Seed: *seed, Prescriptions: *n},
-		plabi.WithWorkers(*workers))
+		plabi.HealthcareConfig{Seed: *seed, Prescriptions: *n}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bidemo:", err)
 		os.Exit(1)
@@ -68,6 +84,14 @@ func main() {
 				continue
 			}
 			if err != nil {
+				// Under chaos, injected faults, isolated panics and
+				// fail-closed audit blocks are expected outcomes, not
+				// crashes: report them and keep serving.
+				if injector != nil && (errors.Is(err, plabi.ErrInjected) ||
+					errors.Is(err, plabi.ErrInternal) || errors.Is(err, plabi.ErrAuditUnavailable)) {
+					fmt.Printf("%s: FAILED (%v)\n", d.ID, err)
+					continue
+				}
 				fmt.Fprintln(os.Stderr, "bidemo:", err)
 				os.Exit(1)
 			}
@@ -96,6 +120,9 @@ func main() {
 	fmt.Printf("audit log: %d events (%d renders, %d transforms, %d violations)\n",
 		e.Audit().Len(), len(e.Audit().ByKind("render")),
 		len(e.Audit().ByKind("transform")), len(e.Audit().Violations()))
+	if injector != nil {
+		fmt.Println(injector)
+	}
 	if *showAudit {
 		if err := e.Audit().WriteJSONL(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "bidemo:", err)

@@ -21,7 +21,10 @@ import (
 var policyDSL string
 
 func main() {
-	ds := workload.Generate(workload.DefaultConfig(7))
+	ds, err := workload.Generate(workload.DefaultConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	engine := plabi.Open()
 	engine.AddSource(plabi.NewSource("municipality", "municipality", ds.Residents))

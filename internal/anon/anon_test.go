@@ -19,7 +19,7 @@ func patientTable(n int, seed int64) *relation.Table {
 	))
 	diseases := []string{"HIV", "asthma", "diabetes", "flu", "hypertension"}
 	for i := 0; i < n; i++ {
-		t.MustAppend(
+		t.AppendVals(
 			relation.Str("p"+itoa(i)),
 			relation.Int(int64(20+rng.Intn(60))),
 			relation.Str("38"+itoa(100+rng.Intn(30))),
@@ -168,10 +168,10 @@ func TestLDiversityDetectsHomogeneous(t *testing.T) {
 		relation.Col("age", relation.TString),
 		relation.Col("disease", relation.TString),
 	))
-	tb.MustAppend(relation.Str("[20-30)"), relation.Str("HIV"))
-	tb.MustAppend(relation.Str("[20-30)"), relation.Str("HIV"))
-	tb.MustAppend(relation.Str("[30-40)"), relation.Str("HIV"))
-	tb.MustAppend(relation.Str("[30-40)"), relation.Str("flu"))
+	tb.AppendVals(relation.Str("[20-30)"), relation.Str("HIV"))
+	tb.AppendVals(relation.Str("[20-30)"), relation.Str("HIV"))
+	tb.AppendVals(relation.Str("[30-40)"), relation.Str("HIV"))
+	tb.AppendVals(relation.Str("[30-40)"), relation.Str("flu"))
 	ok, err := CheckLDiversity(tb, 2, []string{"age"}, "disease")
 	if err != nil {
 		t.Fatal(err)
@@ -331,7 +331,7 @@ func TestPerturbPreservesSum(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		c := rng.Float64() * 100
 		want += c
-		tb.MustAppend(relation.Str("d"+itoa(i)), relation.Float(c))
+		tb.AppendVals(relation.Str("d"+itoa(i)), relation.Float(c))
 	}
 	out, err := PerturbColumn(tb, "cost", 20, 777)
 	if err != nil {

@@ -39,7 +39,10 @@ func TestGeneralizedMatch(t *testing.T) {
 }
 
 func TestRawReleaseFullyReidentifiable(t *testing.T) {
-	ds := workload.Generate(workload.DefaultConfig(5))
+	ds, err := workload.Generate(workload.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	l := Linkage{
 		Released: ds.Residents, External: ds.Residents,
 		QI: []string{"age", "zip"}, IdentityCol: "patient",
@@ -57,7 +60,10 @@ func TestRawReleaseFullyReidentifiable(t *testing.T) {
 }
 
 func TestKAnonymizedReleaseDefeatsLinkage(t *testing.T) {
-	ds := workload.Generate(workload.DefaultConfig(5))
+	ds, err := workload.Generate(workload.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, k := range []int{2, 5, 10} {
 		released, _, err := anon.KAnonymize(ds.Residents, k, []string{"age", "zip"})
 		if err != nil {
@@ -88,14 +94,14 @@ func TestAttributeDisclosureStoppedByLDiversity(t *testing.T) {
 		relation.Col("age", relation.TString),
 		relation.Col("disease", relation.TString),
 	))
-	released.MustAppend(relation.Str("[20-30)"), relation.Str("HIV"))
-	released.MustAppend(relation.Str("[20-30)"), relation.Str("HIV"))
+	released.AppendVals(relation.Str("[20-30)"), relation.Str("HIV"))
+	released.AppendVals(relation.Str("[20-30)"), relation.Str("HIV"))
 	external := relation.NewBase("registry", relation.NewSchema(
 		relation.Col("patient", relation.TString),
 		relation.Col("age", relation.TInt),
 	))
-	external.MustAppend(relation.Str("Alice"), relation.Int(22))
-	external.MustAppend(relation.Str("Bob"), relation.Int(27))
+	external.AppendVals(relation.Str("Alice"), relation.Int(22))
+	external.AppendVals(relation.Str("Bob"), relation.Int(27))
 
 	res, err := Run(Linkage{
 		Released: released, External: external,
@@ -126,7 +132,10 @@ func TestAttributeDisclosureStoppedByLDiversity(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	ds := workload.Generate(workload.DefaultConfig(5))
+	ds, err := workload.Generate(workload.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Run(Linkage{Released: ds.Residents, External: ds.Residents,
 		QI: []string{"ghost"}, IdentityCol: "patient"}); err == nil {
 		t.Error("bad QI must fail")

@@ -8,13 +8,16 @@ package audit
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 
 	"plabi/internal/enforce"
+	"plabi/internal/fault"
 	"plabi/internal/obs"
 	"plabi/internal/policy"
 	"plabi/internal/provenance"
@@ -39,14 +42,28 @@ type Event struct {
 	Trace string `json:"trace,omitempty"`
 }
 
+// ErrAuditUnavailable marks an audit-sink write that failed past the
+// retry budget. Fail-closed deployments refuse to serve data whose
+// delivery cannot be audited; errors.Is matches it through the engine's
+// wrapping.
+var ErrAuditUnavailable = errors.New("audit: sink unavailable")
+
 // Log is a thread-safe append-only audit log. An optional sink receives
 // every event as one JSON line at append time, so deployments can stream
 // the trail to stable storage while keeping the in-memory log queryable.
+//
+// Sink writes are atomic per event: the whole line (JSON + newline) is
+// marshalled first and issued as a single Write. A failed or short write
+// marks the sink dirty, and the next event resyncs it with a leading
+// newline so one bad write cannot corrupt the adjacent records.
 type Log struct {
 	mu      sync.Mutex
 	events  []Event
 	sink    io.Writer
+	dirty   bool
 	metrics *obs.Metrics
+	faults  *fault.Injector
+	retry   fault.RetryPolicy
 }
 
 // NewLog returns an empty log.
@@ -62,32 +79,97 @@ func (l *Log) SetSink(w io.Writer) {
 }
 
 // SetMetrics wires the log into an obs registry: Append maintains the
-// audit.events counter, the audit.depth gauge, and audit.sink_drops for
-// sink write failures.
+// audit.events counter, the audit.depth gauge, audit.sink_drops for
+// sink write failures and audit.sink_resyncs for dirty-sink recoveries.
 func (l *Log) SetMetrics(m *obs.Metrics) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.metrics = m
 }
 
-// Append stamps and stores an event, returning its sequence number.
+// SetFaults attaches a fault injector consulted at the audit.sink.write
+// site before every sink write attempt (nil detaches).
+func (l *Log) SetFaults(fi *fault.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = fi
+}
+
+// SetRetryPolicy bounds the retries of failed sink writes. The zero
+// policy (the default) attempts each write exactly once.
+func (l *Log) SetRetryPolicy(p fault.RetryPolicy) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retry = p
+}
+
+// Append stamps and stores an event, returning its sequence number. Sink
+// failures past the retry budget are counted as drops; use AppendChecked
+// when the caller must know the trail reached the sink (fail-closed).
 func (l *Log) Append(e Event) int {
+	seq, _ := l.AppendChecked(context.Background(), e)
+	return seq
+}
+
+// AppendChecked stamps and stores an event, returning its sequence
+// number and the sink outcome: a nil error means the event is durably in
+// the in-memory log AND (when a sink is attached) its line was fully
+// written after bounded retries. A non-nil error wraps
+// ErrAuditUnavailable; the event still exists in memory and the drop is
+// counted, so fail-open callers may ignore the error while fail-closed
+// callers block delivery on it.
+func (l *Log) AppendChecked(ctx context.Context, e Event) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = len(l.events)
 	l.events = append(l.events, e)
 	l.metrics.Counter("audit.events").Inc()
 	l.metrics.Gauge("audit.depth").Set(int64(len(l.events)))
-	if l.sink != nil {
-		b, err := json.Marshal(e)
-		if err == nil {
-			_, err = l.sink.Write(append(b, '\n'))
-		}
-		if err != nil {
-			l.metrics.Counter("audit.sink_drops").Inc()
-		}
+	if l.sink == nil {
+		return e.Seq, nil
 	}
-	return e.Seq
+	if err := l.writeEvent(ctx, e); err != nil {
+		l.metrics.Counter("audit.sink_drops").Inc()
+		return e.Seq, fmt.Errorf("%w: event %d: %v", ErrAuditUnavailable, e.Seq, err)
+	}
+	return e.Seq, nil
+}
+
+// writeEvent writes one event to the sink as a single atomic line,
+// retrying under the log's policy. Called with l.mu held, which also
+// serializes the underlying writer.
+func (l *Log) writeEvent(ctx context.Context, e Event) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fault.Permanent(err)
+	}
+	line := append(b, '\n')
+	return fault.Retry(ctx, l.retry, l.metrics, func(ctx context.Context) error {
+		// A panicking sink (or an injected panic) must release the event
+		// loop cleanly: Safely converts it to a permanent internal error.
+		return fault.Safely(fault.SiteAuditSink, l.metrics, func() error {
+			if err := l.faults.Hit(ctx, fault.SiteAuditSink); err != nil {
+				return err
+			}
+			if l.dirty {
+				// A previous write may have emitted a partial line;
+				// terminate it so this record starts on a fresh line.
+				if _, err := io.WriteString(l.sink, "\n"); err != nil {
+					return err
+				}
+				l.dirty = false
+				l.metrics.Counter("audit.sink_resyncs").Inc()
+			}
+			n, err := l.sink.Write(line)
+			if err == nil && n < len(line) {
+				err = io.ErrShortWrite
+			}
+			if err != nil && n > 0 {
+				l.dirty = true
+			}
+			return err
+		})
+	})
 }
 
 // Decision records an enforcement decision as an audit event.
@@ -99,11 +181,18 @@ func (l *Log) Decision(actor, object string, d enforce.Decision) int {
 // id of the span it was made under, so the audit trail and the obs span
 // stream can be joined on Trace.
 func (l *Log) DecisionTraced(actor, object, trace string, d enforce.Decision) int {
+	seq, _ := l.DecisionTracedChecked(context.Background(), actor, object, trace, d)
+	return seq
+}
+
+// DecisionTracedChecked is DecisionTraced reporting the sink outcome,
+// for fail-closed callers (see AppendChecked).
+func (l *Log) DecisionTracedChecked(ctx context.Context, actor, object, trace string, d enforce.Decision) (int, error) {
 	kind := "decision"
 	if d.Outcome == enforce.Block {
 		kind = "violation"
 	}
-	return l.Append(Event{
+	return l.AppendChecked(ctx, Event{
 		Kind: kind, Actor: actor, Object: object,
 		Detail:  d.Rule + ": " + d.Detail + evidenceSuffix(d.Evidence),
 		Outcome: d.Outcome.String(),

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"plabi/internal/audit"
+	"plabi/internal/fault"
+	"plabi/internal/obs"
+	"plabi/internal/report"
+	"plabi/internal/workload"
+)
+
+// chaosSeeds returns the fixed seed matrix, overridable with a
+// comma-separated CHAOS_SEEDS environment variable.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	spec := os.Getenv("CHAOS_SEEDS")
+	if spec == "" {
+		return []int64{101, 202, 303}
+	}
+	var seeds []int64
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEEDS: %v", err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+// chaosInjector enables the full fault schedule over every boundary site.
+func chaosInjector(seed int64) *fault.Injector {
+	fi := fault.NewInjector(seed)
+	fi.Enable(fault.SiteAuditSink, fault.SiteConfig{ErrorRate: 0.2, Transient: true})
+	fi.Enable(fault.SiteETLExtract, fault.SiteConfig{ErrorRate: 0.1, Transient: true})
+	fi.Enable(fault.SiteETLStep, fault.SiteConfig{ErrorRate: 0.02, PanicRate: 0.01})
+	fi.Enable(fault.SiteRenderWorker, fault.SiteConfig{
+		ErrorRate: 0.02, PanicRate: 0.02,
+		LatencyRate: 0.05, Latency: 200 * time.Microsecond,
+	})
+	return fi
+}
+
+func chaosRetry() fault.RetryPolicy {
+	return fault.RetryPolicy{MaxAttempts: 4, Base: 5 * time.Microsecond,
+		Max: 100 * time.Microsecond, Multiplier: 2, Jitter: 0.5}
+}
+
+// tolerable reports whether err is an expected chaos outcome: an injected
+// fault, an isolated panic, or a fail-closed audit block. Anything else is
+// a robustness bug.
+func tolerable(err error) bool {
+	return errors.Is(err, fault.ErrInjected) ||
+		errors.Is(err, fault.ErrInternal) ||
+		errors.Is(err, audit.ErrAuditUnavailable)
+}
+
+// TestChaosHealthcareScenario drives the full healthcare deployment under
+// randomized (but seed-deterministic) fault schedules and asserts the
+// fail-closed invariants:
+//
+//  1. faults never kill the process — every failure surfaces as a typed
+//     error, and the engine keeps serving afterwards;
+//  2. no goroutine leaks across the whole run;
+//  3. every line the audit sink received is valid JSONL;
+//  4. every successful render's correlation id is present in the sink —
+//     no un-audited data release under fail-closed;
+//  5. successful renders are byte-identical to the no-fault baseline.
+func TestChaosHealthcareScenario(t *testing.T) {
+	cfg := workload.DefaultConfig(7)
+	cfg.Prescriptions = 600
+	cfg.Patients = 60
+	consumers := []report.Consumer{
+		{Name: "a1", Role: "analyst", Purpose: "quality"},
+		{Name: "a2", Role: "auditor", Purpose: "quality"},
+		{Name: "a3", Role: "analyst", Purpose: "reimbursement"},
+	}
+
+	// No-fault baseline: the byte-exact expected output per (report,
+	// consumer) pair.
+	base, _, err := BuildHealthcareEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[string]string{}
+	for _, d := range base.Reports.All() {
+		for _, c := range consumers {
+			enf, err := base.Render(d.ID, c)
+			if err != nil {
+				t.Fatalf("baseline %s/%s: %v", d.ID, c.Name, err)
+			}
+			baseline[d.ID+"/"+c.Name] = enf.Table.String()
+		}
+	}
+
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer fault.CheckLeaks(t)()
+			fi := chaosInjector(seed)
+			var sink bytes.Buffer
+			t.Cleanup(func() { dumpChaosArtifacts(t, seed, fi, &sink) })
+
+			// The scenario build itself runs under fault injection; ETL
+			// failures are tolerated and retried from scratch.
+			var e *Engine
+			for attempt := 0; ; attempt++ {
+				var err error
+				e, _, err = BuildHealthcareEngineWith(cfg, func(e *Engine) {
+					e.SetRetryPolicy(chaosRetry())
+					e.SetFailClosed(true)
+					e.Audit.SetSink(&sink)
+					e.SetFaults(fi)
+				})
+				if err == nil {
+					break
+				}
+				if !tolerable(err) {
+					t.Fatalf("build attempt %d: intolerable error: %v", attempt, err)
+				}
+				if attempt >= 50 {
+					t.Fatalf("scenario build did not survive chaos in %d attempts: %v", attempt, err)
+				}
+			}
+
+			const rounds = 4
+			successes, failures := 0, 0
+			var mustTrace []string
+			for r := 0; r < rounds; r++ {
+				for _, d := range e.Reports.All() {
+					for _, c := range consumers {
+						corr := fmt.Sprintf("chaos-s%d-r%d-%s-%s", seed, r, d.ID, c.Name)
+						ctx := obs.WithCorrelationID(context.Background(), corr)
+						enf, err := e.RenderContext(ctx, d.ID, c)
+						if err != nil {
+							if !tolerable(err) {
+								t.Fatalf("render %s: intolerable error: %v", corr, err)
+							}
+							failures++
+							continue
+						}
+						successes++
+						mustTrace = append(mustTrace, corr)
+						if got, want := enf.Table.String(), baseline[d.ID+"/"+c.Name]; got != want {
+							t.Fatalf("render %s diverges from no-fault baseline:\n got:\n%s\nwant:\n%s", corr, got, want)
+						}
+					}
+				}
+			}
+			if successes == 0 {
+				t.Fatal("chaos schedule starved every render; lower the rates")
+			}
+			t.Logf("seed %d: %d renders ok, %d failed closed, %s", seed, successes, failures, fi)
+
+			// The sink must hold only whole, parseable JSONL lines, and
+			// every successful render's trace must be among them.
+			traces := map[string]bool{}
+			for _, line := range strings.Split(sink.String(), "\n") {
+				if strings.TrimSpace(line) == "" {
+					continue
+				}
+				var ev audit.Event
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					t.Fatalf("corrupt audit sink line %q: %v", line, err)
+				}
+				traces[ev.Trace] = true
+			}
+			for _, corr := range mustTrace {
+				if !traces[corr] {
+					t.Fatalf("successful render %s has no audit trace in the sink", corr)
+				}
+			}
+		})
+	}
+}
+
+// dumpChaosArtifacts writes the fault schedule and the audit sink contents
+// to CHAOS_ARTIFACT_DIR when a chaos subtest fails, so a CI failure is
+// replayable offline.
+func dumpChaosArtifacts(t *testing.T, seed int64, fi *fault.Injector, sink *bytes.Buffer) {
+	if !t.Failed() {
+		return
+	}
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos artifacts: %v", err)
+		return
+	}
+	sched, err := json.MarshalIndent(fi.Schedule(), "", "  ")
+	if err == nil {
+		path := filepath.Join(dir, fmt.Sprintf("chaos_schedule_seed%d.json", seed))
+		if werr := os.WriteFile(path, sched, 0o644); werr != nil {
+			t.Logf("chaos artifacts: %v", werr)
+		} else {
+			t.Logf("chaos schedule written to %s", path)
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos_audit_seed%d.jsonl", seed))
+	if werr := os.WriteFile(path, sink.Bytes(), 0o644); werr != nil {
+		t.Logf("chaos artifacts: %v", werr)
+	} else {
+		t.Logf("chaos audit log written to %s", path)
+	}
+}

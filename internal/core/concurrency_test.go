@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"plabi/internal/audit"
+	"plabi/internal/fault"
 	"plabi/internal/report"
 	"plabi/internal/workload"
 )
@@ -33,6 +34,7 @@ func buildConcurrencyEngine(t *testing.T) *Engine {
 // unique and contiguous), and every render outcome must be one of the
 // states valid before or after the policy change — never a mixture.
 func TestConcurrentRenderWithPolicyChurn(t *testing.T) {
+	defer fault.CheckLeaks(t)()
 	e := buildConcurrencyEngine(t)
 	defs := e.Reports.All()
 	consumers := []report.Consumer{

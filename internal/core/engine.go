@@ -18,6 +18,7 @@ import (
 	"plabi/internal/audit"
 	"plabi/internal/enforce"
 	"plabi/internal/etl"
+	"plabi/internal/fault"
 	"plabi/internal/metadata"
 	"plabi/internal/metareport"
 	"plabi/internal/obs"
@@ -47,8 +48,11 @@ type Engine struct {
 	pipelines []*etl.Pipeline
 	workers   int
 
-	enforcer *enforce.ReportEnforcer
-	obsp     atomic.Pointer[obs.Metrics]
+	enforcer   *enforce.ReportEnforcer
+	obsp       atomic.Pointer[obs.Metrics]
+	faults     atomic.Pointer[fault.Injector]
+	failClosed atomic.Bool
+	retryp     atomic.Pointer[fault.RetryPolicy]
 }
 
 // New returns an empty engine with its own observability registry.
@@ -66,6 +70,7 @@ func New() *Engine {
 	}
 	e.enforcer = enforce.NewReportEnforcer(e.Policies, e.Catalog, e.Tracer)
 	e.SetMetrics(obs.New())
+	e.SetRetryPolicy(fault.DefaultRetryPolicy())
 	return e
 }
 
@@ -81,6 +86,44 @@ func (e *Engine) SetMetrics(m *obs.Metrics) {
 // Obs returns the engine's observability registry (nil when detached; a
 // nil registry is safe to record into).
 func (e *Engine) Obs() *obs.Metrics { return e.obsp.Load() }
+
+// SetFaults attaches a fault injector to every instrumented boundary —
+// ETL steps and extraction, render workers, audit-sink writes — and
+// wires the engine's metrics into it. Passing nil detaches injection.
+func (e *Engine) SetFaults(fi *fault.Injector) {
+	fi.SetMetrics(e.Obs())
+	e.faults.Store(fi)
+	e.Audit.SetFaults(fi)
+	e.enforcer.SetFaults(fi)
+}
+
+// Faults returns the attached injector (nil when none).
+func (e *Engine) Faults() *fault.Injector { return e.faults.Load() }
+
+// SetRetryPolicy replaces the bounded-backoff policy applied at the
+// engine's retryable sites: audit-sink writes and ETL source reads.
+func (e *Engine) SetRetryPolicy(p fault.RetryPolicy) {
+	e.retryp.Store(&p)
+	e.Audit.SetRetryPolicy(p)
+}
+
+// RetryPolicy returns the engine's current retry policy.
+func (e *Engine) RetryPolicy() fault.RetryPolicy {
+	if p := e.retryp.Load(); p != nil {
+		return *p
+	}
+	return fault.RetryPolicy{}
+}
+
+// SetFailClosed selects the audit-unavailability policy for renders.
+// Fail-closed deployments refuse to deliver report data whose render
+// cannot be recorded in the audit sink: Render returns an error wrapping
+// audit.ErrAuditUnavailable instead of the enforced table. The default
+// is fail-open (the drop is counted and delivery proceeds).
+func (e *Engine) SetFailClosed(on bool) { e.failClosed.Store(on) }
+
+// FailClosed reports whether audit unavailability blocks renders.
+func (e *Engine) FailClosed() bool { return e.failClosed.Load() }
 
 // MetricsSnapshot captures the engine's metrics, folding in the render
 // decision-cache counters (cache.*) which are kept authoritative inside
@@ -199,6 +242,8 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 	ectx := etl.NewContext(enforce.NewPLAGuard(e.Policies))
 	ectx.Graph = e.Graph
 	ectx.Metrics = m
+	ectx.Faults = e.Faults()
+	ectx.Retry = e.RetryPolicy()
 	ectx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
 		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
 			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut),
@@ -472,12 +517,25 @@ func (e *Engine) RenderContext(ctx context.Context, reportID string, c report.Co
 	m.Counter("render.rows").Add(uint64(enf.Table.NumRows()))
 	m.Counter("render.masked_cells").Add(uint64(enf.MaskedCells))
 	m.Counter("render.suppressed_rows").Add(uint64(enf.SuppressedRows))
-	e.Audit.Append(audit.Event{Kind: "render", Actor: c.Name, Object: reportID,
+	// The render and its decisions must reach the audit trail; under the
+	// fail-closed policy an un-auditable render is not delivered (§2 iv:
+	// no data release without a monitorable trace).
+	var sinkErr error
+	if _, err := e.Audit.AppendChecked(ctx, audit.Event{Kind: "render", Actor: c.Name, Object: reportID,
 		Detail: fmt.Sprintf("role=%s purpose=%s rows=%d masked=%d suppressed=%d",
 			c.Role, c.Purpose, enf.Table.NumRows(), enf.MaskedCells, enf.SuppressedRows),
-		Trace: span.ID()})
+		Trace: span.ID()}); err != nil {
+		sinkErr = err
+	}
 	for _, dec := range enf.Decisions {
-		e.Audit.DecisionTraced(c.Name, reportID, span.ID(), dec)
+		if _, err := e.Audit.DecisionTracedChecked(ctx, c.Name, reportID, span.ID(), dec); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
+	if sinkErr != nil && e.FailClosed() {
+		m.Counter("render.audit_blocked").Inc()
+		span.Set("decision", "audit-blocked")
+		return nil, fmt.Errorf("core: render %q blocked fail-closed: %w", reportID, sinkErr)
 	}
 	return enf, nil
 }

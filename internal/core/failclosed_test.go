@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"plabi/internal/audit"
+	"plabi/internal/fault"
+	"plabi/internal/report"
+)
+
+// downWriter refuses every write — a dead audit sink.
+type downWriter struct{ writes int }
+
+func (w *downWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, errors.New("sink down")
+}
+
+func fastRetry() fault.RetryPolicy {
+	return fault.RetryPolicy{MaxAttempts: 3, Base: time.Microsecond, Max: 10 * time.Microsecond, Multiplier: 2}
+}
+
+func TestRenderFailClosedBlocksWhenAuditDown(t *testing.T) {
+	e := buildConcurrencyEngine(t)
+	e.SetRetryPolicy(fastRetry())
+	w := &downWriter{}
+	e.Audit.SetSink(w)
+	e.SetFailClosed(true)
+
+	c := report.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+	_, err := e.Render("drug-consumption", c)
+	if !errors.Is(err, audit.ErrAuditUnavailable) {
+		t.Fatalf("fail-closed render must block on ErrAuditUnavailable, got %v", err)
+	}
+	if w.writes == 0 {
+		t.Fatal("sink never consulted")
+	}
+	snap := e.MetricsSnapshot()
+	if snap.Counters["render.audit_blocked"] == 0 {
+		t.Fatalf("render.audit_blocked not counted: %v", snap.Counters)
+	}
+	if snap.Counters["retry.exhausted"] == 0 {
+		t.Fatalf("retry budget exhaustion not counted: %v", snap.Counters)
+	}
+
+	// Recovery: the sink comes back, and the same render serves again.
+	e.Audit.SetSink(nil)
+	if _, err := e.Render("drug-consumption", c); err != nil {
+		t.Fatalf("render after sink recovery: %v", err)
+	}
+}
+
+func TestRenderFailOpenByDefaultWhenAuditDown(t *testing.T) {
+	e := buildConcurrencyEngine(t)
+	e.SetRetryPolicy(fastRetry())
+	e.Audit.SetSink(&downWriter{})
+
+	c := report.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+	if _, err := e.Render("drug-consumption", c); err != nil {
+		t.Fatalf("fail-open render must serve despite sink loss, got %v", err)
+	}
+	// The event is still recorded in memory and the drop is counted.
+	if len(e.Audit.ByKind("render")) == 0 {
+		t.Fatal("render event missing from in-memory log")
+	}
+	if e.MetricsSnapshot().Counters["audit.sink_drops"] == 0 {
+		t.Fatal("sink drop not counted")
+	}
+}

@@ -70,8 +70,22 @@ pla "report-drug-consumption" {
 // (extraction, cleansing, entity resolution, permitted joins), and the
 // standard report portfolio defined.
 func BuildHealthcareEngine(cfg workload.Config) (*Engine, *workload.Dataset, error) {
-	ds := workload.Generate(cfg)
+	return BuildHealthcareEngineWith(cfg, nil)
+}
+
+// BuildHealthcareEngineWith is BuildHealthcareEngine with a hook that
+// configures the fresh engine (fault injectors, retry policies, metrics)
+// before the scenario ETL runs, so injected faults and observability
+// cover the build itself.
+func BuildHealthcareEngineWith(cfg workload.Config, configure func(*Engine)) (*Engine, *workload.Dataset, error) {
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	e := New()
+	if configure != nil {
+		configure(e)
+	}
 
 	e.AddSource(etl.NewSource("hospital", "hospital", ds.Prescriptions))
 	e.AddSource(etl.NewSource("familydoctors", "familydoctors", ds.FamilyDoctor))

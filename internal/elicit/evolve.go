@@ -319,7 +319,7 @@ func (s *Scenario) apply(kind EventKind, seq int) ([]string, error) {
 			relation.Col("patient", relation.TString),
 			relation.Col(col, relation.TInt),
 		))
-		t.MustAppend(relation.Str("Alice Rossi"), relation.Int(1))
+		t.AppendVals(relation.Str("Alice Rossi"), relation.Int(1))
 		s.Cat.Register(t)
 		s.SourceTables = append(s.SourceTables, name)
 		if err := s.extendWarehouse(col); err != nil {

@@ -55,7 +55,10 @@ type reportTemplate struct {
 // subset of the source columns, an initial portfolio of nReports reports
 // drawn from rotating templates, and the derived meta-report set.
 func BuildHealthcareScenario(seed int64, nReports int) (*Scenario, error) {
-	ds := workload.Generate(workload.DefaultConfig(seed))
+	ds, err := workload.Generate(workload.DefaultConfig(seed))
+	if err != nil {
+		return nil, fmt.Errorf("elicit: generate workload: %w", err)
+	}
 	cat := sql.NewCatalog()
 	for _, t := range []*relation.Table{ds.Prescriptions, ds.FamilyDoctor, ds.DrugCost, ds.LabResults, ds.Residents} {
 		cat.Register(t)

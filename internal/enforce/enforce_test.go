@@ -125,7 +125,10 @@ func TestSourceReleaseKAnonymity(t *testing.T) {
 	reg := registryWith(t, `pla "m" { owner "municipality"; level source; scope "residents";
 		release kanonymity 5 quasi age, zip ldiversity 2 on municipality;
 	}`)
-	ds := workload.Generate(workload.DefaultConfig(13))
+	ds, err := workload.Generate(workload.DefaultConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
 	e := &SourceEnforcer{Registry: reg}
 	out, rep, err := e.Release(ds.Residents)
 	if err != nil {
@@ -580,8 +583,8 @@ func TestSourceReleaseRetention(t *testing.T) {
 		relation.Col("patient", relation.TString),
 		relation.Col("taken_on", relation.TDate),
 	))
-	lr.MustAppend(relation.Str("Alice"), relation.DateYMD(2008, 5, 20))
-	lr.MustAppend(relation.Str("Bob"), relation.DateYMD(2008, 1, 1))
+	lr.AppendVals(relation.Str("Alice"), relation.DateYMD(2008, 5, 20))
+	lr.AppendVals(relation.Str("Bob"), relation.DateYMD(2008, 1, 1))
 	e3 := &SourceEnforcer{Registry: reg2,
 		Now:              time.Date(2008, 6, 1, 0, 0, 0, 0, time.UTC),
 		RetentionColumns: map[string]string{"labresults": "taken_on"}}
@@ -724,7 +727,7 @@ func TestViewManager(t *testing.T) {
 	}
 	// New rows are covered without re-creating the view.
 	base, _ := cat.Table("prescriptions")
-	base.MustAppend(relation.Str("Dana"), relation.Str("Luis"), relation.Str("DH"),
+	base.AppendVals(relation.Str("Dana"), relation.Str("Luis"), relation.Str("DH"),
 		relation.Str("HIV"), relation.DateYMD(2008, 6, 1))
 	res2, err := cat.Query("SELECT * FROM " + name)
 	if err != nil {

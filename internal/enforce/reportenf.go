@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plabi/internal/fault"
 	"plabi/internal/obs"
 	"plabi/internal/policy"
 	"plabi/internal/provenance"
@@ -46,6 +47,7 @@ type ReportEnforcer struct {
 	cache   atomic.Pointer[planCache]
 	workers atomic.Int32
 	metrics atomic.Pointer[obs.Metrics]
+	faults  atomic.Pointer[fault.Injector]
 }
 
 // NewReportEnforcer builds an enforcer consulting every level, with the
@@ -104,6 +106,11 @@ func (e *ReportEnforcer) SetMetrics(m *obs.Metrics) {
 // obs returns the attached registry (nil — a no-op registry — when none
 // was set).
 func (e *ReportEnforcer) obs() *obs.Metrics { return e.metrics.Load() }
+
+// SetFaults attaches a fault injector consulted at the render.worker
+// site (nil detaches). Chaos suites use it to fail and panic render
+// workers mid-enforcement.
+func (e *ReportEnforcer) SetFaults(fi *fault.Injector) { e.faults.Store(fi) }
 
 // CacheStats snapshots the plan-cache counters.
 func (e *ReportEnforcer) CacheStats() CacheStats {
@@ -411,6 +418,11 @@ func (e *ReportEnforcer) Render(def *report.Definition, consumer report.Consumer
 // worth the goroutine overhead.
 const minParallelRows = 256
 
+// cancelCheckRows is how often row-enforcement loops poll for
+// cancellation, so a cancelled render stops mid-chunk rather than at the
+// next chunk boundary.
+const cancelCheckRows = 64
+
 // RenderContext executes the report and enforces the PLAs on the result,
 // honouring ctx cancellation between row chunks. Safe to call from many
 // goroutines at once.
@@ -525,16 +537,26 @@ func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	fi := e.faults.Load()
 	if workers <= 1 || n < minParallelRows {
-		for ri := 0; ri < n; ri++ {
-			if ri%256 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+		err := fault.Safely(fault.SiteRenderWorker, e.obs(), func() error {
+			if err := fi.Hit(ctx, fault.SiteRenderWorker); err != nil {
+				return err
+			}
+			for ri := 0; ri < n; ri++ {
+				if ri%cancelCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+				if err := e.enforceRow(plan, raw, out, cols, ri, needsTrace, &results[ri]); err != nil {
+					return err
 				}
 			}
-			if err := e.enforceRow(plan, raw, out, cols, ri, needsTrace, &results[ri]); err != nil {
-				return nil, err
-			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return results, nil
 	}
@@ -566,11 +588,29 @@ func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw,
 				if end > n {
 					end = n
 				}
-				for ri := start; ri < end; ri++ {
-					if err := e.enforceRow(plan, raw, out, cols, ri, needsTrace, &results[ri]); err != nil {
-						errOnce.Do(func() { firstErr = err })
-						return
+				// Each chunk runs under panic isolation: a panicking
+				// worker (organic or injected) fails this render with a
+				// typed *fault.InternalError instead of killing the
+				// process, and the pool drains cleanly through wg.Wait.
+				err := fault.Safely(fault.SiteRenderWorker, e.obs(), func() error {
+					if err := fi.Hit(ctx, fault.SiteRenderWorker); err != nil {
+						return err
 					}
+					for ri := start; ri < end; ri++ {
+						if ri%cancelCheckRows == 0 {
+							if err := ctx.Err(); err != nil {
+								return err
+							}
+						}
+						if err := e.enforceRow(plan, raw, out, cols, ri, needsTrace, &results[ri]); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
 				}
 			}
 		}()

@@ -85,7 +85,7 @@ func (e *EntityResolution) Run(c *Context) error {
 		return fmt.Errorf("entity-resolution: column %q not found", e.Column)
 	}
 	e.Resolved, e.Unmatched = 0, 0
-	out, err := mapCol(in, ti, func(v relation.Value) relation.Value {
+	out, err := mapCol(c.Ctx(), in, ti, func(v relation.Value) relation.Value {
 		if v.Kind != relation.TString {
 			return v
 		}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"plabi/internal/fault"
 	"plabi/internal/obs"
 	"plabi/internal/provenance"
 	"plabi/internal/relation"
@@ -78,6 +79,16 @@ type Context struct {
 	// Metrics, when non-nil, receives per-wave durations and step /
 	// violation counters (etl.* names).
 	Metrics *obs.Metrics
+	// Faults, when non-nil, injects faults at the etl.* sites; chaos
+	// runs use it to drive failure schedules through the pipeline.
+	Faults *fault.Injector
+	// Retry bounds retries at the retryable source-extraction boundary.
+	// The zero policy performs a single attempt.
+	Retry fault.RetryPolicy
+
+	// runCtx is the context of the executing pipeline run, exposed to
+	// steps via Ctx so long row loops can honour cancellation.
+	runCtx context.Context
 }
 
 // NewContext returns a context with an empty staging area and the given
@@ -104,6 +115,25 @@ func (c *Context) Get(name string) (*relation.Table, error) {
 func (c *Context) Put(name string, t *relation.Table) {
 	c.mu.Lock()
 	c.Staging[strings.ToLower(name)] = t
+	c.mu.Unlock()
+}
+
+// Ctx returns the context of the pipeline run currently executing
+// against this Context (context.Background outside a run). Steps use it
+// to honour cancellation inside per-row loops.
+func (c *Context) Ctx() context.Context {
+	c.mu.RLock()
+	ctx := c.runCtx
+	c.mu.RUnlock()
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+func (c *Context) setCtx(ctx context.Context) {
+	c.mu.Lock()
+	c.runCtx = ctx
 	c.mu.Unlock()
 }
 
@@ -175,6 +205,8 @@ type stepOutcome struct {
 // graph are deterministic regardless of scheduling.
 func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolation bool) (Result, error) {
 	var res Result
+	c.setCtx(ctx)
+	defer c.setCtx(nil)
 	n := len(p.Steps)
 	deps := p.dependencies()
 	workers := p.Workers
@@ -216,7 +248,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 		}
 		if workers == 1 || len(wave) == 1 {
 			for wi, si := range wave {
-				p.execStep(c, si, &outcomes[wi])
+				p.execStep(ctx, c, si, &outcomes[wi])
 			}
 		} else {
 			sem := make(chan struct{}, workers)
@@ -227,7 +259,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 				go func(wi, si int) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					p.execStep(c, si, &outcomes[wi])
+					p.execStep(ctx, c, si, &outcomes[wi])
 				}(wi, si)
 			}
 			wg.Wait()
@@ -268,9 +300,18 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 	return res, nil
 }
 
-func (p *Pipeline) execStep(c *Context, si int, o *stepOutcome) {
+// execStep runs one step under panic isolation and the etl.step fault
+// site: a panicking step (organic or injected) fails its wave as a typed
+// *fault.InternalError instead of killing the process, whether the step
+// ran serially or on a pool goroutine.
+func (p *Pipeline) execStep(ctx context.Context, c *Context, si int, o *stepOutcome) {
 	s := p.Steps[si]
-	o.err = s.Run(c)
+	o.err = fault.Safely("etl.step("+s.Name()+")", c.Metrics, func() error {
+		if err := c.Faults.Hit(ctx, fault.SiteETLStep); err != nil {
+			return err
+		}
+		return s.Run(c)
+	})
 	if rows, ok := c.rows(s.Output()); ok {
 		o.rowsOut = rows
 	}

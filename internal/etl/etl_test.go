@@ -70,7 +70,7 @@ func TestExtractAndTransform(t *testing.T) {
 
 func TestCleanse(t *testing.T) {
 	dirty := relation.NewBase("d", relation.NewSchema(relation.Col("name", relation.TString)))
-	dirty.MustAppend(relation.Str("  Alice   Rossi "))
+	dirty.AppendVals(relation.Str("  Alice   Rossi "))
 	src := NewSource("s", "s", dirty)
 	c := NewContext(nil)
 	p := &Pipeline{Steps: []Step{
@@ -186,15 +186,15 @@ func TestEntityResolution(t *testing.T) {
 	// patient list.
 	canon := relation.NewBase("residents", relation.NewSchema(relation.Col("patient", relation.TString)))
 	for _, n := range []string{"Alice Rossi", "Bruno Verdi", "Carla Bianchi"} {
-		canon.MustAppend(relation.Str(n))
+		canon.AppendVals(relation.Str(n))
 	}
 	dirty := relation.NewBase("familydoctor", relation.NewSchema(
 		relation.Col("patient", relation.TString),
 		relation.Col("doctor", relation.TString),
 	))
-	dirty.MustAppend(relation.Str("Alice Rosi"), relation.Str("Dr. A"))  // typo
-	dirty.MustAppend(relation.Str("BRUNO verdi"), relation.Str("Dr. B")) // case
-	dirty.MustAppend(relation.Str("Zoe Unknown"), relation.Str("Dr. C")) // no match
+	dirty.AppendVals(relation.Str("Alice Rosi"), relation.Str("Dr. A"))  // typo
+	dirty.AppendVals(relation.Str("BRUNO verdi"), relation.Str("Dr. B")) // case
+	dirty.AppendVals(relation.Str("Zoe Unknown"), relation.Str("Dr. C")) // no match
 
 	c := NewContext(nil)
 	c.Put("residents", canon)
@@ -224,9 +224,9 @@ func TestEntityResolution(t *testing.T) {
 // its data to clean the beneficiary's data.
 func TestIntegrationForbidden(t *testing.T) {
 	canon := relation.NewBase("residents", relation.NewSchema(relation.Col("patient", relation.TString)))
-	canon.MustAppend(relation.Str("Alice Rossi"))
+	canon.AppendVals(relation.Str("Alice Rossi"))
 	dirty := relation.NewBase("familydoctor", relation.NewSchema(relation.Col("patient", relation.TString)))
-	dirty.MustAppend(relation.Str("Alice Rosi"))
+	dirty.AppendVals(relation.Str("Alice Rosi"))
 
 	c := NewContext(denyGuard{beneficiary: "familydoctors"})
 	c.Put("residents", canon)
@@ -246,7 +246,10 @@ func TestEntityResolutionAtScale(t *testing.T) {
 	cfg := workload.DefaultConfig(11)
 	cfg.Patients = 300
 	cfg.DirtyRate = 0.3
-	ds := workload.Generate(cfg)
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	c := NewContext(nil)
 	c.Put("residents", ds.Residents)

@@ -1,0 +1,194 @@
+package etl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"plabi/internal/fault"
+	"plabi/internal/relation"
+)
+
+// panicStep panics when run — the organic worker-crash case.
+type panicStep struct {
+	baseStep
+}
+
+func (p *panicStep) Op() string           { return "panic" }
+func (p *panicStep) Inputs() []string     { return nil }
+func (p *panicStep) Output() string       { return "out-" + p.name }
+func (p *panicStep) Run(c *Context) error { panic("step exploded") }
+
+// noopStep writes an empty output, to fill waves around a panicking step.
+type noopStep struct {
+	baseStep
+	out string
+}
+
+func (s *noopStep) Op() string       { return "noop" }
+func (s *noopStep) Inputs() []string { return nil }
+func (s *noopStep) Output() string   { return s.out }
+func (s *noopStep) Run(c *Context) error {
+	c.Put(s.out, relation.NewBase(s.out, relation.NewSchema(relation.Col("x", relation.TInt))))
+	return nil
+}
+
+func TestStepPanicIsolatedSerial(t *testing.T) {
+	c := NewContext(nil)
+	p := &Pipeline{Workers: 1, Steps: []Step{&panicStep{baseStep{"boom"}}}}
+	_, err := p.Run(c, false)
+	var ie *fault.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InternalError, got %v", err)
+	}
+	if ie.Site != "etl.step(boom)" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError = %+v", ie)
+	}
+}
+
+func TestStepPanicIsolatedInWorkerPool(t *testing.T) {
+	// A panicking step sharing a wave with healthy steps must fail the
+	// run as a typed error while the pool drains cleanly.
+	c := NewContext(nil)
+	steps := []Step{&panicStep{baseStep{"boom"}}}
+	for i := 0; i < 6; i++ {
+		steps = append(steps, &noopStep{baseStep{fmt.Sprintf("ok%d", i)}, fmt.Sprintf("t%d", i)})
+	}
+	p := &Pipeline{Workers: 4, Steps: steps}
+	_, err := p.Run(c, false)
+	if !errors.Is(err, fault.ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", err)
+	}
+}
+
+// trippingCtx reports Canceled after its Err method has been called n
+// times — a deterministic stand-in for cancellation arriving mid-step.
+type trippingCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func newTrippingCtx(n int) *trippingCtx {
+	return &trippingCtx{Context: context.Background(), left: n}
+}
+
+func (c *trippingCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func (c *trippingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestCancellationLandsMidStep(t *testing.T) {
+	// One cleanse over a table large enough for several in-loop polls.
+	// The ctx trips after the run's first few checks, so the only place
+	// the cancellation can land is inside the row loop — a run that only
+	// polls between waves would complete instead.
+	big := relation.NewBase("big", relation.NewSchema(relation.Col("name", relation.TString)))
+	for i := 0; i < 8*cancelCheckRows; i++ {
+		big.AppendVals(relation.Str(fmt.Sprintf("  name %d ", i)))
+	}
+	src := NewSource("s", "s", big)
+	c := NewContext(nil)
+	p := &Pipeline{Workers: 1, Steps: []Step{
+		NewExtract("e", src, "big", ""),
+		NewCleanse("c", "big", "clean", "name"),
+	}}
+	// Budget: wave-top checks and the extract's sleep check pass; the
+	// trip happens within the cleanse's row loop.
+	_, err := p.RunContext(newTrippingCtx(4), c, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled from inside the row loop, got %v", err)
+	}
+	if _, gerr := c.Get("clean"); gerr == nil {
+		t.Fatal("cancelled cleanse must not publish its output")
+	}
+}
+
+func TestExtractRetriesTransientFaults(t *testing.T) {
+	hosp, _, _ := sources()
+	fi := fault.NewInjector(9)
+	fi.Enable(fault.SiteETLExtract, fault.SiteConfig{ErrorRate: 1, Transient: true, Times: 2})
+	c := NewContext(nil)
+	c.Faults = fi
+	c.Retry = fault.RetryPolicy{MaxAttempts: 4, Base: time.Microsecond, Max: 10 * time.Microsecond}
+	p := &Pipeline{Steps: []Step{NewExtract("e", hosp, "prescriptions", "")}}
+	if _, err := p.Run(c, false); err != nil {
+		t.Fatalf("extraction must recover within the retry budget: %v", err)
+	}
+	if _, err := c.Get("prescriptions"); err != nil {
+		t.Fatal("extracted table missing after retried success")
+	}
+	if fires := len(fi.Schedule()); fires != 2 {
+		t.Fatalf("fires = %d, want 2", fires)
+	}
+}
+
+func TestExtractExhaustsRetryBudget(t *testing.T) {
+	hosp, _, _ := sources()
+	fi := fault.NewInjector(9)
+	fi.Enable(fault.SiteETLExtract, fault.SiteConfig{ErrorRate: 1, Transient: true})
+	c := NewContext(nil)
+	c.Faults = fi
+	c.Retry = fault.RetryPolicy{MaxAttempts: 3, Base: time.Microsecond}
+	p := &Pipeline{Steps: []Step{NewExtract("e", hosp, "prescriptions", "")}}
+	_, err := p.Run(c, false)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want exhausted injected error, got %v", err)
+	}
+}
+
+func TestExtractMissingTableIsPermanent(t *testing.T) {
+	hosp, _, _ := sources()
+	c := NewContext(nil)
+	c.Retry = fault.RetryPolicy{MaxAttempts: 4, Base: time.Hour} // a retry would hang
+	p := &Pipeline{Steps: []Step{NewExtract("e", hosp, "no-such-table", "")}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(c, false)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("want error for missing table")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("missing-table extract retried instead of failing permanently")
+	}
+}
+
+func TestInjectedStepErrorFailsRun(t *testing.T) {
+	hosp, _, _ := sources()
+	fi := fault.NewInjector(2)
+	fi.Enable(fault.SiteETLStep, fault.SiteConfig{ErrorRate: 1, Times: 1})
+	c := NewContext(nil)
+	c.Faults = fi
+	p := &Pipeline{Steps: []Step{NewExtract("e", hosp, "prescriptions", "")}}
+	_, err := p.Run(c, false)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want injected step error, got %v", err)
+	}
+}
+
+func TestInjectedStepPanicIsolated(t *testing.T) {
+	hosp, _, _ := sources()
+	fi := fault.NewInjector(2)
+	fi.Enable(fault.SiteETLStep, fault.SiteConfig{PanicRate: 1, Times: 1})
+	c := NewContext(nil)
+	c.Faults = fi
+	p := &Pipeline{Workers: 4, Steps: []Step{NewExtract("e", hosp, "prescriptions", "")}}
+	_, err := p.Run(c, false)
+	if !errors.Is(err, fault.ErrInternal) {
+		t.Fatalf("want isolated injected panic, got %v", err)
+	}
+}

@@ -1,11 +1,17 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"plabi/internal/fault"
 	"plabi/internal/relation"
 )
+
+// cancelCheckRows is how often per-row loops poll for cancellation: a
+// balance between responsiveness and per-row overhead.
+const cancelCheckRows = 512
 
 // baseStep carries the common step fields.
 type baseStep struct {
@@ -42,11 +48,24 @@ func (e *Extract) Inputs() []string { return []string{e.Source.Name + "." + e.Ta
 // Output implements Step.
 func (e *Extract) Output() string { return e.As }
 
-// Run implements Step.
+// Run implements Step. Source access is the etl.extract fault site and
+// is retried under the context's policy; a missing table is permanent
+// and fails without consuming the retry budget.
 func (e *Extract) Run(c *Context) error {
-	t, ok := e.Source.Table(e.Table)
-	if !ok {
-		return fmt.Errorf("source %q has no table %q", e.Source.Name, e.Table)
+	var t *relation.Table
+	err := fault.Retry(c.Ctx(), c.Retry, c.Metrics, func(ctx context.Context) error {
+		if err := c.Faults.Hit(ctx, fault.SiteETLExtract); err != nil {
+			return err
+		}
+		src, ok := e.Source.Table(e.Table)
+		if !ok {
+			return fault.Permanent(fmt.Errorf("source %q has no table %q", e.Source.Name, e.Table))
+		}
+		t = src
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	c.Put(e.As, t)
 	return nil
@@ -59,11 +78,13 @@ type Transform struct {
 	OpName string
 	Input  string
 	Out    string
-	Fn     func(*relation.Table) (*relation.Table, error)
+	// Fn receives the run's context so long row loops can honour
+	// cancellation mid-table.
+	Fn func(context.Context, *relation.Table) (*relation.Table, error)
 }
 
 // NewTransform builds a generic transformation step.
-func NewTransform(name, op, input, output string, fn func(*relation.Table) (*relation.Table, error)) *Transform {
+func NewTransform(name, op, input, output string, fn func(context.Context, *relation.Table) (*relation.Table, error)) *Transform {
 	return &Transform{baseStep: baseStep{name}, OpName: op, Input: input, Out: output, Fn: fn}
 }
 
@@ -82,7 +103,7 @@ func (t *Transform) Run(c *Context) error {
 	if err != nil {
 		return err
 	}
-	out, err := t.Fn(in)
+	out, err := t.Fn(c.Ctx(), in)
 	if err != nil {
 		return err
 	}
@@ -93,7 +114,7 @@ func (t *Transform) Run(c *Context) error {
 // NewCleanse builds a transform that trims whitespace in the given string
 // columns — the canonical data-quality step.
 func NewCleanse(name, input, output string, cols ...string) *Transform {
-	return NewTransform(name, "cleanse", input, output, func(t *relation.Table) (*relation.Table, error) {
+	return NewTransform(name, "cleanse", input, output, func(ctx context.Context, t *relation.Table) (*relation.Table, error) {
 		out := t
 		var err error
 		for _, col := range cols {
@@ -101,7 +122,7 @@ func NewCleanse(name, input, output string, cols ...string) *Transform {
 			if i < 0 {
 				return nil, fmt.Errorf("cleanse: unknown column %q", col)
 			}
-			out, err = mapCol(out, i, func(v relation.Value) relation.Value {
+			out, err = mapCol(ctx, out, i, func(v relation.Value) relation.Value {
 				if v.Kind != relation.TString {
 					return v
 				}
@@ -117,21 +138,21 @@ func NewCleanse(name, input, output string, cols ...string) *Transform {
 
 // NewFilter builds a row-filtering step.
 func NewFilter(name, input, output string, pred relation.Expr) *Transform {
-	return NewTransform(name, "filter", input, output, func(t *relation.Table) (*relation.Table, error) {
+	return NewTransform(name, "filter", input, output, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
 		return relation.Select(t, pred)
 	})
 }
 
 // NewDerive builds a computed-column step.
 func NewDerive(name, input, output, col string, e relation.Expr) *Transform {
-	return NewTransform(name, "derive", input, output, func(t *relation.Table) (*relation.Table, error) {
+	return NewTransform(name, "derive", input, output, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
 		return relation.Extend(t, col, e)
 	})
 }
 
 // NewProject builds a column-selection step.
 func NewProject(name, input, output string, cols ...string) *Transform {
-	return NewTransform(name, "project", input, output, func(t *relation.Table) (*relation.Table, error) {
+	return NewTransform(name, "project", input, output, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
 		return relation.ProjectCols(t, cols...)
 	})
 }
@@ -243,13 +264,20 @@ func (a *AggregateStep) Run(c *Context) error {
 }
 
 // mapCol rewrites one column of a table, preserving lineage and origins.
-func mapCol(t *relation.Table, ci int, fn func(relation.Value) relation.Value) (*relation.Table, error) {
+// The row loop polls ctx so cancellation lands mid-step on large tables,
+// not only at the next wave boundary.
+func mapCol(ctx context.Context, t *relation.Table, ci int, fn func(relation.Value) relation.Value) (*relation.Table, error) {
 	out := &relation.Table{Name: t.Name, Schema: t.Schema.Clone()}
 	out.ColOrigin = make([]relation.ColRefSet, t.Schema.Len())
 	for c := range out.ColOrigin {
 		out.ColOrigin[c] = t.ColumnOrigin(c)
 	}
 	for ri, r := range t.Rows {
+		if ri%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		nr := r.Clone()
 		nr[ci] = fn(r[ci])
 		out.Rows = append(out.Rows, nr)

@@ -19,7 +19,10 @@ func E11Linkage() (*Result, error) {
 	cfg := workload.DefaultConfig(5)
 	cfg.Patients = 800
 	cfg.Prescriptions = 4000
-	ds := workload.Generate(cfg)
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// The released table carries demographics (QI) and a sensitive
 	// attribute: each resident's dominant disease (residents without
@@ -43,7 +46,7 @@ func E11Linkage() (*Result, error) {
 		if !ok {
 			d = "healthy"
 		}
-		wd.MustAppend(relation.Str(name), ds.Residents.Get(i, "age"),
+		wd.AppendVals(relation.Str(name), ds.Residents.Get(i, "age"),
 			ds.Residents.Get(i, "zip"), relation.Str(d))
 	}
 	// The attacker never sees names: drop the identity column before any

@@ -113,7 +113,7 @@ func E2Source() (*Result, error) {
 
 	// New HIV patient automatically covered — no metadata change.
 	fixture2 := workload.PrescriptionsFixture()
-	fixture2.MustAppend(relation.Str("Dana"), relation.Str("Luis"), relation.Str("DH"),
+	fixture2.AppendVals(relation.Str("Dana"), relation.Str("Luis"), relation.Str("DH"),
 		relation.Str("HIV"), relation.DateYMD(2008, 6, 1))
 	released2, _, err := se.Release(fixture2)
 	if err != nil {
@@ -147,7 +147,10 @@ func E2Source() (*Result, error) {
 		cfg := workload.DefaultConfig(7)
 		cfg.Prescriptions = n
 		cfg.Patients = n / 10
-		ds := workload.Generate(cfg)
+		ds, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		rel, rrep, err := se2.Release(ds.Prescriptions)
 		if err != nil {
@@ -165,7 +168,10 @@ func E2Source() (*Result, error) {
 func E3ETL() (*Result, error) {
 	res := &Result{}
 	e := core.New()
-	ds := workload.Generate(workload.DefaultConfig(42))
+	ds, err := workload.Generate(workload.DefaultConfig(42))
+	if err != nil {
+		return nil, err
+	}
 	e.AddSource(etl.NewSource("hospital", "hospital", ds.Prescriptions))
 	e.AddSource(etl.NewSource("familydoctors", "familydoctors", ds.FamilyDoctor))
 	e.AddSource(etl.NewSource("healthagency", "healthagency", ds.DrugCost))

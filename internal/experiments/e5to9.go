@@ -164,7 +164,10 @@ func E7TestGeneration() (*Result, error) {
 func e7Trial(class string, seed int64) (bool, error) {
 	cfg := workload.DefaultConfig(seed*31 + 5)
 	cfg.Patients, cfg.Prescriptions, cfg.LabResults = 80, 600, 50
-	ds := workload.Generate(cfg)
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		return false, err
+	}
 
 	mkEngine := func(plas string) (*core.Engine, error) {
 		e := core.New()
@@ -287,7 +290,10 @@ func E8Anonymization() (*Result, error) {
 	res := &Result{}
 	cfg := workload.DefaultConfig(42)
 	cfg.Patients, cfg.Prescriptions = 10000, 10000
-	ds := workload.Generate(cfg)
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// Join prescriptions with residents demographics (QI source).
 	joined, err := relation.Join(relation.Rename(ds.Prescriptions, "p"), relation.Rename(ds.Residents, "r"),

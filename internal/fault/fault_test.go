@@ -1,0 +1,378 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"plabi/internal/obs"
+)
+
+// drive calls Hit n times at a site, recovering injected panics, and
+// returns per-kind outcome counts.
+func drive(t *testing.T, i *Injector, site string, n int) map[string]int {
+	t.Helper()
+	out := map[string]int{}
+	for c := 0; c < n; c++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(*PanicValue); !ok {
+						t.Fatalf("unexpected panic value %v", r)
+					}
+					out["panic"]++
+				}
+			}()
+			if err := i.Hit(context.Background(), site); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected error %v", err)
+				}
+				out["error"]++
+			} else {
+				out["ok"]++
+			}
+		}()
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := SiteConfig{ErrorRate: 0.3, PanicRate: 0.1, LatencyRate: 0.1, Latency: time.Microsecond}
+	run := func() ([]Fire, map[string]int) {
+		i := NewInjector(42)
+		i.Enable(SiteETLStep, cfg)
+		i.Enable(SiteAuditSink, SiteConfig{ErrorRate: 0.5, Transient: true})
+		counts := drive(t, i, SiteETLStep, 200)
+		for c := 0; c < 100; c++ {
+			i.Hit(context.Background(), SiteAuditSink)
+		}
+		return i.Schedule(), counts
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", s1, s2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("same seed produced different outcome counts: %v vs %v", c1, c2)
+	}
+	if len(s1) == 0 {
+		t.Fatal("no faults fired at these rates")
+	}
+	// Enable order must not change per-site schedules.
+	i3 := NewInjector(42)
+	i3.Enable(SiteAuditSink, SiteConfig{ErrorRate: 0.5, Transient: true})
+	i3.Enable(SiteETLStep, cfg)
+	if c3 := drive(t, i3, SiteETLStep, 200); !reflect.DeepEqual(c1, c3) {
+		t.Fatalf("enable order changed site schedule: %v vs %v", c1, c3)
+	}
+
+	if NewInjector(43).Seed() != 43 {
+		t.Fatal("Seed() mismatch")
+	}
+}
+
+func TestInjectorTimesBound(t *testing.T) {
+	i := NewInjector(7)
+	i.Enable(SiteETLExtract, SiteConfig{ErrorRate: 1, Transient: true, Times: 3})
+	counts := drive(t, i, SiteETLExtract, 10)
+	if counts["error"] != 3 || counts["ok"] != 7 {
+		t.Fatalf("want exactly 3 fires then success, got %v", counts)
+	}
+	var se *SiteError
+	i2 := NewInjector(7)
+	i2.Enable(SiteETLExtract, SiteConfig{ErrorRate: 1, Transient: true, Times: 1})
+	err := i2.Hit(context.Background(), SiteETLExtract)
+	if !errors.As(err, &se) || !se.Temporary() || se.Site != SiteETLExtract {
+		t.Fatalf("want transient SiteError at %s, got %v", SiteETLExtract, err)
+	}
+}
+
+func TestInjectorNilAndUnconfigured(t *testing.T) {
+	var i *Injector
+	if err := i.Hit(context.Background(), SiteETLStep); err != nil {
+		t.Fatalf("nil injector must be a no-op, got %v", err)
+	}
+	i.Enable(SiteETLStep, SiteConfig{ErrorRate: 1})
+	i.SetMetrics(obs.New())
+	if i.Seed() != 0 || i.Schedule() != nil {
+		t.Fatal("nil injector accessors must be zero-valued")
+	}
+	live := NewInjector(1)
+	if err := live.Hit(context.Background(), "no.such.site"); err != nil {
+		t.Fatalf("unconfigured site must be clean, got %v", err)
+	}
+}
+
+func TestInjectorLatencyHonoursContext(t *testing.T) {
+	i := NewInjector(3)
+	i.Enable(SiteRenderWorker, SiteConfig{LatencyRate: 1, Latency: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := i.Hit(ctx, SiteRenderWorker); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled latency sleep must return ctx error, got %v", err)
+	}
+}
+
+func TestInjectorMetricsAndSummary(t *testing.T) {
+	m := obs.New()
+	i := NewInjector(5)
+	i.SetMetrics(m)
+	i.Enable(SiteAuditSink, SiteConfig{ErrorRate: 1, Times: 2})
+	for c := 0; c < 4; c++ {
+		i.Hit(context.Background(), SiteAuditSink)
+	}
+	if got := m.Counter("fault.injected").Value(); got != 2 {
+		t.Fatalf("fault.injected = %d, want 2", got)
+	}
+	if got := m.Counter("fault.injected." + SiteAuditSink).Value(); got != 2 {
+		t.Fatalf("per-site counter = %d, want 2", got)
+	}
+	if cs := i.Counts(); cs[SiteAuditSink] != 2 {
+		t.Fatalf("Counts = %v", cs)
+	}
+	want := fmt.Sprintf("fault injector (seed 5): %s=2", SiteAuditSink)
+	if got := i.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if got := NewInjector(9).String(); got != "fault injector (seed 9): no fires" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}
+
+func TestEnableSpec(t *testing.T) {
+	i := NewInjector(11)
+	spec := "etl.step:error:0.5, audit.sink.write:error:1:transient,render.worker:panic:1,etl.extract:latency:1:5ms"
+	if err := i.EnableSpec(spec); err != nil {
+		t.Fatalf("EnableSpec: %v", err)
+	}
+	err := i.Hit(context.Background(), SiteAuditSink)
+	var se *SiteError
+	if !errors.As(err, &se) || !se.Temporary() {
+		t.Fatalf("want transient injected error, got %v", err)
+	}
+	func() {
+		defer func() {
+			if _, ok := recover().(*PanicValue); !ok {
+				t.Fatal("want injected panic at render.worker")
+			}
+		}()
+		i.Hit(context.Background(), SiteRenderWorker)
+	}()
+
+	for _, bad := range []string{
+		"etl.step",                // too few fields
+		"etl.step:error:0.5:x:y",  // too many fields
+		"etl.step:error:nope",     // bad rate
+		"etl.step:error:1.5",      // rate out of range
+		"etl.step:error:1:sticky", // bad error arg
+		"etl.step:latency:1:fast", // bad duration
+		"etl.step:explode:1",      // unknown kind
+	} {
+		if err := NewInjector(0).EnableSpec(bad); err == nil {
+			t.Fatalf("EnableSpec(%q) must fail", bad)
+		}
+	}
+	if err := NewInjector(0).EnableSpec(""); err != nil {
+		t.Fatalf("empty spec must be a no-op, got %v", err)
+	}
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	m := obs.New()
+	i := NewInjector(1)
+	i.Enable(SiteAuditSink, SiteConfig{ErrorRate: 1, Transient: true, Times: 2})
+	p := RetryPolicy{MaxAttempts: 4, Base: time.Microsecond, Max: 10 * time.Microsecond, Multiplier: 2, Jitter: 0.5}
+	calls := 0
+	err := Retry(context.Background(), p, m, func(ctx context.Context) error {
+		calls++
+		return i.Hit(ctx, SiteAuditSink)
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("want success on attempt 3, got err=%v calls=%d", err, calls)
+	}
+	if got := m.Counter("retry.retries").Value(); got != 2 {
+		t.Fatalf("retry.retries = %d, want 2", got)
+	}
+	if got := m.Counter("retry.attempts").Value(); got != 3 {
+		t.Fatalf("retry.attempts = %d, want 3", got)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	m := obs.New()
+	p := RetryPolicy{MaxAttempts: 3, Base: time.Microsecond}
+	calls := 0
+	sentinel := errors.New("still down")
+	err := Retry(context.Background(), p, m, func(ctx context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 || !errors.Is(err, sentinel) {
+		t.Fatalf("want 3 attempts wrapping sentinel, got calls=%d err=%v", calls, err)
+	}
+	if got := m.Counter("retry.exhausted").Value(); got != 1 {
+		t.Fatalf("retry.exhausted = %d, want 1", got)
+	}
+}
+
+func TestRetryStopsOnPermanentAndInternal(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"permanent", Permanent(errors.New("bad request"))},
+		{"internal", &InternalError{Site: "x", Value: "boom"}},
+		{"non-temporary", &SiteError{Site: "x"}},
+	} {
+		calls := 0
+		err := Retry(context.Background(), RetryPolicy{MaxAttempts: 5, Base: time.Microsecond}, nil, func(ctx context.Context) error {
+			calls++
+			return tc.err
+		})
+		if calls != 1 {
+			t.Fatalf("%s: want 1 attempt, got %d", tc.name, calls)
+		}
+		if !errors.Is(err, tc.err) && err != tc.err {
+			t.Fatalf("%s: error not propagated: %v", tc.name, err)
+		}
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must be nil")
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryPolicy{MaxAttempts: 10, Base: time.Hour}, nil, func(ctx context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient-ish")
+	})
+	if calls != 1 {
+		t.Fatalf("want no retry after cancel, got %d attempts", calls)
+	}
+	if err == nil {
+		t.Fatal("want error after cancel")
+	}
+}
+
+func TestRetryAttemptTimeout(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, Base: time.Microsecond, AttemptTimeout: 5 * time.Millisecond}
+	calls := 0
+	err := Retry(context.Background(), p, nil, func(ctx context.Context) error {
+		calls++
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	// Each attempt's own deadline expires; the parent ctx is untouched,
+	// so DeadlineExceeded is non-retryable and stops the loop.
+	if calls != 1 || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want 1 deadline-bounded attempt, got calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("x")
+	err := Retry(context.Background(), RetryPolicy{}, nil, func(ctx context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 1 || !errors.Is(err, sentinel) {
+		t.Fatalf("zero policy must try once: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), false},
+		{Permanent(errors.New("x")), false},
+		{fmt.Errorf("wrap: %w", Permanent(errors.New("x"))), false},
+		{&InternalError{Site: "s"}, false},
+		{&SiteError{Site: "s", transient: true}, true},
+		{&SiteError{Site: "s"}, false},
+		{errors.New("plain"), true},
+	} {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Fatalf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestSafelyConvertsPanic(t *testing.T) {
+	m := obs.New()
+	err := Safely("etl.step(join)", m, func() error {
+		panic("kaboom")
+	})
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InternalError, got %v", err)
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatal("InternalError must unwrap to ErrInternal")
+	}
+	if ie.Site != "etl.step(join)" || ie.Value != "kaboom" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError fields wrong: %+v", ie)
+	}
+	if got := m.Counter("fault.panics").Value(); got != 1 {
+		t.Fatalf("fault.panics = %d, want 1", got)
+	}
+	if err := Safely("ok", nil, func() error { return nil }); err != nil {
+		t.Fatalf("clean fn must pass through, got %v", err)
+	}
+	sentinel := errors.New("organic")
+	if err := Safely("ok", nil, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("organic error must pass through, got %v", err)
+	}
+}
+
+// recordingT captures Errorf calls for leak-checker self-tests.
+type recordingT struct {
+	failed bool
+	msg    string
+}
+
+func (r *recordingT) Helper() {}
+func (r *recordingT) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = fmt.Sprintf(format, args...)
+}
+
+func TestCheckLeaksCleanRun(t *testing.T) {
+	rt := &recordingT{}
+	check := CheckLeaks(rt)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check()
+	if rt.failed {
+		t.Fatalf("clean run flagged as leaking: %s", rt.msg)
+	}
+}
+
+func TestCheckLeaksDetectsLeak(t *testing.T) {
+	rt := &recordingT{}
+	check := CheckLeaks(rt)
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop // leaks until we release it below
+	}()
+	<-started
+	check()
+	close(stop)
+	if !rt.failed {
+		t.Fatal("leaked goroutine not detected")
+	}
+}

@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TestingT is the subset of *testing.T the leak checker needs, kept as
+// a local interface so importing fault does not pull the testing
+// package into production binaries.
+type TestingT interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckLeaks snapshots the running goroutines and returns a function
+// that fails t if goroutines created afterwards are still running when
+// it is called. Use it at the top of concurrency tests:
+//
+//	defer fault.CheckLeaks(t)()
+//
+// The check retries for up to two seconds before reporting, so
+// goroutines legitimately draining (worker pools between wg.Wait and
+// return) are not false positives.
+func CheckLeaks(t TestingT) func() {
+	t.Helper()
+	before := goroutineStacks()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("fault: %d leaked goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+	}
+}
+
+// leakedSince returns the interesting goroutine stacks running now that
+// were not running at the snapshot.
+func leakedSince(before map[string]string) []string {
+	var leaked []string
+	for id, stack := range goroutineStacks() {
+		if _, ok := before[id]; !ok {
+			leaked = append(leaked, stack)
+		}
+	}
+	return leaked
+}
+
+// goroutineStacks returns the stacks of every interesting goroutine,
+// keyed by goroutine id (a pre-existing goroutine keeps its id across
+// snapshots), skipping the runtime's and the test framework's own
+// goroutines.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := map[string]string{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || !interestingStack(g) {
+			continue
+		}
+		header, _, _ := strings.Cut(g, "\n")
+		id, _, _ := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		out[fmt.Sprintf("g%s", id)] = g
+	}
+	return out
+}
+
+// interestingStack filters out the goroutines every Go test run owns:
+// the test framework's runners, the runtime's helpers, and this
+// checker's own caller.
+func interestingStack(g string) bool {
+	for _, skip := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runFuzzing",
+		"testing.tRunner",
+		"runtime.gc",
+		"runtime.MHeap_Scavenger",
+		"signal.signal_recv",
+		"runtime.ensureSigM",
+		"(*loggingT).flushDaemon",
+		"goroutine in C code",
+	} {
+		if strings.Contains(g, skip) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"plabi/internal/obs"
+)
+
+// ErrInternal is the sentinel behind every recovered panic, matched
+// with errors.Is.
+var ErrInternal = errors.New("internal error")
+
+// InternalError is a panic converted into an error at a worker-pool or
+// sink boundary: the run that contained it fails, the process does not.
+// It carries the site and the stack of the panicking goroutine as
+// first-class debugging evidence, and is never retried.
+type InternalError struct {
+	// Site names the boundary that recovered the panic, optionally
+	// qualified with the failing unit (e.g. "etl.step(join-costs)").
+	Site string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("fault: panic at %s: %v", e.Site, e.Value)
+}
+
+// Unwrap lets errors.Is(err, ErrInternal) succeed.
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// Safely runs fn, converting a panic into a returned *InternalError
+// carrying site and stack, and counting it under fault.panics. Worker
+// pools wrap each unit of work with Safely so a panicking row or step
+// fails the enclosing run instead of killing the process.
+func Safely(site string, m *obs.Metrics, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.Counter("fault.panics").Inc()
+			err = &InternalError{Site: site, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"plabi/internal/obs"
+)
+
+// RetryPolicy bounds a retry loop: at most MaxAttempts tries, with
+// exponential backoff between them, capped at Max and randomized by
+// Jitter. The zero policy performs exactly one attempt with no backoff,
+// so un-configured call sites behave as before retries existed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Values below 1 mean one attempt.
+	MaxAttempts int
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay.
+	Max time.Duration
+	// Multiplier grows the delay between retries (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in
+	// [0, 1]: the slept delay is uniform in [d*(1-Jitter), d].
+	Jitter float64
+	// AttemptTimeout, when positive, bounds each attempt with a
+	// per-call deadline derived from the caller's context.
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy is the engine-wide default for retryable sites
+// (audit sink writes, source reads): 4 attempts, 5ms → 200ms backoff
+// with half-width jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Base: 5 * time.Millisecond, Max: 200 * time.Millisecond,
+		Multiplier: 2, Jitter: 0.5}
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// jitterSeq drives deterministic jitter: runs are reproducible for a
+// fixed call order, and no wall-clock or global RNG state is consulted.
+var jitterSeq atomic.Uint64
+
+// jitterFrac returns a pseudo-random fraction in [0, 1) from a
+// splitmix64 step over the process-wide sequence.
+func jitterFrac() float64 {
+	z := jitterSeq.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Retry runs fn under the policy: transient failures are retried with
+// bounded exponential backoff and jitter until the budget is exhausted;
+// context cancellation, Permanent-marked errors, *InternalError (a
+// recovered panic) and errors reporting Temporary() == false stop the
+// loop immediately. Backoff sleeps honour ctx; when AttemptTimeout is
+// set each attempt runs under its own deadline derived from ctx. The
+// retry.* counters and the retry.backoff histogram are maintained on m
+// (nil-safe).
+func Retry(ctx context.Context, p RetryPolicy, m *obs.Metrics, fn func(ctx context.Context) error) error {
+	attempts := p.attempts()
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	delay := p.Base
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			m.Counter("retry.retries").Inc()
+			d := delay
+			if p.Jitter > 0 {
+				d = time.Duration(float64(d) * (1 - p.Jitter*jitterFrac()))
+			}
+			m.Histogram("retry.backoff").Observe(d)
+			if serr := sleepCtx(ctx, d); serr != nil {
+				return serr
+			}
+			delay = time.Duration(float64(delay) * mult)
+			if p.Max > 0 && delay > p.Max {
+				delay = p.Max
+			}
+		}
+		m.Counter("retry.attempts").Inc()
+		actx := ctx
+		var cancel context.CancelFunc
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = fn(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		if !Retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	m.Counter("retry.exhausted").Inc()
+	return fmt.Errorf("fault: retry budget exhausted after %d attempts: %w", attempts, err)
+}
+
+// permanentError marks an error non-retryable.
+type permanentError struct{ err error }
+
+// Error implements error.
+func (p *permanentError) Error() string { return p.err.Error() }
+
+// Unwrap exposes the marked error to errors.Is/As.
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent marks err as non-retryable: Retry returns it without
+// consuming further attempts. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retryable reports whether Retry would re-attempt after err: not for
+// context cancellation/deadline, Permanent-marked errors, recovered
+// panics, or errors that self-report Temporary() == false.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ie *InternalError
+	if errors.As(err, &ie) {
+		return false
+	}
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if _, ok := e.(*permanentError); ok {
+			return false
+		}
+		if t, ok := e.(interface{ Temporary() bool }); ok {
+			return t.Temporary()
+		}
+	}
+	return true
+}

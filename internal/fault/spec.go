@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnableSpec enables sites from a compact textual schedule, the format
+// the bidemo -chaos flag accepts:
+//
+//	site:kind:rate[:arg][,site:kind:rate[:arg]...]
+//
+// kind is one of error (arg "transient" marks it retryable), panic, or
+// latency (arg is the delay, e.g. 1ms). Entries for the same site merge
+// into one SiteConfig. Example:
+//
+//	etl.step:error:0.05,audit.sink.write:error:0.3:transient,render.worker:panic:0.01
+func (i *Injector) EnableSpec(spec string) error {
+	cfgs := map[string]SiteConfig{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return fmt.Errorf("fault: bad spec entry %q (want site:kind:rate[:arg])", entry)
+		}
+		site, kind := parts[0], parts[1]
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return fmt.Errorf("fault: bad rate in spec entry %q", entry)
+		}
+		cfg := cfgs[site]
+		switch kind {
+		case "error":
+			cfg.ErrorRate = rate
+			if len(parts) == 4 {
+				if parts[3] != "transient" {
+					return fmt.Errorf("fault: bad error arg in spec entry %q (want transient)", entry)
+				}
+				cfg.Transient = true
+			}
+		case "panic":
+			cfg.PanicRate = rate
+		case "latency":
+			cfg.LatencyRate = rate
+			cfg.Latency = time.Millisecond
+			if len(parts) == 4 {
+				d, derr := time.ParseDuration(parts[3])
+				if derr != nil {
+					return fmt.Errorf("fault: bad latency in spec entry %q: %v", entry, derr)
+				}
+				cfg.Latency = d
+			}
+		default:
+			return fmt.Errorf("fault: unknown kind %q in spec entry %q", kind, entry)
+		}
+		cfgs[site] = cfg
+	}
+	for site, cfg := range cfgs {
+		i.Enable(site, cfg)
+	}
+	return nil
+}

@@ -12,9 +12,9 @@ func prescriptions() *relation.Table {
 		relation.Col("patient", relation.TString),
 		relation.Col("disease", relation.TString),
 	))
-	t.MustAppend(relation.Str("Alice"), relation.Str("HIV"))
-	t.MustAppend(relation.Str("Bob"), relation.Str("asthma"))
-	t.MustAppend(relation.Str("Math"), relation.Str("diabetes"))
+	t.AppendVals(relation.Str("Alice"), relation.Str("HIV"))
+	t.AppendVals(relation.Str("Bob"), relation.Str("asthma"))
+	t.AppendVals(relation.Str("Math"), relation.Str("diabetes"))
 	return t
 }
 
@@ -25,9 +25,9 @@ func policies() *relation.Table {
 		relation.Col("ShowName", relation.TBool),
 		relation.Col("ShowDisease", relation.TBool),
 	))
-	t.MustAppend(relation.Str("Alice"), relation.Bool(true), relation.Bool(false))
-	t.MustAppend(relation.Str("Bob"), relation.Bool(true), relation.Bool(false))
-	t.MustAppend(relation.Str("Math"), relation.Bool(false), relation.Bool(false))
+	t.AppendVals(relation.Str("Alice"), relation.Bool(true), relation.Bool(false))
+	t.AppendVals(relation.Str("Bob"), relation.Bool(true), relation.Bool(false))
+	t.AppendVals(relation.Str("Math"), relation.Bool(false), relation.Bool(false))
 	return t
 }
 
@@ -81,7 +81,7 @@ func TestNewRowAutomaticallyCovered(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := prescriptions()
-	data.MustAppend(relation.Str("Dana"), relation.Str("HIV"))
+	data.AppendVals(relation.Str("Dana"), relation.Str("HIV"))
 
 	tags, err := s.RowMetadata(data, 3)
 	if err != nil {
@@ -178,7 +178,7 @@ func TestAssociationScopedToTable(t *testing.T) {
 		relation.Col("patient", relation.TString),
 		relation.Col("disease", relation.TString),
 	))
-	other.MustAppend(relation.Str("Zoe"), relation.Str("HIV"))
+	other.AppendVals(relation.Str("Zoe"), relation.Str("HIV"))
 	tags, err := s.RowMetadata(other, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -13,16 +13,16 @@ func fixtures() (*relation.Table, *relation.Table, *Tracer) {
 		relation.Col("drug", relation.TString),
 		relation.Col("disease", relation.TString),
 	))
-	p.MustAppend(relation.Str("Alice"), relation.Str("DH"), relation.Str("HIV"))
-	p.MustAppend(relation.Str("Bob"), relation.Str("DR"), relation.Str("asthma"))
-	p.MustAppend(relation.Str("Alice"), relation.Str("DR"), relation.Str("asthma"))
+	p.AppendVals(relation.Str("Alice"), relation.Str("DH"), relation.Str("HIV"))
+	p.AppendVals(relation.Str("Bob"), relation.Str("DR"), relation.Str("asthma"))
+	p.AppendVals(relation.Str("Alice"), relation.Str("DR"), relation.Str("asthma"))
 
 	c := relation.NewBase("drugcost", relation.NewSchema(
 		relation.Col("drug", relation.TString),
 		relation.Col("cost", relation.TInt),
 	))
-	c.MustAppend(relation.Str("DH"), relation.Int(60))
-	c.MustAppend(relation.Str("DR"), relation.Int(10))
+	c.AppendVals(relation.Str("DH"), relation.Int(60))
+	c.AppendVals(relation.Str("DR"), relation.Int(10))
 
 	tr := NewTracer()
 	tr.RegisterBase(p)

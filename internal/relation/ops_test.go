@@ -14,21 +14,21 @@ func prescriptionsFixture() *Table {
 		Col("disease", TString),
 		Col("date", TDate),
 	))
-	t.MustAppend(Str("Alice"), Str("Luis"), Str("DH"), Str("HIV"), DateYMD(2007, 2, 12))
-	t.MustAppend(Str("Chris"), Null(), Str("DV"), Str("HIV"), DateYMD(2007, 3, 10))
-	t.MustAppend(Str("Bob"), Str("Anne"), Str("DR"), Str("asthma"), DateYMD(2007, 8, 10))
-	t.MustAppend(Str("Math"), Str("Mark"), Str("DM"), Str("diabetes"), DateYMD(2007, 10, 15))
-	t.MustAppend(Str("Alice"), Str("Luis"), Str("DR"), Str("asthma"), DateYMD(2008, 4, 15))
+	t.AppendVals(Str("Alice"), Str("Luis"), Str("DH"), Str("HIV"), DateYMD(2007, 2, 12))
+	t.AppendVals(Str("Chris"), Null(), Str("DV"), Str("HIV"), DateYMD(2007, 3, 10))
+	t.AppendVals(Str("Bob"), Str("Anne"), Str("DR"), Str("asthma"), DateYMD(2007, 8, 10))
+	t.AppendVals(Str("Math"), Str("Mark"), Str("DM"), Str("diabetes"), DateYMD(2007, 10, 15))
+	t.AppendVals(Str("Alice"), Str("Luis"), Str("DR"), Str("asthma"), DateYMD(2008, 4, 15))
 	return t
 }
 
 func drugCostFixture() *Table {
 	t := NewBase("drugcost", NewSchema(Col("drug", TString), Col("cost", TInt)))
-	t.MustAppend(Str("DD"), Int(50))
-	t.MustAppend(Str("DM"), Int(10))
-	t.MustAppend(Str("DH"), Int(60))
-	t.MustAppend(Str("DV"), Int(30))
-	t.MustAppend(Str("DR"), Int(10))
+	t.AppendVals(Str("DD"), Int(50))
+	t.AppendVals(Str("DM"), Int(10))
+	t.AppendVals(Str("DH"), Int(60))
+	t.AppendVals(Str("DV"), Int(30))
+	t.AppendVals(Str("DR"), Int(10))
 	return t
 }
 
@@ -246,8 +246,8 @@ func TestGroupByAggregates(t *testing.T) {
 
 func TestGroupByNullsIgnoredInAggs(t *testing.T) {
 	b := NewBase("t", NewSchema(Col("g", TString), Col("x", TInt)))
-	b.MustAppend(Str("a"), Int(1))
-	b.MustAppend(Str("a"), Null())
+	b.AppendVals(Str("a"), Int(1))
+	b.AppendVals(Str("a"), Null())
 	out, err := GroupBy(b, []string{"g"}, []AggSpec{
 		{Kind: AggCount, Col: "x", As: "cnt"},
 		{Kind: AggSum, Col: "x", As: "s"},
@@ -325,9 +325,9 @@ func TestSort(t *testing.T) {
 
 func TestSortNullsFirst(t *testing.T) {
 	b := NewBase("t", NewSchema(Col("x", TInt)))
-	b.MustAppend(Int(2))
-	b.MustAppend(Null())
-	b.MustAppend(Int(1))
+	b.AppendVals(Int(2))
+	b.AppendVals(Null())
+	b.AppendVals(Int(1))
 	out, err := Sort(b, SortKey{Col: "x"})
 	if err != nil {
 		t.Fatal(err)
@@ -397,7 +397,7 @@ func TestSelectPropertyLineagePreserved(t *testing.T) {
 	f := func(costs []int16) bool {
 		b := NewBase("t", NewSchema(Col("x", TInt)))
 		for _, c := range costs {
-			b.MustAppend(Int(int64(c)))
+			b.AppendVals(Int(int64(c)))
 		}
 		out, err := Select(b, Bin(OpGt, ColRefExpr("x"), Lit(Int(0))))
 		if err != nil {
@@ -429,7 +429,7 @@ func TestGroupByPropertyPartition(t *testing.T) {
 	f := func(keys []uint8) bool {
 		b := NewBase("t", NewSchema(Col("k", TInt)))
 		for _, k := range keys {
-			b.MustAppend(Int(int64(k % 7)))
+			b.AppendVals(Int(int64(k % 7)))
 		}
 		out, err := GroupBy(b, []string{"k"}, []AggSpec{{Kind: AggCount}})
 		if err != nil {
@@ -458,7 +458,7 @@ func TestDistinctIdempotent(t *testing.T) {
 	f := func(xs []uint8) bool {
 		b := NewBase("t", NewSchema(Col("x", TInt)))
 		for _, x := range xs {
-			b.MustAppend(Int(int64(x % 5)))
+			b.AppendVals(Int(int64(x % 5)))
 		}
 		d1 := Distinct(b)
 		d2 := Distinct(d1)

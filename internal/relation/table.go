@@ -189,12 +189,11 @@ func (t *Table) Append(r Row) error {
 	return nil
 }
 
-// MustAppend is Append that panics on arity mismatch; for fixtures and
-// generators where the arity is statically known.
-func (t *Table) MustAppend(vals ...Value) {
-	if err := t.Append(Row(vals)); err != nil {
-		panic(err)
-	}
+// AppendVals is variadic Append, returning the arity error instead of
+// panicking so generators on user-input paths can propagate it. Fixtures
+// with statically known arity may discard the result.
+func (t *Table) AppendVals(vals ...Value) error {
+	return t.Append(Row(vals))
 }
 
 // NumRows returns the number of rows.

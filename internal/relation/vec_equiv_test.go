@@ -395,9 +395,9 @@ func TestSafePredicate(t *testing.T) {
 // take the kernel path (guarding against silent fallback regressions).
 func TestBatchFilterKernels(t *testing.T) {
 	tab := NewBase("t", NewSchema(Col("s", TString), Col("n", TInt)))
-	tab.MustAppend(Str("a"), Int(1))
-	tab.MustAppend(Str("b"), Int(2))
-	tab.MustAppend(Null(), Int(3))
+	tab.AppendVals(Str("a"), Int(1))
+	tab.AppendVals(Str("b"), Int(2))
+	tab.AppendVals(Null(), Int(3))
 	b := NewBatch(tab)
 	kernels := []Expr{
 		ColEqStr("s", "a"),

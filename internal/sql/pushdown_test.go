@@ -15,10 +15,10 @@ func pushdownCatalog() *Catalog {
 		relation.Col("age", relation.TInt),
 		relation.Col("city", relation.TString),
 	))
-	pat.MustAppend(relation.Str("p1"), relation.Int(30), relation.Str("trento"))
-	pat.MustAppend(relation.Str("p2"), relation.Int(41), relation.Str("rovereto"))
-	pat.MustAppend(relation.Str("p3"), relation.Int(55), relation.Str("trento"))
-	pat.MustAppend(relation.Str("p4"), relation.Int(17), relation.Str("bolzano"))
+	pat.AppendVals(relation.Str("p1"), relation.Int(30), relation.Str("trento"))
+	pat.AppendVals(relation.Str("p2"), relation.Int(41), relation.Str("rovereto"))
+	pat.AppendVals(relation.Str("p3"), relation.Int(55), relation.Str("trento"))
+	pat.AppendVals(relation.Str("p4"), relation.Int(17), relation.Str("bolzano"))
 	c.Register(pat)
 
 	rx := relation.NewBase("rx", relation.NewSchema(
@@ -26,10 +26,10 @@ func pushdownCatalog() *Catalog {
 		relation.Col("drug", relation.TString),
 		relation.Col("qty", relation.TInt),
 	))
-	rx.MustAppend(relation.Str("p1"), relation.Str("aspirin"), relation.Int(2))
-	rx.MustAppend(relation.Str("p2"), relation.Str("ibuprofen"), relation.Int(1))
-	rx.MustAppend(relation.Str("p2"), relation.Str("aspirin"), relation.Int(3))
-	rx.MustAppend(relation.Str("p5"), relation.Str("aspirin"), relation.Int(9))
+	rx.AppendVals(relation.Str("p1"), relation.Str("aspirin"), relation.Int(2))
+	rx.AppendVals(relation.Str("p2"), relation.Str("ibuprofen"), relation.Int(1))
+	rx.AppendVals(relation.Str("p2"), relation.Str("aspirin"), relation.Int(3))
+	rx.AppendVals(relation.Str("p5"), relation.Str("aspirin"), relation.Int(9))
 	c.Register(rx)
 	return c
 }

@@ -16,22 +16,22 @@ func testCatalog() *Catalog {
 		relation.Col("disease", relation.TString),
 		relation.Col("date", relation.TDate),
 	))
-	p.MustAppend(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DH"), relation.Str("HIV"), relation.DateYMD(2007, 2, 12))
-	p.MustAppend(relation.Str("Chris"), relation.Null(), relation.Str("DV"), relation.Str("HIV"), relation.DateYMD(2007, 3, 10))
-	p.MustAppend(relation.Str("Bob"), relation.Str("Anne"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2007, 8, 10))
-	p.MustAppend(relation.Str("Math"), relation.Str("Mark"), relation.Str("DM"), relation.Str("diabetes"), relation.DateYMD(2007, 10, 15))
-	p.MustAppend(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2008, 4, 15))
+	p.AppendVals(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DH"), relation.Str("HIV"), relation.DateYMD(2007, 2, 12))
+	p.AppendVals(relation.Str("Chris"), relation.Null(), relation.Str("DV"), relation.Str("HIV"), relation.DateYMD(2007, 3, 10))
+	p.AppendVals(relation.Str("Bob"), relation.Str("Anne"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2007, 8, 10))
+	p.AppendVals(relation.Str("Math"), relation.Str("Mark"), relation.Str("DM"), relation.Str("diabetes"), relation.DateYMD(2007, 10, 15))
+	p.AppendVals(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2008, 4, 15))
 	c.Register(p)
 
 	d := relation.NewBase("drugcost", relation.NewSchema(
 		relation.Col("drug", relation.TString),
 		relation.Col("cost", relation.TInt),
 	))
-	d.MustAppend(relation.Str("DD"), relation.Int(50))
-	d.MustAppend(relation.Str("DM"), relation.Int(10))
-	d.MustAppend(relation.Str("DH"), relation.Int(60))
-	d.MustAppend(relation.Str("DV"), relation.Int(30))
-	d.MustAppend(relation.Str("DR"), relation.Int(10))
+	d.AppendVals(relation.Str("DD"), relation.Int(50))
+	d.AppendVals(relation.Str("DM"), relation.Int(10))
+	d.AppendVals(relation.Str("DH"), relation.Int(60))
+	d.AppendVals(relation.Str("DV"), relation.Int(30))
+	d.AppendVals(relation.Str("DR"), relation.Int(10))
 	c.Register(d)
 	return c
 }

@@ -263,7 +263,10 @@ func TestMaterializedView(t *testing.T) {
 }
 
 func TestStarAtScale(t *testing.T) {
-	ds := workload.Generate(workload.DefaultConfig(21))
+	ds, err := workload.Generate(workload.DefaultConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
 	j, err := relation.Join(relation.Rename(ds.Prescriptions, "p"), relation.Rename(ds.DrugCost, "c"),
 		relation.Eq(relation.ColRefExpr("p.drug"), relation.ColRefExpr("c.drug")), relation.InnerJoin)
 	if err != nil {
@@ -316,9 +319,9 @@ func TestBuildDimensionWithAttributes(t *testing.T) {
 		relation.Col("band", relation.TString),
 		relation.Col("x", relation.TInt),
 	))
-	in.MustAppend(relation.Str("Alice"), relation.Str("[30-40)"), relation.Int(1))
-	in.MustAppend(relation.Str("Bob"), relation.Str("[30-40)"), relation.Int(2))
-	in.MustAppend(relation.Str("Alice"), relation.Str("[30-40)"), relation.Int(3)) // dup member
+	in.AppendVals(relation.Str("Alice"), relation.Str("[30-40)"), relation.Int(1))
+	in.AppendVals(relation.Str("Bob"), relation.Str("[30-40)"), relation.Int(2))
+	in.AppendVals(relation.Str("Alice"), relation.Str("[30-40)"), relation.Int(3)) // dup member
 	d, err := BuildDimension("patient", in, "patient", []string{"band"})
 	if err != nil {
 		t.Fatal(err)
@@ -373,14 +376,14 @@ func TestLateArrivingMember(t *testing.T) {
 	// A fact whose member is absent from the dimension gets a NULL key
 	// instead of being dropped.
 	dimSrc := relation.NewBase("t", relation.NewSchema(relation.Col("k", relation.TString), relation.Col("m", relation.TInt)))
-	dimSrc.MustAppend(relation.Str("a"), relation.Int(1))
+	dimSrc.AppendVals(relation.Str("a"), relation.Int(1))
 	d, err := BuildDimension("k", dimSrc, "k", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	facts := relation.NewBase("t", relation.NewSchema(relation.Col("k", relation.TString), relation.Col("m", relation.TInt)))
-	facts.MustAppend(relation.Str("a"), relation.Int(1))
-	facts.MustAppend(relation.Str("late"), relation.Int(2))
+	facts.AppendVals(relation.Str("a"), relation.Int(1))
+	facts.AppendVals(relation.Str("late"), relation.Int(2))
 	star, err := BuildStar("s", facts, []*Dimension{d}, []string{"m"})
 	if err != nil {
 		t.Fatal(err)

@@ -19,11 +19,11 @@ func PrescriptionsFixture() *relation.Table {
 		relation.Col("disease", relation.TString),
 		relation.Col("date", relation.TDate),
 	))
-	t.MustAppend(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DH"), relation.Str("HIV"), relation.DateYMD(2007, 2, 12))
-	t.MustAppend(relation.Str("Chris"), relation.Null(), relation.Str("DV"), relation.Str("HIV"), relation.DateYMD(2007, 3, 10))
-	t.MustAppend(relation.Str("Bob"), relation.Str("Anne"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2007, 8, 10))
-	t.MustAppend(relation.Str("Math"), relation.Str("Mark"), relation.Str("DM"), relation.Str("diabetes"), relation.DateYMD(2007, 10, 15))
-	t.MustAppend(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2008, 4, 15))
+	t.AppendVals(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DH"), relation.Str("HIV"), relation.DateYMD(2007, 2, 12))
+	t.AppendVals(relation.Str("Chris"), relation.Null(), relation.Str("DV"), relation.Str("HIV"), relation.DateYMD(2007, 3, 10))
+	t.AppendVals(relation.Str("Bob"), relation.Str("Anne"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2007, 8, 10))
+	t.AppendVals(relation.Str("Math"), relation.Str("Mark"), relation.Str("DM"), relation.Str("diabetes"), relation.DateYMD(2007, 10, 15))
+	t.AppendVals(relation.Str("Alice"), relation.Str("Luis"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2008, 4, 15))
 	return t
 }
 
@@ -35,10 +35,10 @@ func PoliciesFixture() *relation.Table {
 		relation.Col("ShowName", relation.TBool),
 		relation.Col("ShowDisease", relation.TBool),
 	))
-	t.MustAppend(relation.Str("Alice"), relation.Bool(true), relation.Bool(false))
-	t.MustAppend(relation.Str("Bob"), relation.Bool(true), relation.Bool(false))
-	t.MustAppend(relation.Str("Math"), relation.Bool(false), relation.Bool(false))
-	t.MustAppend(relation.Str("Chris"), relation.Bool(true), relation.Bool(true))
+	t.AppendVals(relation.Str("Alice"), relation.Bool(true), relation.Bool(false))
+	t.AppendVals(relation.Str("Bob"), relation.Bool(true), relation.Bool(false))
+	t.AppendVals(relation.Str("Math"), relation.Bool(false), relation.Bool(false))
+	t.AppendVals(relation.Str("Chris"), relation.Bool(true), relation.Bool(true))
 	return t
 }
 
@@ -49,10 +49,10 @@ func FamilyDoctorFixture() *relation.Table {
 		relation.Col("patient", relation.TString),
 		relation.Col("doctor", relation.TString),
 	))
-	t.MustAppend(relation.Str("Alice"), relation.Str("Luis"))
-	t.MustAppend(relation.Str("Chris"), relation.Str("Anne"))
-	t.MustAppend(relation.Str("Bob"), relation.Str("Anne"))
-	t.MustAppend(relation.Str("Math"), relation.Str("Mark"))
+	t.AppendVals(relation.Str("Alice"), relation.Str("Luis"))
+	t.AppendVals(relation.Str("Chris"), relation.Str("Anne"))
+	t.AppendVals(relation.Str("Bob"), relation.Str("Anne"))
+	t.AppendVals(relation.Str("Math"), relation.Str("Mark"))
 	return t
 }
 
@@ -62,11 +62,11 @@ func DrugCostFixture() *relation.Table {
 		relation.Col("drug", relation.TString),
 		relation.Col("cost", relation.TInt),
 	))
-	t.MustAppend(relation.Str("DD"), relation.Int(50))
-	t.MustAppend(relation.Str("DM"), relation.Int(10))
-	t.MustAppend(relation.Str("DH"), relation.Int(60))
-	t.MustAppend(relation.Str("DV"), relation.Int(30))
-	t.MustAppend(relation.Str("DR"), relation.Int(10))
+	t.AppendVals(relation.Str("DD"), relation.Int(50))
+	t.AppendVals(relation.Str("DM"), relation.Int(10))
+	t.AppendVals(relation.Str("DH"), relation.Int(60))
+	t.AppendVals(relation.Str("DV"), relation.Int(30))
+	t.AppendVals(relation.Str("DR"), relation.Int(10))
 	return t
 }
 
@@ -95,7 +95,7 @@ func Fig4Prescriptions(seed int64) *relation.Table {
 	for _, drug := range []string{"DH", "DV", "DR", "DM"} {
 		for i := int64(0); i < Fig4Consumption[drug]; i++ {
 			pid++
-			t.MustAppend(
+			t.AppendVals(
 				relation.Str(fmt.Sprintf("%s %s", firstNames[pid%len(firstNames)], lastNames[(pid*3)%len(lastNames)])),
 				relation.Str(doctors[rng.Intn(len(doctors))]),
 				relation.Str(drug),

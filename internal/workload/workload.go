@@ -117,10 +117,28 @@ func DiseaseList() []string {
 		"bronchitis", "hepatitis", "arrhythmia", "obesity"}
 }
 
-// Generate builds the full multi-source dataset for the configuration.
-func Generate(cfg Config) *Dataset {
-	if cfg.Patients <= 0 || cfg.Prescriptions < 0 {
-		panic(fmt.Sprintf("workload: bad config %+v", cfg))
+// Validate reports the first way the configuration is unusable.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Patients <= 0:
+		return fmt.Errorf("workload: config needs Patients > 0, got %d", cfg.Patients)
+	case cfg.Doctors <= 0:
+		return fmt.Errorf("workload: config needs Doctors > 0, got %d", cfg.Doctors)
+	case cfg.Prescriptions < 0:
+		return fmt.Errorf("workload: config needs Prescriptions >= 0, got %d", cfg.Prescriptions)
+	case cfg.LabResults < 0:
+		return fmt.Errorf("workload: config needs LabResults >= 0, got %d", cfg.LabResults)
+	case cfg.DirtyRate < 0 || cfg.DirtyRate > 1:
+		return fmt.Errorf("workload: config needs DirtyRate in [0, 1], got %g", cfg.DirtyRate)
+	}
+	return nil
+}
+
+// Generate builds the full multi-source dataset for the configuration,
+// rejecting unusable configurations instead of panicking mid-build.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ds := &Dataset{Diseases: DiseaseList()}
@@ -190,7 +208,7 @@ func Generate(cfg Config) *Dataset {
 		if rng.Float64() < 0.02 {
 			doctor = relation.Null() // missing values, as in Fig. 2b
 		}
-		pres.MustAppend(
+		pres.AppendVals(
 			relation.Int(int64(i+1)),
 			relation.Str(ds.PatientNames[pi]),
 			doctor,
@@ -212,7 +230,7 @@ func Generate(cfg Config) *Dataset {
 		if rng.Float64() < cfg.DirtyRate {
 			out = Dirty(name, rng)
 		}
-		fd.MustAppend(relation.Str(out), relation.Str(doctors[i%cfg.Doctors]))
+		fd.AppendVals(relation.Str(out), relation.Str(doctors[i%cfg.Doctors]))
 	}
 	ds.FamilyDoctor = fd
 
@@ -222,7 +240,7 @@ func Generate(cfg Config) *Dataset {
 		relation.Col("cost", relation.TInt),
 	))
 	for _, d := range ds.DrugNames {
-		dc.MustAppend(relation.Str(d), relation.Int(int64(5+rng.Intn(95))))
+		dc.AppendVals(relation.Str(d), relation.Int(int64(5+rng.Intn(95))))
 	}
 	ds.DrugCost = dc
 
@@ -242,7 +260,7 @@ func Generate(cfg Config) *Dataset {
 		if rng.Float64() < cfg.DirtyRate {
 			name = Dirty(name, rng)
 		}
-		lr.MustAppend(
+		lr.AppendVals(
 			relation.Int(int64(i+1)),
 			relation.Str(name),
 			relation.Str(tests[rng.Intn(len(tests))]),
@@ -261,7 +279,7 @@ func Generate(cfg Config) *Dataset {
 	))
 	towns := []string{"Trento", "Rovereto", "Pergine", "Arco", "Riva", "Cles", "Borgo", "Levico"}
 	for i, name := range ds.PatientNames {
-		res.MustAppend(
+		res.AppendVals(
 			relation.Str(name),
 			relation.Int(int64(18+rng.Intn(80))),
 			relation.Str(fmt.Sprintf("38%03d", rng.Intn(200))),
@@ -269,7 +287,7 @@ func Generate(cfg Config) *Dataset {
 		)
 	}
 	ds.Residents = res
-	return ds
+	return ds, nil
 }
 
 // Dirty injects one realistic data-quality defect into a name: a swapped

@@ -11,8 +11,14 @@ import (
 func TestGenerateDeterministic(t *testing.T) {
 	cfg := DefaultConfig(42)
 	cfg.Patients, cfg.Prescriptions, cfg.LabResults = 50, 200, 50
-	a := Generate(cfg)
-	b := Generate(cfg)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Prescriptions.NumRows() != b.Prescriptions.NumRows() {
 		t.Fatal("row counts differ")
 	}
@@ -25,10 +31,30 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Patients: 10},
+		{Patients: 10, Doctors: 2, Prescriptions: -1},
+		{Patients: 10, Doctors: 2, LabResults: -1},
+		{Patients: 10, Doctors: 2, DirtyRate: 1.5},
+	} {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) must fail", cfg)
+		}
+	}
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Fatalf("default config must validate, got %v", err)
+	}
+}
+
 func TestGenerateShape(t *testing.T) {
 	cfg := DefaultConfig(7)
 	cfg.Patients, cfg.Prescriptions, cfg.LabResults = 100, 1000, 200
-	ds := Generate(cfg)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ds.Prescriptions.NumRows() != 1000 {
 		t.Errorf("prescriptions = %d", ds.Prescriptions.NumRows())
 	}
@@ -71,7 +97,10 @@ func TestDirtyNamesResolvable(t *testing.T) {
 	cfg := DefaultConfig(3)
 	cfg.Patients = 200
 	cfg.DirtyRate = 0.5
-	ds := Generate(cfg)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	clean := map[string]bool{}
 	for _, n := range ds.PatientNames {
 		clean[n] = true
@@ -177,7 +206,11 @@ func TestOwners(t *testing.T) {
 func TestFixtureSchemasAlign(t *testing.T) {
 	// Generated and fixture prescriptions must agree on the shared
 	// columns so tests can swap one for the other.
-	gen := Generate(DefaultConfig(1)).Prescriptions
+	genDS, err := Generate(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := genDS.Prescriptions
 	fix := PrescriptionsFixture()
 	for _, col := range fix.Schema.ColumnNames() {
 		if !gen.Schema.HasColumn(col) {

@@ -11,6 +11,7 @@ import (
 	"plabi/internal/core"
 	"plabi/internal/enforce"
 	"plabi/internal/etl"
+	"plabi/internal/fault"
 	"plabi/internal/metareport"
 	"plabi/internal/obs"
 	"plabi/internal/relation"
@@ -31,6 +32,17 @@ var (
 	ErrUnknownTable = sql.ErrUnknownTable
 	// ErrPLAViolation is the sentinel behind every enforcement refusal.
 	ErrPLAViolation = enforce.ErrPLAViolation
+	// ErrAuditUnavailable marks an audit-sink write that failed past the
+	// retry budget; under WithFailClosed, Render errors wrap it instead
+	// of delivering un-audited data.
+	ErrAuditUnavailable = audit.ErrAuditUnavailable
+	// ErrInternal is the sentinel behind recovered worker panics; the
+	// concrete site and stack are recovered with errors.As on
+	// *InternalError.
+	ErrInternal = fault.ErrInternal
+	// ErrInjected is the sentinel behind every injected fault, for chaos
+	// harnesses distinguishing injected failures from organic ones.
+	ErrInjected = fault.ErrInjected
 )
 
 // Re-exported types: the public vocabulary of the engine. The underlying
@@ -80,11 +92,37 @@ type (
 	// SpanRecord is one completed span: name, correlation id, duration
 	// and attributes.
 	SpanRecord = obs.SpanRecord
+	// FaultInjector drives deterministic, seedable fault schedules
+	// through the engine's operational boundaries (chaos testing).
+	FaultInjector = fault.Injector
+	// FaultConfig configures injection at one site (rates, latency,
+	// transience, fire bound).
+	FaultConfig = fault.SiteConfig
+	// RetryPolicy bounds retries with exponential backoff and jitter at
+	// the engine's retryable sites.
+	RetryPolicy = fault.RetryPolicy
+	// InternalError is a recovered worker panic carrying site and stack.
+	InternalError = fault.InternalError
 )
 
 // NewMetrics returns an empty observability registry, for sharing one
 // registry across engines or publishing it before Open.
 func NewMetrics() *Metrics { return obs.New() }
+
+// NewFaultInjector returns an injector with no enabled sites. Enable
+// sites with Enable or EnableSpec and attach it with WithFaultInjector
+// (or Engine-level wiring in internal harnesses). A fixed seed replays
+// the same fault schedule.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.NewInjector(seed) }
+
+// FaultSites lists the canonical injection-site names the engine
+// consults: etl.extract, etl.step, render.worker, audit.sink.write.
+func FaultSites() []string { return fault.Sites() }
+
+// DefaultRetryPolicy is the engine-wide default for retryable sites:
+// 4 attempts, 5ms base backoff doubling to a 200ms cap, half-width
+// jitter.
+func DefaultRetryPolicy() RetryPolicy { return fault.DefaultRetryPolicy() }
 
 // CorrelationID returns the correlation id carried by ctx ("" when none).
 // Every Render / RunETL / CheckReportCompliance call stamps its span's id
@@ -112,6 +150,9 @@ type options struct {
 	workers    int
 	metrics    *obs.Metrics
 	metricsSet bool
+	faults     *fault.Injector
+	retry      *fault.RetryPolicy
+	failClosed bool
 }
 
 // apply configures a core engine from the collected options.
@@ -127,6 +168,15 @@ func (o *options) apply(ce *core.Engine) {
 	}
 	if o.workers > 0 {
 		ce.SetWorkers(o.workers)
+	}
+	if o.retry != nil {
+		ce.SetRetryPolicy(*o.retry)
+	}
+	if o.failClosed {
+		ce.SetFailClosed(true)
+	}
+	if o.faults != nil {
+		ce.SetFaults(o.faults)
 	}
 }
 
@@ -156,6 +206,31 @@ func WithWorkers(n int) Option {
 // Passing nil disables instrumentation entirely.
 func WithMetrics(m *Metrics) Option {
 	return func(o *options) { o.metrics = m; o.metricsSet = true }
+}
+
+// WithRetryPolicy replaces the default bounded-backoff policy applied at
+// the engine's retryable sites (audit-sink writes, ETL source reads).
+// The zero policy disables retries entirely.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(o *options) { o.retry = &p }
+}
+
+// WithFailClosed makes audit unavailability block delivery: when the
+// audit sink stays down past the retry budget, Render returns an error
+// wrapping ErrAuditUnavailable instead of serving data whose release
+// would leave no trace. The default is fail-open (drops are counted in
+// audit.sink_drops and delivery proceeds).
+func WithFailClosed() Option {
+	return func(o *options) { o.failClosed = true }
+}
+
+// WithFaultInjector attaches a fault injector to every instrumented
+// boundary — ETL extraction and steps, render workers, audit-sink
+// writes. For chaos tests and failure drills; production deployments
+// simply omit it. In OpenHealthcare the injector is active during the
+// scenario's own ETL build, so construction can be chaos-tested too.
+func WithFaultInjector(fi *FaultInjector) Option {
+	return func(o *options) { o.faults = fi }
 }
 
 // Engine is one privacy-aware BI deployment: sources, PLAs, guarded ETL,
@@ -198,15 +273,16 @@ func OpenHealthcare(cfg HealthcareConfig, opts ...Option) (*Engine, error) {
 	wcfg := workload.DefaultConfig(cfg.Seed)
 	wcfg.Prescriptions = cfg.Prescriptions
 	wcfg.Patients = cfg.Prescriptions / 10
-	ce, _, err := core.BuildHealthcareEngine(wcfg)
-	if err != nil {
-		return nil, err
-	}
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
-	o.apply(ce)
+	// Options apply before the scenario ETL runs, so fault injection,
+	// retry policies and metrics cover engine construction itself.
+	ce, _, err := core.BuildHealthcareEngineWith(wcfg, o.apply)
+	if err != nil {
+		return nil, err
+	}
 	return &Engine{core: ce}, nil
 }
 
@@ -358,6 +434,14 @@ func (e *Engine) DebugHandler() http.Handler {
 // SetWorkers re-bounds the worker pools at runtime (0 restores the
 // default of one worker per CPU).
 func (e *Engine) SetWorkers(n int) { e.core.SetWorkers(n) }
+
+// SetFailClosed switches the audit-unavailability policy at runtime (see
+// WithFailClosed).
+func (e *Engine) SetFailClosed(on bool) { e.core.SetFailClosed(on) }
+
+// Faults returns the attached fault injector (nil when none), exposing
+// its fired-fault schedule for chaos-run artifacts.
+func (e *Engine) Faults() *FaultInjector { return e.core.Faults() }
 
 // IsBlocked reports whether err is an enforcement refusal and returns
 // the blocking decisions.
