@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race lint cover bench-smoke bench bench-core fuzz-smoke chaos ci
+.PHONY: build vet test race lint cover bench-smoke bench bench-core serve-bench fuzz-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ bench:
 bench-core:
 	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchtime=5x -benchmem . | tee bench_core.txt
 	$(GO) run ./cmd/benchjson -in bench_core.txt -out BENCH_core.json -check
+
+# Serving benchmark: the load harness self-hosts a two-tenant plabid,
+# drives a mixed render/check workload and writes BENCH_serve.json.
+# Exits non-zero when the (generous) SLO floors are violated — total p99
+# above 500ms or error rate above 1%.
+serve-bench:
+	$(GO) run ./cmd/plabid-load -duration 5s -concurrency 8 \
+		-out BENCH_serve.json -slo-p99-ms 500 -slo-error-rate 0.01
 
 # Chaos suite: the healthcare scenario under deterministic fault
 # schedules (fixed seed matrix, override with CHAOS_SEEDS=1,2,3) with the

@@ -1,0 +1,147 @@
+// Package api is the Go client for the plabid policy-decision server.
+// It speaks the versioned wire contract of plabi/api/v1: requests and
+// responses are exactly the apiv1 types, and every non-2xx response is
+// returned as an *apiv1.Error whose Code callers dispatch on.
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	apiv1 "plabi/api/v1"
+)
+
+// Client talks to one plabid server with one bearer token (i.e. as one
+// tenant). The zero value is not usable; construct with NewClient.
+// Client is safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8321".
+	BaseURL string
+	// Token is the bearer token presented on every tenant request.
+	Token string
+	// HTTPClient is the transport (http.DefaultClient when nil).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at baseURL authenticating
+// with token.
+func NewClient(baseURL, token string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Token: token}
+}
+
+// Render renders a report under full PLA enforcement. A refusal by
+// enforcement surfaces as an *apiv1.Error with Code pla_blocked whose
+// Decisions carry the blocking decisions.
+func (c *Client) Render(ctx context.Context, tenant string, req apiv1.RenderRequest) (*apiv1.RenderResponse, error) {
+	var out apiv1.RenderResponse
+	if err := c.do(ctx, http.MethodPost, c.tenantPath(tenant, "render"), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Check statically checks a report's compliance for a consumer, with no
+// data flow.
+func (c *Client) Check(ctx context.Context, tenant string, req apiv1.CheckRequest) (*apiv1.CheckResponse, error) {
+	var out apiv1.CheckResponse
+	if err := c.do(ctx, http.MethodPost, c.tenantPath(tenant, "check"), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Lint runs the static PLA analyzers: over the tenant's live deployment
+// when req.Source is empty, over the supplied standalone document
+// otherwise.
+func (c *Client) Lint(ctx context.Context, tenant string, req apiv1.LintRequest) (*apiv1.LintResponse, error) {
+	var out apiv1.LintResponse
+	if err := c.do(ctx, http.MethodPost, c.tenantPath(tenant, "lint"), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reports lists the tenant's registered report portfolio.
+func (c *Client) Reports(ctx context.Context, tenant string) (*apiv1.ReportsResponse, error) {
+	var out apiv1.ReportsResponse
+	if err := c.do(ctx, http.MethodGet, c.tenantPath(tenant, "reports"), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz fetches the unauthenticated liveness document.
+func (c *Client) Healthz(ctx context.Context) (*apiv1.HealthResponse, error) {
+	var out apiv1.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) tenantPath(tenant, op string) string {
+	return "/" + apiv1.Version + "/tenants/" + url.PathEscape(tenant) + "/" + op
+}
+
+// do issues one request: JSON body out, JSON body in, bearer auth, and
+// error-envelope decoding on non-2xx statuses.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: marshal request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("api: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("api: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env apiv1.ErrorEnvelope
+		if jerr := json.Unmarshal(data, &env); jerr == nil && env.Error != nil {
+			env.Error.HTTP = resp.StatusCode
+			return env.Error
+		}
+		// Not a /v1 envelope (a proxy in the way, a panic page): still a
+		// typed error, so callers dispatch uniformly.
+		return &apiv1.Error{
+			Code:    apiv1.CodeInternal,
+			Message: fmt.Sprintf("non-envelope %d response: %.200s", resp.StatusCode, data),
+			HTTP:    resp.StatusCode,
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("api: decode %s response: %w", path, err)
+	}
+	return nil
+}

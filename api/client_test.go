@@ -1,0 +1,77 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	apiv1 "plabi/api/v1"
+)
+
+// The client's integration behavior against the real server lives in
+// internal/serve; these tests pin the transport contract itself — paths,
+// auth header, envelope decoding — against a canned handler.
+
+func TestClientRequestShapeAndDecoding(t *testing.T) {
+	var gotPath, gotAuth, gotMethod string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath, gotAuth, gotMethod = r.URL.Path, r.Header.Get("Authorization"), r.Method
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"tenant":"alpha","report":"r","correlation_id":"c1","total_rows":3,"masked_cells":0,"suppressed_rows":0,"cache_hit":false}`))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL+"/", "tok-123") // trailing slash trimmed
+	resp, err := c.Render(context.Background(), "alpha", apiv1.RenderRequest{Report: "r"})
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if gotMethod != http.MethodPost || gotPath != "/v1/tenants/alpha/render" {
+		t.Fatalf("request was %s %s, want POST /v1/tenants/alpha/render", gotMethod, gotPath)
+	}
+	if gotAuth != "Bearer tok-123" {
+		t.Fatalf("Authorization = %q", gotAuth)
+	}
+	if resp.TotalRows != 3 || resp.CorrelationID != "c1" {
+		t.Fatalf("decoded %+v", resp)
+	}
+}
+
+func TestClientDecodesErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		_, _ = w.Write([]byte(`{"error":{"code":"pla_blocked","message":"blocked","correlation_id":"c9","decisions":[{"outcome":"block","rule":"access-default-deny"}]}}`))
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL, "tok").Render(context.Background(), "alpha", apiv1.RenderRequest{Report: "r"})
+	var apiErr *apiv1.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T is not *apiv1.Error", err)
+	}
+	if apiErr.Code != apiv1.CodeBlocked || apiErr.HTTP != http.StatusForbidden {
+		t.Fatalf("got code=%s http=%d", apiErr.Code, apiErr.HTTP)
+	}
+	if len(apiErr.Decisions) != 1 || apiErr.Decisions[0].Rule != "access-default-deny" {
+		t.Fatalf("decisions not carried: %+v", apiErr.Decisions)
+	}
+}
+
+func TestClientWrapsNonEnvelopeFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL, "tok").Reports(context.Background(), "alpha")
+	var apiErr *apiv1.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T is not *apiv1.Error", err)
+	}
+	if apiErr.Code != apiv1.CodeInternal || apiErr.HTTP != http.StatusBadGateway {
+		t.Fatalf("got code=%s http=%d", apiErr.Code, apiErr.HTTP)
+	}
+}

@@ -1,0 +1,163 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// The golden documents below ARE the /v1 wire contract: if one of these
+// assertions breaks, the change is wire-visible and belongs in /v2 (or,
+// for a pure addition, the golden text is extended here, never edited).
+var goldenCases = []struct {
+	name   string
+	value  any
+	golden string
+}{
+	{
+		name: "RenderRequest",
+		value: &RenderRequest{
+			Report:   "drug-consumption",
+			Consumer: Consumer{Name: "alice", Role: "analyst", Purpose: "quality"},
+			MaxRows:  10,
+			OmitRows: false,
+		},
+		golden: `{"report":"drug-consumption","consumer":{"name":"alice","role":"analyst","purpose":"quality"},"max_rows":10}`,
+	},
+	{
+		name: "RenderResponse",
+		value: &RenderResponse{
+			Tenant:        "alpha",
+			Report:        "drug-consumption",
+			CorrelationID: "alpha-r00000001",
+			Columns:       []Column{{Name: "drug", Type: "STRING"}, {Name: "consumption", Type: "INT"}},
+			Rows:          [][]string{{"aspirin", "12"}, {"ibuprofen", "7"}},
+			TotalRows:     2,
+			Decisions: []Decision{{
+				Outcome: "mask", Rule: "access-deny", Subject: "patient",
+				PLAs: []string{"hospital-prescriptions"}, Detail: "attribute not released to analysts",
+			}},
+			MaskedCells:    4,
+			SuppressedRows: 1,
+			CacheHit:       true,
+		},
+		golden: `{"tenant":"alpha","report":"drug-consumption","correlation_id":"alpha-r00000001","columns":[{"name":"drug","type":"STRING"},{"name":"consumption","type":"INT"}],"rows":[["aspirin","12"],["ibuprofen","7"]],"total_rows":2,"decisions":[{"outcome":"mask","rule":"access-deny","subject":"patient","plas":["hospital-prescriptions"],"detail":"attribute not released to analysts"}],"masked_cells":4,"suppressed_rows":1,"cache_hit":true}`,
+	},
+	{
+		name: "CheckRequest",
+		value: &CheckRequest{
+			Report:   "patient-activity",
+			Consumer: Consumer{Role: "auditor"},
+		},
+		golden: `{"report":"patient-activity","consumer":{"role":"auditor"}}`,
+	},
+	{
+		name: "CheckResponse",
+		value: &CheckResponse{
+			Tenant: "alpha", Report: "patient-activity", CorrelationID: "alpha-r00000002",
+			Compliant: false,
+			Findings: []Decision{{
+				Outcome: "block", Rule: "access-default-deny", Subject: "patient",
+			}},
+		},
+		golden: `{"tenant":"alpha","report":"patient-activity","correlation_id":"alpha-r00000002","compliant":false,"findings":[{"outcome":"block","rule":"access-default-deny","subject":"patient"}]}`,
+	},
+	{
+		name: "LintRequest",
+		value: &LintRequest{
+			Source:      `pla "p" { owner "o"; level source; scope "t"; allow attribute a; }`,
+			MinSeverity: "warning",
+		},
+		golden: `{"source":"pla \"p\" { owner \"o\"; level source; scope \"t\"; allow attribute a; }","min_severity":"warning"}`,
+	},
+	{
+		name: "LintResponse",
+		value: &LintResponse{
+			Tenant: "alpha", CorrelationID: "alpha-r00000003", Clean: false,
+			Findings: []LintFinding{{
+				Code: "PL001", Severity: "info", Level: "source", Pos: "policy.pla:3:5",
+				Subject: "a", Message: "rule is dead", PLAs: []string{"p"},
+			}},
+		},
+		golden: `{"tenant":"alpha","correlation_id":"alpha-r00000003","clean":false,"findings":[{"code":"PL001","severity":"info","level":"source","pos":"policy.pla:3:5","subject":"a","message":"rule is dead","plas":["p"]}]}`,
+	},
+	{
+		name: "ReportsResponse",
+		value: &ReportsResponse{
+			Tenant: "alpha", CorrelationID: "alpha-r00000004",
+			Reports: []ReportInfo{{
+				ID: "drug-consumption", Title: "Drug consumption",
+				Query: "SELECT drug, COUNT(*) AS consumption FROM rx_wide GROUP BY drug",
+				Roles: []string{"analyst"}, Purpose: "quality", Version: 1, Meta: "meta-1",
+			}},
+		},
+		golden: `{"tenant":"alpha","correlation_id":"alpha-r00000004","reports":[{"id":"drug-consumption","title":"Drug consumption","query":"SELECT drug, COUNT(*) AS consumption FROM rx_wide GROUP BY drug","roles":["analyst"],"purpose":"quality","version":1,"meta":"meta-1"}]}`,
+	},
+	{
+		name: "HealthResponse",
+		value: &HealthResponse{
+			Status:  "ok",
+			Tenants: []TenantHealth{{Name: "alpha", Version: 2, Reports: 5}},
+		},
+		golden: `{"status":"ok","tenants":[{"name":"alpha","version":2,"reports":5}]}`,
+	},
+	{
+		name: "ErrorEnvelope",
+		value: &ErrorEnvelope{Error: &Error{
+			Code: CodeBlocked, Message: `render "patient-activity" blocked`,
+			CorrelationID: "alpha-r00000005",
+			Decisions:     []Decision{{Outcome: "block", Rule: "access-default-deny"}},
+		}},
+		golden: `{"error":{"code":"pla_blocked","message":"render \"patient-activity\" blocked","correlation_id":"alpha-r00000005","decisions":[{"outcome":"block","rule":"access-default-deny"}]}}`,
+	},
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.Marshal(tc.value)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if string(got) != tc.golden {
+				t.Fatalf("wire form drifted\n got: %s\nwant: %s", got, tc.golden)
+			}
+			// Decode the golden text into a fresh value of the same type
+			// and require equality: every field survives the round trip.
+			back := reflect.New(reflect.TypeOf(tc.value).Elem()).Interface()
+			if err := json.Unmarshal([]byte(tc.golden), back); err != nil {
+				t.Fatalf("unmarshal golden: %v", err)
+			}
+			if !reflect.DeepEqual(tc.value, back) {
+				t.Fatalf("round trip lost data\n got: %#v\nwant: %#v", back, tc.value)
+			}
+		})
+	}
+}
+
+func TestErrorCodeHTTPStatus(t *testing.T) {
+	want := map[ErrorCode]int{
+		CodeBadRequest:       400,
+		CodeUnauthorized:     401,
+		CodeUnknownTenant:    404,
+		CodeUnknownReport:    404,
+		CodeBlocked:          403,
+		CodeAuditUnavailable: 503,
+		CodeRateLimited:      429,
+		CodeInternal:         500,
+		ErrorCode("future"):  500,
+	}
+	for code, status := range want {
+		if got := code.HTTPStatus(); got != status {
+			t.Errorf("%s.HTTPStatus() = %d, want %d", code, got, status)
+		}
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	var err error = &Error{Code: CodeUnknownReport, Message: `no report "x"`, CorrelationID: "t-r1"}
+	const want = `plabid: unknown_report: no report "x" [t-r1]`
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}

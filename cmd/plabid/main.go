@@ -1,0 +1,89 @@
+// Command plabid serves plabi policy decisions over HTTP: a multi-tenant
+// server where every tenant of a manifest gets its own isolated engine
+// (policy registry, decision cache, audit sink file), bearer tokens map
+// to tenants, and a token bucket bounds each tenant's request rate.
+//
+// Usage:
+//
+//	plabid -manifest manifest.json [-addr :8087] [-audit-dir DIR]
+//
+// The manifest (see docs/API.md) declares the tenants; editing it and
+// either sending SIGHUP or POSTing /admin/reload with an admin token
+// hot-reloads the policy bundles: tenants whose bundle changed get a
+// fresh engine built and atomically swapped in while in-flight requests
+// drain against the old one.
+//
+// Endpoints: POST /v1/tenants/{tenant}/{render,check,lint},
+// GET /v1/tenants/{tenant}/reports, GET /healthz, GET /metrics,
+// /debug/pprof, POST /admin/reload. The wire contract is plabi/api/v1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"plabi/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8087", "listen address")
+	manifestPath := flag.String("manifest", "", "tenant manifest file (required)")
+	auditDir := flag.String("audit-dir", "", "directory for per-tenant audit trails (default: OS temp dir)")
+	flag.Parse()
+
+	if *manifestPath == "" {
+		fmt.Fprintln(os.Stderr, "plabid: -manifest is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, err := serve.LoadManifest(*manifestPath)
+	if err != nil {
+		log.Fatalf("plabid: %v", err)
+	}
+	s, err := serve.New(m, serve.Options{AuditDir: *auditDir, ManifestPath: *manifestPath})
+	if err != nil {
+		log.Fatalf("plabid: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sig := range sigs {
+			switch sig {
+			case syscall.SIGHUP:
+				if err := s.ReloadFromManifestFile(); err != nil {
+					log.Printf("plabid: reload: %v", err)
+				} else {
+					log.Printf("plabid: manifest reloaded")
+				}
+			default:
+				log.Printf("plabid: %v: shutting down", sig)
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_ = srv.Shutdown(ctx)
+				cancel()
+				return
+			}
+		}
+	}()
+
+	log.Printf("plabid: serving %d tenants on %s (manifest %s)", len(m.Tenants), *addr, *manifestPath)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("plabid: %v", err)
+	}
+	<-done
+	if err := s.Close(); err != nil {
+		log.Fatalf("plabid: close: %v", err)
+	}
+}

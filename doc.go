@@ -40,6 +40,22 @@
 // nil, disables instrumentation. README.md § Observability lists every
 // exported metric name.
 //
+// Engine lifecycle: Open cannot fail — option misuse (negative worker or
+// cache bounds, nil injectors, unknown retry sites) is clamped to the
+// documented defaults — while OpenHealthcare validates the same options
+// and returns an error, since it already has an error path. An engine
+// needs no explicit shutdown unless it streams audit events: Close
+// flushes and closes the audit sink (when the writer supports it) and
+// detaches it, so the trail reaches stable storage before the writer is
+// released. Close never interrupts in-flight operations — worker pools
+// are per-operation and drain with them — so callers stop issuing work,
+// let it drain, then Close. This is exactly the teardown plabid performs
+// when a tenant's policy bundle is swapped: build the new engine, swap
+// the serving pointer, drain the old engine's in-flight requests, Close.
+// WithRetryPolicyFor tunes the retry budget per operational site, e.g.
+// retrying audit.sink.write much harder than etl.extract under
+// WithFailClosed, where a dropped audit line refuses a render.
+//
 // plabi.OpenHealthcare assembles the paper's Fig. 1 healthcare scenario
 // (five owners, scenario PLAs, guarded ETL, report portfolio, approved
 // meta-reports) over a deterministic synthetic workload. See README.md

@@ -78,6 +78,35 @@ func (l *Log) SetSink(w io.Writer) {
 	l.sink = w
 }
 
+// CloseSink flushes and closes the attached sink, then detaches it, so
+// every line issued so far reaches stable storage before the owner lets
+// the writer go. Sinks that implement Flush() error (bufio.Writer) are
+// flushed; sinks that implement io.Closer (os.File) are closed. The log
+// itself stays usable: subsequent appends are in-memory only. Calling
+// CloseSink with no sink attached is a no-op.
+func (l *Log) CloseSink() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sink == nil {
+		return nil
+	}
+	var err error
+	if f, ok := l.sink.(interface{ Flush() error }); ok {
+		err = f.Flush()
+	}
+	if c, ok := l.sink.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	l.sink = nil
+	l.dirty = false
+	if err != nil {
+		return fmt.Errorf("audit: close sink: %w", err)
+	}
+	return nil
+}
+
 // SetMetrics wires the log into an obs registry: Append maintains the
 // audit.events counter, the audit.depth gauge, audit.sink_drops for
 // sink write failures and audit.sink_resyncs for dirty-sink recoveries.

@@ -53,6 +53,8 @@ type Engine struct {
 	faults     atomic.Pointer[fault.Injector]
 	failClosed atomic.Bool
 	retryp     atomic.Pointer[fault.RetryPolicy]
+	retrySites atomic.Pointer[map[string]fault.RetryPolicy]
+	closed     atomic.Bool
 }
 
 // New returns an empty engine with its own observability registry.
@@ -100,19 +102,67 @@ func (e *Engine) SetFaults(fi *fault.Injector) {
 // Faults returns the attached injector (nil when none).
 func (e *Engine) Faults() *fault.Injector { return e.faults.Load() }
 
-// SetRetryPolicy replaces the bounded-backoff policy applied at the
-// engine's retryable sites: audit-sink writes and ETL source reads.
+// SetRetryPolicy replaces the default bounded-backoff policy applied at
+// the engine's retryable sites: audit-sink writes and ETL source reads.
+// Per-site overrides installed with SetRetryPolicyFor keep precedence.
 func (e *Engine) SetRetryPolicy(p fault.RetryPolicy) {
 	e.retryp.Store(&p)
-	e.Audit.SetRetryPolicy(p)
+	e.Audit.SetRetryPolicy(e.RetryPolicyFor(fault.SiteAuditSink))
 }
 
-// RetryPolicy returns the engine's current retry policy.
+// SetRetryPolicyFor overrides the retry policy at one named site
+// (fault.SiteAuditSink, fault.SiteETLExtract, ...), leaving the default
+// in force everywhere else — deployments that must retry audit-sink
+// writes harder than source reads tune each boundary independently.
+// Unknown site names install silently and simply never match.
+func (e *Engine) SetRetryPolicyFor(site string, p fault.RetryPolicy) {
+	for {
+		old := e.retrySites.Load()
+		next := map[string]fault.RetryPolicy{}
+		if old != nil {
+			for k, v := range *old {
+				next[k] = v
+			}
+		}
+		next[site] = p
+		if e.retrySites.CompareAndSwap(old, &next) {
+			break
+		}
+	}
+	if site == fault.SiteAuditSink {
+		e.Audit.SetRetryPolicy(p)
+	}
+}
+
+// RetryPolicy returns the engine's default retry policy.
 func (e *Engine) RetryPolicy() fault.RetryPolicy {
 	if p := e.retryp.Load(); p != nil {
 		return *p
 	}
 	return fault.RetryPolicy{}
+}
+
+// RetryPolicyFor returns the policy in force at one site: the per-site
+// override when installed, the engine default otherwise.
+func (e *Engine) RetryPolicyFor(site string) fault.RetryPolicy {
+	if m := e.retrySites.Load(); m != nil {
+		if p, ok := (*m)[site]; ok {
+			return p
+		}
+	}
+	return e.RetryPolicy()
+}
+
+// Close flushes and closes the engine's audit sink and marks the engine
+// closed. In-flight operations complete normally — Close does not
+// interrupt them — but the trail they stream stops at the sink boundary,
+// so callers should drain before closing. Idempotent: the second and
+// later calls return nil without touching the sink.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return e.Audit.CloseSink()
 }
 
 // SetFailClosed selects the audit-unavailability policy for renders.
@@ -243,7 +293,7 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 	ectx.Graph = e.Graph
 	ectx.Metrics = m
 	ectx.Faults = e.Faults()
-	ectx.Retry = e.RetryPolicy()
+	ectx.Retry = e.RetryPolicyFor(fault.SiteETLExtract)
 	ectx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
 		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
 			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut),

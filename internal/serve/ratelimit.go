@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token-bucket rate limiter: capacity burst, refilled at
+// rate tokens per second. The nil bucket admits everything.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns a limiter admitting rate requests per second with
+// the given burst capacity (burst <= 0 defaults to rate, minimum 1).
+// A rate <= 0 returns nil: unlimited.
+func newBucket(rate, burst float64) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// allow consumes one token if available. The first call anchors the
+// refill clock.
+func (b *bucket) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryAfter estimates how long until one token is available, rounded
+// up to whole seconds (for the Retry-After header).
+func (b *bucket) retryAfter() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	missing := 1 - b.tokens
+	if missing <= 0 {
+		return time.Second
+	}
+	d := time.Duration(missing / b.rate * float64(time.Second))
+	if rem := d % time.Second; rem != 0 {
+		d += time.Second - rem
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

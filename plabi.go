@@ -151,8 +151,97 @@ type options struct {
 	metrics    *obs.Metrics
 	metricsSet bool
 	faults     *fault.Injector
+	faultsSet  bool
 	retry      *fault.RetryPolicy
+	retrySites map[string]fault.RetryPolicy
 	failClosed bool
+	// allowNilMetrics preserves Open's documented WithMetrics(nil)
+	// semantics (disable instrumentation) through validation.
+	allowNilMetrics bool
+}
+
+// validate reports the first option misuse: values no engine
+// configuration can mean. Open forgives these by clamping (see
+// clampMisuse); OpenHealthcare surfaces them as a returned error.
+func (o *options) validate() error {
+	if o.workers < 0 {
+		return fmt.Errorf("plabi: WithWorkers(%d): worker count cannot be negative", o.workers)
+	}
+	if o.cacheSize < 0 {
+		return fmt.Errorf("plabi: WithCacheSize(%d): cache size cannot be negative", o.cacheSize)
+	}
+	if o.metricsSet && o.metrics == nil && !o.allowNilMetrics {
+		return fmt.Errorf("plabi: WithMetrics(nil): detaching instrumentation is an Open-only convenience; pass a registry (NewMetrics()) here")
+	}
+	if o.faultsSet && o.faults == nil {
+		return fmt.Errorf("plabi: WithFaultInjector(nil): injector cannot be nil; omit the option instead")
+	}
+	if o.retry != nil {
+		if err := validRetry("WithRetryPolicy", *o.retry); err != nil {
+			return err
+		}
+	}
+	known := map[string]bool{}
+	for _, s := range fault.Sites() {
+		known[s] = true
+	}
+	for site, p := range o.retrySites {
+		if !known[site] {
+			return fmt.Errorf("plabi: WithRetryPolicyFor(%q): unknown site (want one of %v)", site, fault.Sites())
+		}
+		if err := validRetry("WithRetryPolicyFor("+site+")", p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validRetry(opt string, p RetryPolicy) error {
+	switch {
+	case p.Base < 0 || p.Max < 0 || p.AttemptTimeout < 0:
+		return fmt.Errorf("plabi: %s: durations cannot be negative", opt)
+	case p.Jitter < 0 || p.Jitter > 1:
+		return fmt.Errorf("plabi: %s: jitter %v outside [0, 1]", opt, p.Jitter)
+	case p.Multiplier < 0:
+		return fmt.Errorf("plabi: %s: multiplier cannot be negative", opt)
+	}
+	return nil
+}
+
+// clampMisuse normalizes the values validate rejects, implementing
+// Open's documented clamp rules: negative worker and cache bounds fall
+// back to the defaults (as if 0 were passed), a nil fault injector is
+// ignored, retry overrides for unknown sites are dropped, and negative
+// retry-policy fields reset to the zero policy. WithMetrics(nil) is NOT
+// clamped — for Open it keeps its documented meaning of disabling
+// instrumentation entirely.
+func (o *options) clampMisuse() {
+	o.allowNilMetrics = true
+	if o.workers < 0 {
+		o.workers = 0
+	}
+	if o.cacheSize < 0 {
+		o.cacheSize = 0
+	}
+	if o.faultsSet && o.faults == nil {
+		o.faultsSet = false
+	}
+	if o.retry != nil && validRetry("", *o.retry) != nil {
+		o.retry = &RetryPolicy{}
+	}
+	known := map[string]bool{}
+	for _, s := range fault.Sites() {
+		known[s] = true
+	}
+	for site, p := range o.retrySites {
+		if !known[site] {
+			delete(o.retrySites, site)
+			continue
+		}
+		if validRetry("", p) != nil {
+			o.retrySites[site] = RetryPolicy{}
+		}
+	}
 }
 
 // apply configures a core engine from the collected options.
@@ -172,12 +261,35 @@ func (o *options) apply(ce *core.Engine) {
 	if o.retry != nil {
 		ce.SetRetryPolicy(*o.retry)
 	}
+	for site, p := range o.retrySites {
+		ce.SetRetryPolicyFor(site, p)
+	}
 	if o.failClosed {
 		ce.SetFailClosed(true)
 	}
-	if o.faults != nil {
+	if o.faultsSet && o.faults != nil {
 		ce.SetFaults(o.faults)
 	}
+}
+
+// newEngine is the single constructor both Open and OpenHealthcare route
+// through: collect options, validate them, and build the engine via the
+// supplied hook (an empty core for Open, the scenario builder for
+// OpenHealthcare), with the options applied before the hook runs any
+// data flow.
+func newEngine(build func(configure func(*core.Engine)) (*core.Engine, error), opts ...Option) (*Engine, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	ce, err := build(o.apply)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: ce}, nil
 }
 
 // WithAuditSink streams every audit event to w as one JSON line at append
@@ -215,6 +327,29 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	return func(o *options) { o.retry = &p }
 }
 
+// WithRetryPolicyFor overrides the retry policy at one named site (see
+// FaultSites: etl.extract, audit.sink.write, ...), leaving the default —
+// or a WithRetryPolicy replacement — in force everywhere else. A
+// fail-closed deployment typically retries audit.sink.write far harder
+// than etl.extract, because an unavailable sink blocks every render:
+//
+//	plabi.Open(
+//	    plabi.WithFailClosed(),
+//	    plabi.WithRetryPolicyFor("audit.sink.write", plabi.RetryPolicy{
+//	        MaxAttempts: 10, Base: 5 * time.Millisecond, Max: time.Second}),
+//	)
+//
+// OpenHealthcare rejects unknown site names; Open drops them (see the
+// clamp rules on Open).
+func WithRetryPolicyFor(site string, p RetryPolicy) Option {
+	return func(o *options) {
+		if o.retrySites == nil {
+			o.retrySites = map[string]fault.RetryPolicy{}
+		}
+		o.retrySites[site] = p
+	}
+}
+
 // WithFailClosed makes audit unavailability block delivery: when the
 // audit sink stays down past the retry budget, Render returns an error
 // wrapping ErrAuditUnavailable instead of serving data whose release
@@ -230,7 +365,7 @@ func WithFailClosed() Option {
 // simply omit it. In OpenHealthcare the injector is active during the
 // scenario's own ETL build, so construction can be chaos-tested too.
 func WithFaultInjector(fi *FaultInjector) Option {
-	return func(o *options) { o.faults = fi }
+	return func(o *options) { o.faults = fi; o.faultsSet = true }
 }
 
 // Engine is one privacy-aware BI deployment: sources, PLAs, guarded ETL,
@@ -240,15 +375,26 @@ type Engine struct {
 	core *core.Engine
 }
 
-// Open builds an empty engine.
+// Open builds an empty engine. Open cannot fail: option misuse is
+// clamped rather than reported — negative WithWorkers and WithCacheSize
+// values fall back to the defaults (as if 0 were passed), a nil
+// WithFaultInjector is ignored, WithRetryPolicyFor overrides naming an
+// unknown site are dropped, and retry policies with negative durations
+// reset to the zero (no-retry) policy. WithMetrics(nil) keeps its
+// documented meaning of disabling instrumentation. Use OpenHealthcare —
+// or validate inputs before calling — when misuse should surface as an
+// error instead.
 func Open(opts ...Option) *Engine {
-	var o options
-	for _, fn := range opts {
-		fn(&o)
+	e, err := newEngine(func(configure func(*core.Engine)) (*core.Engine, error) {
+		ce := core.New()
+		configure(ce)
+		return ce, nil
+	}, append(opts, func(o *options) { o.clampMisuse() })...)
+	if err != nil {
+		// Unreachable: clampMisuse normalizes everything validate rejects.
+		panic(err)
 	}
-	e := core.New()
-	o.apply(e)
-	return &Engine{core: e}
+	return e
 }
 
 // HealthcareConfig sizes the synthetic workload behind OpenHealthcare.
@@ -263,6 +409,12 @@ type HealthcareConfig struct {
 // synthetic workload: five source owners, the scenario PLAs, guarded ETL
 // into the warehouse, the standard report portfolio, and derived,
 // approved meta-reports.
+//
+// Unlike Open, which clamps, OpenHealthcare reports option misuse as an
+// error: negative WithWorkers/WithCacheSize values, WithMetrics(nil),
+// WithFaultInjector(nil), retry policies with negative durations or
+// jitter outside [0, 1], and WithRetryPolicyFor overrides naming an
+// unknown site are all rejected before any data flow runs.
 func OpenHealthcare(cfg HealthcareConfig, opts ...Option) (*Engine, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
@@ -273,17 +425,12 @@ func OpenHealthcare(cfg HealthcareConfig, opts ...Option) (*Engine, error) {
 	wcfg := workload.DefaultConfig(cfg.Seed)
 	wcfg.Prescriptions = cfg.Prescriptions
 	wcfg.Patients = cfg.Prescriptions / 10
-	var o options
-	for _, fn := range opts {
-		fn(&o)
-	}
 	// Options apply before the scenario ETL runs, so fault injection,
 	// retry policies and metrics cover engine construction itself.
-	ce, _, err := core.BuildHealthcareEngineWith(wcfg, o.apply)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{core: ce}, nil
+	return newEngine(func(configure func(*core.Engine)) (*core.Engine, error) {
+		ce, _, err := core.BuildHealthcareEngineWith(wcfg, configure)
+		return ce, err
+	}, opts...)
 }
 
 // AddSource registers a data provider; its tables become queryable and
@@ -442,6 +589,17 @@ func (e *Engine) SetFailClosed(on bool) { e.core.SetFailClosed(on) }
 // Faults returns the attached fault injector (nil when none), exposing
 // its fired-fault schedule for chaos-run artifacts.
 func (e *Engine) Faults() *FaultInjector { return e.core.Faults() }
+
+// Close releases the engine's operational resources: the audit sink is
+// flushed (when it implements Flush() error) and closed (when it
+// implements io.Closer), then detached, so the trail reaches stable
+// storage before the process lets the engine go. Worker pools are
+// per-operation and drain with their operations, so Close does not
+// interrupt in-flight Render/RunETL calls — callers should stop issuing
+// work and let it drain first, as plabid does on tenant bundle swaps.
+// The engine stays queryable after Close (in-memory audit log, metrics,
+// tables); only sink streaming stops. Close is idempotent.
+func (e *Engine) Close() error { return e.core.Close() }
 
 // IsBlocked reports whether err is an enforcement refusal and returns
 // the blocking decisions.
