@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race lint cover bench-smoke bench bench-core serve-bench fuzz-smoke chaos ci
+.PHONY: build vet test race lint cover bench-smoke bench bench-core bench-compiled serve-bench fuzz-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -41,11 +41,17 @@ bench:
 	BENCH_OBS=BENCH_obs.json $(GO) test -run '^$$' -bench . -benchtime=2s .
 
 # Full core-kernel measurement run: vectorized vs row-at-a-time vs
-# nested-loop at 1k/10k/100k, converted to BENCH_core.json with the
-# >=5x speedup floors enforced.
+# nested-loop vs compiled at 1k/10k/100k, converted to BENCH_core.json
+# with the >=5x vectorized and >=1.5x compiled speedup floors enforced.
 bench-core:
 	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchtime=5x -benchmem . | tee bench_core.txt
-	$(GO) run ./cmd/benchjson -in bench_core.txt -out BENCH_core.json -check
+	$(GO) run ./cmd/benchjson -in bench_core.txt -out BENCH_core.json -check -min-compiled 1.5
+
+# Compiled-render family only: the residual-program render against the
+# vectorized baseline at all three scales, with the >=1.5x floor at 100k.
+bench-compiled:
+	$(GO) test -run '^$$' -bench '^BenchmarkCoreRender(Compiled)?$$' -benchtime=5x -benchmem . | tee bench_compiled.txt
+	$(GO) run ./cmd/benchjson -in bench_compiled.txt -out BENCH_compiled.json -check-compiled -min-compiled 1.5
 
 # Serving benchmark: the load harness self-hosts a two-tenant plabid,
 # drives a mixed render/check workload and writes BENCH_serve.json.

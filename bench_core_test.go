@@ -1,12 +1,13 @@
 // Core performance-trajectory benchmarks: every hot path of the
 // relational kernel (join, render, ETL, rewrite+execute) at three scales,
 // under both execution modes in the same run, plus the nested-loop join
-// baseline. cmd/benchjson parses the output of
+// baseline and the compiled residual-program render. cmd/benchjson
+// parses the output of
 //
 //	go test -run '^$' -bench '^BenchmarkCore' -benchmem
 //
-// into BENCH_core.json with per-path vectorized-vs-reference speedups;
-// the CI bench job archives it and benchstat gates regressions.
+// into BENCH_core.json with per-path mode-vs-reference speedups; the CI
+// bench job archives it and benchstat gates regressions.
 package plabi
 
 import (
@@ -121,6 +122,37 @@ func BenchmarkCoreRender(b *testing.B) {
 	for _, n := range coreScales {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			withMode(b, func(b *testing.B) {
+				e := benchEngineAt(b, n)
+				consumer := report.Consumer{Name: "bench", Role: "analyst", Purpose: "quality"}
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					enf, err := e.Render("drug-consumption", consumer)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if enf.Table.NumRows() == 0 {
+						b.Fatal("all rows suppressed")
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCoreRenderCompiled measures the same enforced render through
+// the compiled residual program (relation.ExecCompiled): policy
+// composition specialized at plan-build time, and — because the plan
+// generations pin the catalog — the enforced result constant-folded on
+// the first render and replayed (deep-copied) on every subsequent one.
+// The steady-state ratio against BenchmarkCoreRender's vectorized mode
+// is the compiled-over-vectorized floor cmd/benchjson enforces.
+func BenchmarkCoreRenderCompiled(b *testing.B) {
+	for _, n := range coreScales {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.Run("mode=compiled", func(b *testing.B) {
+				prev := relation.SetExecMode(relation.ExecCompiled)
+				defer relation.SetExecMode(prev)
 				e := benchEngineAt(b, n)
 				consumer := report.Consumer{Name: "bench", Role: "analyst", Purpose: "quality"}
 				b.ResetTimer()

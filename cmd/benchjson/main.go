@@ -2,17 +2,20 @@
 //
 //	go test -run '^$' -bench '^BenchmarkCore' -benchmem .
 //
-// into BENCH_core.json: one record per benchmark plus the speedups of the
-// vectorized execution mode over the two reference baselines measured in
-// the same run — the seed's row-at-a-time operators (mode=row) and the
-// nested-loop join (BenchmarkCoreJoinNested). Recording both sides of
+// into BENCH_core.json: one record per benchmark plus the speedups of
+// each execution mode over the reference baseline measured in the same
+// run — vectorized over the seed's row-at-a-time operators (mode=row),
+// vectorized join over the nested-loop baseline
+// (BenchmarkCoreJoinNested), and the compiled residual-program render
+// (mode=compiled) over the vectorized render. Recording both sides of
 // every ratio in a single run keeps the perf trajectory honest: no number
 // in the file was taken on a different machine, commit, or load.
 //
-// With -check, the tool enforces the acceptance floor of the vectorized
-// kernel: at the largest scale the hash join must beat the nested-loop
-// reference and the batched render must beat the row-at-a-time reference,
-// each by at least -min (default 5.0). CI fails the bench job on a
+// With -check, the tool enforces the acceptance floors at the largest
+// scale: the hash join must beat the nested-loop reference and the
+// batched render must beat the row-at-a-time reference by at least -min
+// (default 5.0), and the compiled render must beat the vectorized render
+// by at least -min-compiled (default 1.5). CI fails the bench job on a
 // violation.
 package main
 
@@ -42,14 +45,16 @@ type Benchmark struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// Speedup is one vectorized-over-baseline ratio at one scale.
+// Speedup is one mode-over-baseline ratio at one scale.
 type Speedup struct {
-	Family       string  `json:"family"`
-	N            int     `json:"n"`
-	Baseline     string  `json:"baseline"` // "row" or "nested"
-	VectorizedNs float64 `json:"vectorized_ns"`
-	BaselineNs   float64 `json:"baseline_ns"`
-	Speedup      float64 `json:"speedup"`
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	// Baseline names the denominator: "row" or "nested" under the
+	// vectorized numerator, "vectorized" under the compiled one.
+	Baseline   string  `json:"baseline"`
+	FastNs     float64 `json:"fast_ns"`
+	BaselineNs float64 `json:"baseline_ns"`
+	Speedup    float64 `json:"speedup"`
 }
 
 // Report is the BENCH_core.json document.
@@ -113,9 +118,10 @@ func trimProcs(name string) string {
 	return name[:i]
 }
 
-// speedups derives every same-run ratio the suite supports: vectorized vs
-// row for each (family, n), and vectorized join vs the nested-loop
-// baseline family.
+// speedups derives every same-run ratio the suite supports: vectorized
+// vs row for each (family, n), vectorized join vs the nested-loop
+// baseline family, and a compiled family (e.g. RenderCompiled) vs the
+// vectorized mode of the family it specializes (Render).
 func speedups(benchmarks []Benchmark) []Speedup {
 	type key struct {
 		family string
@@ -128,16 +134,22 @@ func speedups(benchmarks []Benchmark) []Speedup {
 	}
 	var out []Speedup
 	for _, b := range benchmarks {
-		if b.Mode != "vectorized" {
-			continue
-		}
-		if base, ok := ns[key{b.Family, b.N, "row"}]; ok && base > 0 {
-			out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "row",
-				VectorizedNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
-		}
-		if base, ok := ns[key{b.Family + "Nested", b.N, ""}]; ok && base > 0 {
-			out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "nested",
-				VectorizedNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+		switch b.Mode {
+		case "vectorized":
+			if base, ok := ns[key{b.Family, b.N, "row"}]; ok && base > 0 {
+				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "row",
+					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+			}
+			if base, ok := ns[key{b.Family + "Nested", b.N, ""}]; ok && base > 0 {
+				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "nested",
+					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+			}
+		case "compiled":
+			parent := strings.TrimSuffix(b.Family, "Compiled")
+			if base, ok := ns[key{parent, b.N, "vectorized"}]; ok && base > 0 {
+				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "vectorized",
+					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -152,28 +164,42 @@ func speedups(benchmarks []Benchmark) []Speedup {
 	return out
 }
 
-// check enforces the acceptance floor: at the largest measured scale, the
-// hash join must be ≥ min× the nested-loop baseline and the batched render
-// ≥ min× the row-at-a-time baseline.
-func check(sp []Speedup, min float64) error {
-	floors := []struct{ family, baseline string }{
-		{"Join", "nested"},
-		{"Render", "row"},
+// check enforces the acceptance floors: at the largest measured scale,
+// the hash join must be ≥ min× the nested-loop baseline, the batched
+// render ≥ min× the row-at-a-time baseline, and the compiled render
+// ≥ minCompiled× the vectorized render.
+func check(sp []Speedup, min, minCompiled float64) error {
+	floors := []struct {
+		family, baseline string
+		floor            float64
+	}{
+		{"Join", "nested", min},
+		{"Render", "row", min},
+		{"RenderCompiled", "vectorized", minCompiled},
 	}
 	for _, f := range floors {
-		best := Speedup{}
-		for _, s := range sp {
-			if s.Family == f.family && s.Baseline == f.baseline && s.N > best.N {
-				best = s
-			}
+		if err := enforceFloor(sp, f.family, f.baseline, f.floor); err != nil {
+			return err
 		}
-		if best.N == 0 {
-			return fmt.Errorf("missing %s-vs-%s measurement", f.family, f.baseline)
+	}
+	return nil
+}
+
+// enforceFloor checks one family's speedup over one baseline at the
+// largest measured scale.
+func enforceFloor(sp []Speedup, family, baseline string, floor float64) error {
+	best := Speedup{}
+	for _, s := range sp {
+		if s.Family == family && s.Baseline == baseline && s.N > best.N {
+			best = s
 		}
-		if best.Speedup < min {
-			return fmt.Errorf("%s at n=%d is only %.2fx the %s baseline (floor %.1fx)",
-				f.family, best.N, best.Speedup, f.baseline, min)
-		}
+	}
+	if best.N == 0 {
+		return fmt.Errorf("missing %s-vs-%s measurement", family, baseline)
+	}
+	if best.Speedup < floor {
+		return fmt.Errorf("%s at n=%d is only %.2fx the %s baseline (floor %.1fx)",
+			family, best.N, best.Speedup, baseline, floor)
 	}
 	return nil
 }
@@ -182,7 +208,9 @@ func main() {
 	in := flag.String("in", "-", "benchmark output to parse ('-' for stdin)")
 	out := flag.String("out", "BENCH_core.json", "where to write the JSON report")
 	doCheck := flag.Bool("check", false, "fail unless the 100k join/render speedup floors hold")
-	min := flag.Float64("min", 5.0, "speedup floor enforced by -check")
+	doCheckCompiled := flag.Bool("check-compiled", false, "fail unless the 100k compiled-render floor holds (for runs without the join families)")
+	min := flag.Float64("min", 5.0, "vectorized-over-reference speedup floor enforced by -check")
+	minCompiled := flag.Float64("min-compiled", 1.5, "compiled-over-vectorized render floor enforced by -check and -check-compiled")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -226,10 +254,17 @@ func main() {
 		fmt.Printf("%-10s n=%-7d vs %-6s %6.2fx\n", s.Family, s.N, s.Baseline, s.Speedup)
 	}
 	if *doCheck {
-		if err := check(rep.Speedups, *min); err != nil {
+		if err := check(rep.Speedups, *min, *minCompiled); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("speedup floors hold (>= %.1fx)\n", *min)
+		fmt.Printf("speedup floors hold (>= %.1fx, compiled >= %.1fx)\n", *min, *minCompiled)
+	}
+	if *doCheckCompiled && !*doCheck {
+		if err := enforceFloor(rep.Speedups, "RenderCompiled", "vectorized", *minCompiled); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compiled-render floor holds (>= %.1fx)\n", *minCompiled)
 	}
 }

@@ -16,6 +16,7 @@ BenchmarkCoreJoin/n=100000/mode=row-8              	      15	  80000000 ns/op	95
 BenchmarkCoreJoinNested/n=100000-8                 	       1	1700000000 ns/op	900000000 B/op	 2600000 allocs/op
 BenchmarkCoreRender/n=100000/mode=vectorized-8     	      40	  27000000 ns/op	17000000 B/op	    1000 allocs/op
 BenchmarkCoreRender/n=100000/mode=row-8            	       7	 160000000 ns/op	54000000 B/op	  420000 allocs/op
+BenchmarkCoreRenderCompiled/n=100000/mode=compiled-8	     200	   6000000 ns/op	 9000000 B/op	     400 allocs/op
 PASS
 ok  	plabi	42.000s
 `
@@ -25,8 +26,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bs) != 7 {
-		t.Fatalf("parsed %d benchmarks, want 7", len(bs))
+	if len(bs) != 8 {
+		t.Fatalf("parsed %d benchmarks, want 8", len(bs))
 	}
 	b := bs[2]
 	if b.Family != "Join" || b.N != 100000 || b.Mode != "vectorized" {
@@ -39,6 +40,10 @@ func TestParse(t *testing.T) {
 	if nested.Family != "JoinNested" || nested.Mode != "" || nested.N != 100000 {
 		t.Fatalf("unexpected nested parse: %+v", nested)
 	}
+	compiled := bs[7]
+	if compiled.Family != "RenderCompiled" || compiled.Mode != "compiled" || compiled.N != 100000 {
+		t.Fatalf("unexpected compiled parse: %+v", compiled)
+	}
 }
 
 func TestSpeedups(t *testing.T) {
@@ -48,10 +53,11 @@ func TestSpeedups(t *testing.T) {
 	}
 	sp := speedups(bs)
 	want := map[string]float64{
-		"Join/1000/row":      2.0,
-		"Join/100000/row":    80.0 / 58.0,
-		"Join/100000/nested": 1700.0 / 58.0,
-		"Render/100000/row":  160.0 / 27.0,
+		"Join/1000/row":                    2.0,
+		"Join/100000/row":                  80.0 / 58.0,
+		"Join/100000/nested":               1700.0 / 58.0,
+		"Render/100000/row":                160.0 / 27.0,
+		"RenderCompiled/100000/vectorized": 27.0 / 6.0,
 	}
 	if len(sp) != len(want) {
 		t.Fatalf("got %d speedups, want %d: %+v", len(sp), len(want), sp)
@@ -71,13 +77,16 @@ func TestSpeedups(t *testing.T) {
 func TestCheck(t *testing.T) {
 	bs, _ := parse(strings.NewReader(sample))
 	sp := speedups(bs)
-	if err := check(sp, 5.0); err != nil {
+	if err := check(sp, 5.0, 1.5); err != nil {
 		t.Fatalf("floors should hold on sample: %v", err)
 	}
-	if err := check(sp, 50.0); err == nil {
+	if err := check(sp, 50.0, 1.5); err == nil {
 		t.Fatal("a 50x floor should fail on the sample")
 	}
-	if err := check(nil, 5.0); err == nil {
+	if err := check(sp, 5.0, 10.0); err == nil {
+		t.Fatal("a 10x compiled floor should fail on the sample")
+	}
+	if err := check(nil, 5.0, 1.5); err == nil {
 		t.Fatal("missing measurements should fail the check")
 	}
 }

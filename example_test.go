@@ -75,6 +75,50 @@ pla "thresh" { owner "hospital"; level report; scope "rx"; aggregate min 3 by pa
 	// Output: blocked by aggregation-threshold (pla thresh)
 }
 
+// ExampleEngine_CompileReport specializes one (report, role, purpose)
+// triple into its residual render program — thresholds baked, filters
+// pre-bound, dead rules pruned — and prints the compiled plan the render
+// hot path executes.
+func ExampleEngine_CompileReport() {
+	e := plabi.Open()
+	e.AddSource(plabi.NewSource("hospital", "hospital", workload.PrescriptionsFixture()))
+	if err := e.AddPLAs(`
+pla "src" { owner "hospital"; level source; scope "prescriptions"; allow attribute *; }
+pla "agg" { owner "hospital"; level report; scope "by-drug";
+    deny attribute patient; aggregate min 2 by patient; }`); err != nil {
+		panic(err)
+	}
+	if err := e.DefineReport(&plabi.ReportDefinition{ID: "by-drug",
+		Query: "SELECT drug, COUNT(*) AS n FROM prescriptions GROUP BY drug"}); err != nil {
+		panic(err)
+	}
+	c := plabi.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+	prog, err := e.CompileReport("by-drug", c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plas=%v live=%d/%d thresholds=%d\n",
+		prog.PLAs, prog.LiveRules, prog.TotalRules, len(prog.Thresholds))
+	plan, err := e.ExplainCompiled("by-drug", c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan)
+	// Output:
+	// plas=[src agg] live=2/2 thresholds=1
+	// residual program by-drug (role analyst, purpose quality)
+	//   generations: report v1, policy 2, catalog 1, scope 0
+	//   governing PLAs (2): src, agg
+	//   rules: 2 total, 2 live, 0 pruned (PL001)
+	//   thresholds (baked, 1):
+	//     - min 2 by "patient" pla=[agg]
+	//   row filters: none
+	//   columns (2):
+	//     - drug: release
+	//     - n: aggregate (threshold-governed)
+	//   pipeline: exec -> thresholds -> mask -> fold(result)
+}
+
 // ExampleEngine_MetricsSnapshot reads the enforcement counters after a
 // render; the same snapshot is served by DebugHandler on /metrics.
 func ExampleEngine_MetricsSnapshot() {

@@ -49,6 +49,7 @@ func chaosInjector(seed int64) *fault.Injector {
 		ErrorRate: 0.02, PanicRate: 0.02,
 		LatencyRate: 0.05, Latency: 200 * time.Microsecond,
 	})
+	fi.Enable(fault.SiteReleaseSource, fault.SiteConfig{ErrorRate: 0.1, Transient: true})
 	return fi
 }
 
@@ -88,8 +89,9 @@ func TestChaosHealthcareScenario(t *testing.T) {
 	}
 
 	// No-fault baseline: the byte-exact expected output per (report,
-	// consumer) pair.
-	base, _, err := BuildHealthcareEngine(cfg)
+	// consumer) pair, plus the source-level release of the residents table
+	// (the release.source site's ground truth).
+	base, baseDS, err := BuildHealthcareEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,6 +105,11 @@ func TestChaosHealthcareScenario(t *testing.T) {
 			baseline[d.ID+"/"+c.Name] = enf.Table.String()
 		}
 	}
+	baseRel, _, err := base.SourceEnforcer().Release(baseDS.Residents)
+	if err != nil {
+		t.Fatalf("baseline release: %v", err)
+	}
+	releaseBaseline := baseRel.String()
 
 	for _, seed := range chaosSeeds(t) {
 		seed := seed
@@ -115,9 +122,10 @@ func TestChaosHealthcareScenario(t *testing.T) {
 			// The scenario build itself runs under fault injection; ETL
 			// failures are tolerated and retried from scratch.
 			var e *Engine
+			var ds *workload.Dataset
 			for attempt := 0; ; attempt++ {
 				var err error
-				e, _, err = BuildHealthcareEngineWith(cfg, func(e *Engine) {
+				e, ds, err = BuildHealthcareEngineWith(cfg, func(e *Engine) {
 					e.SetRetryPolicy(chaosRetry())
 					e.SetFailClosed(true)
 					e.Audit.SetSink(&sink)
@@ -155,6 +163,22 @@ func TestChaosHealthcareScenario(t *testing.T) {
 						if got, want := enf.Table.String(), baseline[d.ID+"/"+c.Name]; got != want {
 							t.Fatalf("render %s diverges from no-fault baseline:\n got:\n%s\nwant:\n%s", corr, got, want)
 						}
+					}
+				}
+				// Source-level release under the release.source site: an
+				// injected fault degrades to a typed error with no partial
+				// release; a successful release is byte-identical to the
+				// no-fault baseline.
+				rel, _, err := e.SourceEnforcer().Release(ds.Residents)
+				if err != nil {
+					if !tolerable(err) {
+						t.Fatalf("release round %d: intolerable error: %v", r, err)
+					}
+					failures++
+				} else {
+					successes++
+					if got := rel.String(); got != releaseBaseline {
+						t.Fatalf("release round %d diverges from no-fault baseline:\n got:\n%s\nwant:\n%s", r, got, releaseBaseline)
 					}
 				}
 			}

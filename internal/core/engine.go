@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"plabi/internal/audit"
+	"plabi/internal/compile"
 	"plabi/internal/enforce"
 	"plabi/internal/etl"
 	"plabi/internal/fault"
@@ -177,7 +178,9 @@ func (e *Engine) FailClosed() bool { return e.failClosed.Load() }
 
 // MetricsSnapshot captures the engine's metrics, folding in the render
 // decision-cache counters (cache.*) which are kept authoritative inside
-// the cache itself rather than instrumented on the hot path.
+// the cache itself rather than instrumented on the hot path, plus the
+// residual-program generation (compile.generation) so operators can see
+// that a policy change actually recompiled.
 func (e *Engine) MetricsSnapshot() obs.Snapshot {
 	s := e.Obs().Snapshot()
 	cs := e.CacheStats()
@@ -185,6 +188,7 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 	s.Counters["cache.misses"] = cs.Misses
 	s.Counters["cache.invalidations"] = cs.Invalidations
 	s.Gauges["cache.entries"] = int64(cs.Entries)
+	s.Gauges["compile.generation"] = int64(e.enforcer.ProgramGeneration())
 	return s
 }
 
@@ -202,6 +206,63 @@ func (e *Engine) SetCacheSize(n int) { e.enforcer.SetCacheSize(n) }
 
 // CacheStats snapshots the render decision-cache counters.
 func (e *Engine) CacheStats() enforce.CacheStats { return e.enforcer.CacheStats() }
+
+// SetCompiledRenders forces this engine's renders through the residual
+// compiled programs regardless of the process-wide execution mode.
+func (e *Engine) SetCompiledRenders(on bool) { e.enforcer.SetCompiledRenders(on) }
+
+// ProgramGeneration counts the residual programs compiled over this
+// engine's lifetime. It moves on every plan build — including the
+// rebuilds a policy change (AddPLAs, DeriveMetaReports, hot reload)
+// forces — so a bump after a reload proves recompilation happened.
+func (e *Engine) ProgramGeneration() uint64 { return e.enforcer.ProgramGeneration() }
+
+// CompileReport specializes one (report, role, purpose) triple into its
+// residual render program and returns it for inspection. The program is
+// the same object compiled renders execute: it lands in the
+// generation-keyed decision cache, so a subsequent render at unchanged
+// generations reuses it. The unknown-report case wraps
+// report.ErrUnknownReport.
+func (e *Engine) CompileReport(reportID string, c report.Consumer) (*compile.Program, error) {
+	d, ok := e.Reports.Get(reportID)
+	if !ok {
+		return nil, fmt.Errorf("core: %w %q", report.ErrUnknownReport, reportID)
+	}
+	prog, _, err := e.enforcer.ProgramFor(d, c.Role, c.Purpose)
+	return prog, err
+}
+
+// ExplainCompiled renders the residual program for one (report, role,
+// purpose) triple as a deterministic, human-readable plan.
+func (e *Engine) ExplainCompiled(reportID string, c report.Consumer) (string, error) {
+	prog, err := e.CompileReport(reportID, c)
+	if err != nil {
+		return "", err
+	}
+	return prog.Explain(), nil
+}
+
+// Precompile eagerly compiles the residual program for every registered
+// report × delivery role (under the report's declared purpose), so the
+// first render after a policy change or hot reload pays no compilation
+// cost. It returns the number of (report, role) pairs compiled. Reports
+// with no declared roles compile once under the empty role.
+func (e *Engine) Precompile() (int, error) {
+	n := 0
+	for _, d := range e.Reports.All() {
+		roles := d.Roles
+		if len(roles) == 0 {
+			roles = []string{""}
+		}
+		for _, role := range roles {
+			if err := e.enforcer.Precompile(d, role, d.Purpose); err != nil {
+				return n, fmt.Errorf("core: precompile %s for role %q: %w", d.ID, role, err)
+			}
+			n++
+		}
+	}
+	return n, nil
+}
 
 // AddSource registers a data provider; its tables become traceable
 // provenance bases and queryable catalog entries.
@@ -620,7 +681,7 @@ func (e *Engine) Auditor() *audit.Auditor {
 // SourceEnforcer returns the Fig. 2a release filter over this engine's
 // policies and metadata.
 func (e *Engine) SourceEnforcer() *enforce.SourceEnforcer {
-	return &enforce.SourceEnforcer{Registry: e.Policies, Metadata: e.Metadata, Metrics: e.Obs()}
+	return &enforce.SourceEnforcer{Registry: e.Policies, Metadata: e.Metadata, Metrics: e.Obs(), Faults: e.Faults()}
 }
 
 // QueryRewriter returns the VPD-style rewriter over this engine's

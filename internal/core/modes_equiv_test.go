@@ -12,8 +12,9 @@ import (
 
 // scenarioRun captures everything observable about one full scenario run:
 // rendered tables, enforcement decisions, intervention counters, and the
-// audit trail. The vectorized and row-at-a-time execution modes must
-// produce identical runs — the acceptance bar for the batch kernel layer.
+// audit trail. The vectorized, row-at-a-time and compiled execution modes
+// must produce identical runs — the acceptance bar for the batch kernel
+// layer and for the residual-program compiler above it.
 type scenarioRun struct {
 	tables     map[string]string
 	decisions  map[string][]string
@@ -55,19 +56,24 @@ func runScenario(t *testing.T, mode relation.ExecMode) scenarioRun {
 	for _, d := range StandardReports() {
 		for _, c := range consumers {
 			key := d.ID + "/" + c.Role + "/" + c.Purpose
-			enf, err := e.Render(d.ID, c)
-			if err != nil {
-				run.tables[key] = "ERR: " + err.Error()
-				continue
+			// Render every triple twice: in compiled mode the first render
+			// folds the result and the second replays the fold, so the
+			// equivalence bar covers both the cold and the replay path.
+			for pass := 0; pass < 2; pass++ {
+				enf, err := e.Render(d.ID, c)
+				if err != nil {
+					run.tables[key] = "ERR: " + err.Error()
+					continue
+				}
+				run.tables[key] = enf.Table.String()
+				run.masked[key] = enf.MaskedCells
+				run.suppressed[key] = enf.SuppressedRows
+				for _, dec := range enf.Decisions {
+					run.decisions[key] = append(run.decisions[key],
+						fmt.Sprintf("%v|%s|%s|%s", dec.Outcome, dec.Rule, dec.Subject, dec.Detail))
+				}
+				_ = enforce.Blocked(enf.Decisions)
 			}
-			run.tables[key] = enf.Table.String()
-			run.masked[key] = enf.MaskedCells
-			run.suppressed[key] = enf.SuppressedRows
-			for _, dec := range enf.Decisions {
-				run.decisions[key] = append(run.decisions[key],
-					fmt.Sprintf("%v|%s|%s|%s", dec.Outcome, dec.Rule, dec.Subject, dec.Detail))
-			}
-			_ = enforce.Blocked(enf.Decisions)
 		}
 	}
 	for _, ev := range e.Audit.Events() {
@@ -76,49 +82,60 @@ func runScenario(t *testing.T, mode relation.ExecMode) scenarioRun {
 	return run
 }
 
-// TestScenarioModeEquivalence runs the complete healthcare scenario —
-// synthetic workload, guarded ETL with entity resolution, every standard
-// report for three consumers — under both execution modes and requires
-// byte-identical tables, identical decision streams, identical
-// mask/suppression counters and identical audit event counts.
-func TestScenarioModeEquivalence(t *testing.T) {
-	vec := runScenario(t, relation.ExecVectorized)
-	row := runScenario(t, relation.ExecRowAtATime)
-
-	for name, vs := range vec.etlTables {
-		if rs := row.etlTables[name]; vs != rs {
-			t.Errorf("ETL table %s diverged between modes:\nvectorized:\n%s\nrow:\n%s", name, vs, rs)
+// compareRuns requires two scenario runs to be byte-identical: tables,
+// decision streams, intervention counters and audit event counts.
+func compareRuns(t *testing.T, aName, bName string, a, b scenarioRun) {
+	t.Helper()
+	for name, as := range a.etlTables {
+		if bs := b.etlTables[name]; as != bs {
+			t.Errorf("ETL table %s diverged between modes:\n%s:\n%s\n%s:\n%s", name, aName, as, bName, bs)
 		}
 	}
-	for key, vs := range vec.tables {
-		if rs, ok := row.tables[key]; !ok || vs != rs {
-			t.Errorf("report %s diverged between modes:\nvectorized:\n%s\nrow:\n%s", key, vs, row.tables[key])
+	for key, as := range a.tables {
+		if bs, ok := b.tables[key]; !ok || as != bs {
+			t.Errorf("report %s diverged between modes:\n%s:\n%s\n%s:\n%s", key, aName, as, bName, b.tables[key])
 		}
 	}
-	if len(vec.tables) != len(row.tables) {
-		t.Errorf("rendered report sets differ: %d vs %d", len(vec.tables), len(row.tables))
+	if len(a.tables) != len(b.tables) {
+		t.Errorf("rendered report sets differ: %d (%s) vs %d (%s)", len(a.tables), aName, len(b.tables), bName)
 	}
-	for key := range vec.tables {
-		if vec.masked[key] != row.masked[key] {
-			t.Errorf("%s: masked cells %d (vectorized) vs %d (row)", key, vec.masked[key], row.masked[key])
+	for key := range a.tables {
+		if a.masked[key] != b.masked[key] {
+			t.Errorf("%s: masked cells %d (%s) vs %d (%s)", key, a.masked[key], aName, b.masked[key], bName)
 		}
-		if vec.suppressed[key] != row.suppressed[key] {
-			t.Errorf("%s: suppressed rows %d (vectorized) vs %d (row)", key, vec.suppressed[key], row.suppressed[key])
+		if a.suppressed[key] != b.suppressed[key] {
+			t.Errorf("%s: suppressed rows %d (%s) vs %d (%s)", key, a.suppressed[key], aName, b.suppressed[key], bName)
 		}
-		vd, rd := vec.decisions[key], row.decisions[key]
-		if len(vd) != len(rd) {
-			t.Errorf("%s: decision count %d vs %d", key, len(vd), len(rd))
+		ad, bd := a.decisions[key], b.decisions[key]
+		if len(ad) != len(bd) {
+			t.Errorf("%s: decision count %d (%s) vs %d (%s)", key, len(ad), aName, len(bd), bName)
 			continue
 		}
-		for i := range vd {
-			if vd[i] != rd[i] {
-				t.Errorf("%s: decision %d diverged:\n  vectorized: %s\n  row:        %s", key, i, vd[i], rd[i])
+		for i := range ad {
+			if ad[i] != bd[i] {
+				t.Errorf("%s: decision %d diverged:\n  %s: %s\n  %s: %s", key, i, aName, ad[i], bName, bd[i])
 			}
 		}
 	}
-	for kind, n := range vec.auditKinds {
-		if row.auditKinds[kind] != n {
-			t.Errorf("audit events %q: %d (vectorized) vs %d (row)", kind, n, row.auditKinds[kind])
+	for kind, n := range a.auditKinds {
+		if b.auditKinds[kind] != n {
+			t.Errorf("audit events %q: %d (%s) vs %d (%s)", kind, n, aName, b.auditKinds[kind], bName)
 		}
 	}
+}
+
+// TestScenarioModeEquivalence runs the complete healthcare scenario —
+// synthetic workload, guarded ETL with entity resolution, every standard
+// report for three consumers, each rendered twice — under all three
+// execution modes and requires byte-identical tables, identical decision
+// streams, identical mask/suppression counters and identical audit event
+// counts. The vectorized run is the pivot: row-at-a-time is the seed
+// reference, compiled is the residual-program fold/replay path.
+func TestScenarioModeEquivalence(t *testing.T) {
+	vec := runScenario(t, relation.ExecVectorized)
+	row := runScenario(t, relation.ExecRowAtATime)
+	compiled := runScenario(t, relation.ExecCompiled)
+
+	compareRuns(t, "vectorized", "row", vec, row)
+	compareRuns(t, "vectorized", "compiled", vec, compiled)
 }

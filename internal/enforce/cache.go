@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"plabi/internal/compile"
 	"plabi/internal/policy"
 	"plabi/internal/relation"
 	"plabi/internal/sql"
@@ -53,37 +54,67 @@ type gens struct {
 
 // colPlan is the cached per-output-column decision: either masked (with
 // the decision to replay into each render's audit trail) or released
-// subject to intensional conditions.
+// subject to intensional conditions, pre-bound for batch evaluation.
 type colPlan struct {
 	masked     bool
 	decision   Decision
-	conditions []relation.Expr
+	conditions []compile.BoundPredicate
 }
 
 // renderPlan is everything about one (report, role, purpose) triple that
 // does not depend on the data: parsed AST, query profile, composed PLAs,
-// static decisions, aggregation thresholds, row filters, and — filled on
-// first render — per-column access decisions. All fields are immutable
-// after construction (cols after the sync.Once fires), so a plan is
-// shared freely across concurrent renders.
+// static decisions, baked aggregation thresholds, pre-bound row filters,
+// the compiled residual program, and — filled on first render —
+// per-column access decisions. All fields are immutable after
+// construction (cols after the sync.Once fires, fold under foldMu), so a
+// plan is shared freely across concurrent renders.
 type renderPlan struct {
 	at   gens
 	sel  *sql.SelectStmt
 	prof *sql.Profile
 	comp *policy.Composite
 
-	static     []Decision // static-check outcomes for role/purpose
-	aggCols    map[string]bool
-	minBy      map[string]int
-	filters    []relation.Expr
+	static  []Decision // static-check outcomes for role/purpose
+	aggCols map[string]bool
+	// thresholds are the merged aggregation thresholds, sorted by
+	// grouping attribute at plan-build time (compile.Threshold order), so
+	// per-row evaluation needs no map iteration or sorting.
+	thresholds []compile.Threshold
+	// filters are the row filters pre-bound to their referenced columns.
+	filters    []compile.BoundPredicate
 	aggregated bool
 	// aggPLAs / filterPLAs name the agreements behind the thresholds and
 	// row filters, replayed into runtime suppression decisions.
 	aggPLAs    []string
 	filterPLAs []string
 
+	// prog is the residual program this plan was specialized into; it is
+	// built in every execution mode (the decision cache stores compiled
+	// programs) and executed in compiled mode.
+	prog *compile.Program
+
 	colOnce sync.Once
 	cols    []colPlan // per output-column index; nil until first render
+
+	// fold is the constant-folded render result (compiled mode): the
+	// plan generations include the catalog generation and registered
+	// relations are immutable between catalog generations, so within a
+	// valid plan the enforced result is a constant — computed once,
+	// replayed per render.
+	foldMu sync.Mutex
+	fold   *foldedRender
+}
+
+// foldedRender is the memoized constant a residual program folds to: a
+// private deep copy of the enforced output, replayed (deep-copied back
+// out) on every compiled render at the same generations.
+type foldedRender struct {
+	static     bool
+	table      *relation.Table
+	decisions  []Decision
+	masked     int
+	suppressed int
+	rowsIn     int
 }
 
 const defaultCacheShards = 16

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plabi/internal/compile"
 	"plabi/internal/fault"
 	"plabi/internal/obs"
 	"plabi/internal/policy"
@@ -48,6 +49,14 @@ type ReportEnforcer struct {
 	workers atomic.Int32
 	metrics atomic.Pointer[obs.Metrics]
 	faults  atomic.Pointer[fault.Injector]
+
+	// compiled forces residual-program execution for this enforcer
+	// regardless of the process-wide exec mode.
+	compiled atomic.Bool
+	// programGen counts residual programs compiled by this enforcer; it
+	// bumps on every plan build, so hot reloads and policy changes are
+	// observable as recompilations rather than silent evictions.
+	programGen atomic.Uint64
 }
 
 // NewReportEnforcer builds an enforcer consulting every level, with the
@@ -115,6 +124,34 @@ func (e *ReportEnforcer) SetFaults(fi *fault.Injector) { e.faults.Store(fi) }
 // CacheStats snapshots the plan-cache counters.
 func (e *ReportEnforcer) CacheStats() CacheStats {
 	return e.cache.Load().stats()
+}
+
+// SetCompiledRenders forces (or releases) residual-program execution for
+// this enforcer independent of the process-wide exec mode.
+func (e *ReportEnforcer) SetCompiledRenders(on bool) { e.compiled.Store(on) }
+
+// ProgramGeneration returns the number of residual programs this
+// enforcer has compiled. Every plan build — first render of a triple,
+// policy change, catalog load, meta-report re-derivation, precompile
+// after a hot reload — bumps it, so "reload recompiles" is testable.
+func (e *ReportEnforcer) ProgramGeneration() uint64 { return e.programGen.Load() }
+
+// ProgramFor returns the residual program compiled for (def, role,
+// purpose), building (and caching) the plan on miss. The boolean reports
+// whether the program came from the cache.
+func (e *ReportEnforcer) ProgramFor(def *report.Definition, role, purpose string) (*compile.Program, bool, error) {
+	plan, hit, err := e.planFor(def, role, purpose)
+	if err != nil {
+		return nil, false, err
+	}
+	return plan.prog, hit, nil
+}
+
+// Precompile builds and caches the plan (and residual program) for one
+// (def, role, purpose) triple without rendering.
+func (e *ReportEnforcer) Precompile(def *report.Definition, role, purpose string) error {
+	_, _, err := e.planFor(def, role, purpose)
+	return err
 }
 
 func (e *ReportEnforcer) levelSnapshot() []policy.Level {
@@ -213,7 +250,11 @@ func (e *ReportEnforcer) planFor(def *report.Definition, role, purpose string) (
 
 // buildPlan does every piece of enforcement work that does not depend on
 // the data: parse, profile, compose the governing PLAs, run the static
-// check, and precompute thresholds and row filters.
+// check, and partially evaluate the composite into a residual program
+// (thresholds baked and sorted, row filters pre-bound, constant verdicts
+// folded, dead rules pruned). Programs compile in every execution mode —
+// the decision cache stores compiled programs — and execute in compiled
+// mode.
 func (e *ReportEnforcer) buildPlan(def *report.Definition, role, purpose string, at gens) (*renderPlan, error) {
 	comp, prof, err := e.CompositeFor(def)
 	if err != nil {
@@ -230,21 +271,69 @@ func (e *ReportEnforcer) buildPlan(def *report.Definition, role, purpose string,
 		comp:       comp,
 		aggregated: prof.Aggregated,
 		aggCols:    aggregateColumns(sel),
-		filters:    comp.Filters(),
-		minBy:      map[string]int{},
 		aggPLAs:    comp.AggregationPLAs(),
 		filterPLAs: comp.FilterPLAs(),
 	}
-	if prof.Aggregated {
-		for _, rule := range comp.AggregationRules() {
-			key := strings.ToLower(rule.By)
-			if rule.MinCount > plan.minBy[key] {
-				plan.minBy[key] = rule.MinCount
-			}
-		}
-	}
 	plan.static = e.staticDecisions(comp, prof, sel, role, purpose)
+	plan.prog = e.compileProgram(plan, def, role, purpose, at)
+	plan.thresholds = plan.prog.Thresholds
+	plan.filters = plan.prog.Filters
+	e.programGen.Add(1)
+	m := e.obs()
+	m.Counter("compile.programs").Inc()
+	m.Counter("compile.pruned_rules").Add(uint64(len(plan.prog.Pruned)))
 	return plan, nil
+}
+
+// compileProgram partially evaluates the plan's composite into its
+// residual program. The enforcer feeds compile its own folded products —
+// static verdicts and the static column classification — so the program
+// can never disagree with runtime decision semantics; compile adds the
+// baked thresholds, pre-bound filters and PL001 rule pruning.
+func (e *ReportEnforcer) compileProgram(plan *renderPlan, def *report.Definition, role, purpose string, at gens) *compile.Program {
+	in := compile.Input{
+		Report: def.ID, Role: strings.ToLower(role), Purpose: strings.ToLower(purpose),
+		At: compile.Generations{
+			Version: at.version, Policy: at.policy, Catalog: at.catalog, Scope: at.scope,
+		},
+		Composite:  plan.comp,
+		Aggregated: plan.aggregated,
+	}
+	for _, d := range plan.static {
+		in.Static = append(in.Static, compile.Verdict{
+			Outcome: d.Outcome.String(), Rule: d.Rule, Subject: d.Subject,
+			Detail: d.Detail, PLAs: d.PLAs,
+		})
+	}
+	// Static column classification from the query's output names (the
+	// runtime binds against the executed schema with identical decisions;
+	// this mirror is what Explain shows).
+	fromRels := fromNames(plan.sel)
+	names := make([]string, 0, len(plan.prof.OutputNames))
+	for name := range plan.prof.OutputNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cp := compile.ColumnPlan{Name: name}
+		if plan.aggCols[name] {
+			cp.Aggregate = true
+			in.Columns = append(in.Columns, cp)
+			continue
+		}
+		refs := e.columnRefs(fromRels, name, plan.prof.OutputNames[name])
+		d, conds := e.decideColumn(plan.comp, refs, name, role, purpose)
+		if d != nil {
+			cp.Masked = true
+			cp.Rule = d.Rule
+			cp.PLAs = d.PLAs
+		}
+		for _, c := range conds {
+			cp.Conditions = append(cp.Conditions, fmt.Sprint(c))
+		}
+		in.Columns = append(in.Columns, cp)
+	}
+	return compile.Compile(in)
 }
 
 // StaticCheck verifies a report definition against the PLAs without
@@ -403,7 +492,11 @@ func (e *ReportEnforcer) buildColPlans(plan *renderPlan, raw *relation.Table, ro
 			cols[ci] = colPlan{masked: true, decision: *d}
 			continue
 		}
-		cols[ci] = colPlan{conditions: conds}
+		bound := make([]compile.BoundPredicate, len(conds))
+		for i, c := range conds {
+			bound[i] = compile.BindPredicate(c)
+		}
+		cols[ci] = colPlan{conditions: bound}
 	}
 	return cols
 }
@@ -425,16 +518,26 @@ const cancelCheckRows = 64
 
 // RenderContext executes the report and enforces the PLAs on the result,
 // honouring ctx cancellation between row chunks. Safe to call from many
-// goroutines at once.
+// goroutines at once. In compiled mode (process-wide ExecCompiled or
+// SetCompiledRenders) the render executes the plan's residual program.
 func (e *ReportEnforcer) RenderContext(ctx context.Context, def *report.Definition, consumer report.Consumer) (*Enforced, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	m := e.obs()
 	plan, hit, err := e.planFor(def, consumer.Role, consumer.Purpose)
 	if err != nil {
 		return nil, err
 	}
+	if e.compiled.Load() || relation.CurrentExecMode() == relation.ExecCompiled {
+		return e.renderCompiled(ctx, def, consumer, plan, hit)
+	}
+	return e.renderInterpreted(ctx, def, consumer, plan, hit)
+}
+
+// renderInterpreted is the uncompiled render body: execute the query and
+// run enforcement over the result.
+func (e *ReportEnforcer) renderInterpreted(ctx context.Context, def *report.Definition, consumer report.Consumer, plan *renderPlan, hit bool) (*Enforced, error) {
+	m := e.obs()
 	execStart := time.Now()
 	raw, err := e.Catalog.Exec(plan.sel)
 	if err != nil {
@@ -504,6 +607,73 @@ func (e *ReportEnforcer) RenderContext(ctx context.Context, def *report.Definiti
 	m.Counter("enforce.cells.masked").Add(uint64(enf.MaskedCells))
 	m.Counter("enforce.rows.suppressed").Add(uint64(enf.SuppressedRows))
 	enf.Table = out
+	return enf, nil
+}
+
+// renderCompiled executes the plan's residual program. The program's
+// pinned generations include the catalog generation and registered
+// relations are immutable between catalog generations, so within a valid
+// plan the enforced result is a constant: the first execution runs the
+// full pipeline through the program's baked thresholds and pre-bound
+// predicates and folds the result; every subsequent render replays the
+// fold — zero query execution, zero policy interpretation — re-emitting
+// the same decisions into the audit trail.
+func (e *ReportEnforcer) renderCompiled(ctx context.Context, def *report.Definition, consumer report.Consumer, plan *renderPlan, hit bool) (*Enforced, error) {
+	m := e.obs()
+	plan.foldMu.Lock()
+	fold := plan.fold
+	plan.foldMu.Unlock()
+	if fold == nil {
+		m.Counter("compile.fold.misses").Inc()
+		enf, err := e.renderInterpreted(ctx, def, consumer, plan, hit)
+		if err != nil {
+			return nil, err
+		}
+		snap := &foldedRender{
+			static:     len(Blocked(plan.static)) > 0,
+			table:      enf.Table.Clone(),
+			decisions:  append([]Decision(nil), enf.Decisions...),
+			masked:     enf.MaskedCells,
+			suppressed: enf.SuppressedRows,
+			rowsIn:     enf.Table.NumRows() + enf.SuppressedRows,
+		}
+		plan.foldMu.Lock()
+		if plan.fold == nil {
+			plan.fold = snap
+		}
+		plan.foldMu.Unlock()
+		return enf, nil
+	}
+	// Replay path. Faults still apply: a replayed render consults the
+	// render.worker site once under panic isolation, so chaos schedules
+	// exercise compiled renders too.
+	fi := e.faults.Load()
+	if err := fault.Safely(fault.SiteRenderWorker, m, func() error {
+		return fi.Hit(ctx, fault.SiteRenderWorker)
+	}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.Counter("compile.fold.hits").Inc()
+	enf := &Enforced{
+		Def:            def,
+		Table:          fold.table.Clone(),
+		Decisions:      append([]Decision(nil), fold.decisions...),
+		MaskedCells:    fold.masked,
+		SuppressedRows: fold.suppressed,
+		CacheHit:       hit,
+	}
+	// Replayed renders maintain the same per-render counters the
+	// interpreted path emits.
+	if fold.static {
+		m.Counter("enforce.static_blocks").Inc()
+	} else {
+		m.Counter("enforce.rows.in").Add(uint64(fold.rowsIn))
+		m.Counter("enforce.cells.masked").Add(uint64(fold.masked))
+		m.Counter("enforce.rows.suppressed").Add(uint64(fold.suppressed))
+	}
 	return enf, nil
 }
 
@@ -629,7 +799,7 @@ func (e *ReportEnforcer) enforceRows(ctx context.Context, plan *renderPlan, raw,
 // the dominant cost on wide lineage — with byte-identical results, since
 // every branch reading the trace is unreachable.
 func needsTrace(plan *renderPlan, cols []colPlan) bool {
-	if len(plan.minBy) > 0 {
+	if len(plan.thresholds) > 0 {
 		return true
 	}
 	if !plan.aggregated && len(plan.filters) > 0 {
@@ -656,10 +826,10 @@ func (e *ReportEnforcer) enforceRow(plan *renderPlan, raw, out *relation.Table, 
 			return err
 		}
 	}
-	// Aggregation thresholds (iterated in sorted order for deterministic
-	// evidence when several thresholds fail).
-	for _, by := range sortedKeys(plan.minBy) {
-		k := plan.minBy[by]
+	// Aggregation thresholds (baked into the plan pre-sorted, so the
+	// evidence order is deterministic without per-row sorting).
+	for _, th := range plan.thresholds {
+		by, k := th.By, th.Min
 		var support int
 		if by == "" {
 			support = len(rt.Rows)
@@ -725,26 +895,19 @@ func (e *ReportEnforcer) enforceRow(plan *renderPlan, raw, out *relation.Table, 
 	return nil
 }
 
-func sortedKeys(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// supportSatisfies evaluates conditions on every source row supporting an
-// output row. A condition only applies to base rows whose table carries
-// all referenced columns; rows failing any applicable condition make the
-// whole support fail, and their provenance is returned as evidence.
-func (e *ReportEnforcer) supportSatisfies(rt provenance.RowTrace, conds []relation.Expr) (bool, []string) {
+// supportSatisfies evaluates pre-bound conditions on every source row
+// supporting an output row. A condition only applies to base rows whose
+// table carries all referenced columns; rows failing any applicable
+// condition make the whole support fail, and their provenance is
+// returned as evidence. The predicates arrive bound (columns resolved,
+// expression compiled) from the residual program, so per-row evaluation
+// performs no name lookups.
+func (e *ReportEnforcer) supportSatisfies(rt provenance.RowTrace, conds []compile.BoundPredicate) (bool, []string) {
 	for _, cond := range conds {
-		refs := relation.ColumnsOf(cond)
 		for _, ref := range rt.Rows {
-			vals := make(relation.Row, len(refs))
+			vals := make(relation.Row, len(cond.Cols))
 			applicable := true
-			for i, col := range refs {
+			for i, col := range cond.Cols {
 				v, ok := e.Tracer.BaseValue(ref, col)
 				if !ok {
 					applicable = false
@@ -755,22 +918,13 @@ func (e *ReportEnforcer) supportSatisfies(rt provenance.RowTrace, conds []relati
 			if !applicable {
 				continue
 			}
-			schema := condSchema(refs, vals)
-			ok, err := relation.EvalPredicate(cond, vals, schema)
+			ok, err := cond.Pred.Selected(vals)
 			if err != nil || !ok {
-				return false, []string{fmt.Sprintf("%s fails %s", ref, cond)}
+				return false, []string{fmt.Sprintf("%s fails %s", ref, cond.Expr)}
 			}
 		}
 	}
 	return true, nil
-}
-
-func condSchema(cols []string, vals relation.Row) *relation.Schema {
-	out := make([]relation.Column, len(cols))
-	for i, c := range cols {
-		out[i] = relation.Column{Name: c, Type: vals[i].Kind}
-	}
-	return &relation.Schema{Columns: out}
 }
 
 func lineageEvidence(rt provenance.RowTrace) []string {

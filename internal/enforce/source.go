@@ -1,11 +1,13 @@
 package enforce
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"plabi/internal/anon"
+	"plabi/internal/fault"
 	"plabi/internal/metadata"
 	"plabi/internal/obs"
 	"plabi/internal/policy"
@@ -41,6 +43,11 @@ type SourceEnforcer struct {
 	// window is measured on; tables not listed default to a column named
 	// "date" when present.
 	RetentionColumns map[string]string
+	// Faults, when non-nil, is consulted at the release.source site before
+	// any rows are released, so chaos schedules cover source releases: an
+	// injected failure degrades into a typed error and no partially
+	// anonymized table ever becomes BI-accessible.
+	Faults *fault.Injector
 }
 
 // ReleaseReport summarizes one source release.
@@ -61,6 +68,9 @@ var MaskValue = relation.Str("***")
 // source-level PLAs.
 func (e *SourceEnforcer) Release(t *relation.Table) (*relation.Table, *ReleaseReport, error) {
 	start := time.Now()
+	if err := e.Faults.Hit(context.Background(), fault.SiteReleaseSource); err != nil {
+		return nil, nil, fmt.Errorf("enforce: release %s: %w", t.Name, err)
+	}
 	comp := e.Registry.ForScope(policy.LevelSource, t.Name)
 	rep := &ReleaseReport{RowsIn: t.NumRows()}
 	cur := t

@@ -42,11 +42,13 @@ const (
 	SiteRenderWorker = "render.worker"
 	// SiteAuditSink wraps each audit-sink write (retryable).
 	SiteAuditSink = "audit.sink.write"
+	// SiteReleaseSource wraps each source-level anonymized release.
+	SiteReleaseSource = "release.source"
 )
 
 // Sites lists every registered injection site.
 func Sites() []string {
-	return []string{SiteETLExtract, SiteETLStep, SiteRenderWorker, SiteAuditSink}
+	return []string{SiteETLExtract, SiteETLStep, SiteRenderWorker, SiteAuditSink, SiteReleaseSource}
 }
 
 // ErrInjected is the sentinel behind every injected error, matched with

@@ -46,13 +46,16 @@ func (deadRules) Run(p *Pass) []Finding {
 }
 
 // shadowedBy returns the agreement and rule whose unconditional deny
-// covers every (attribute, role, purpose) the allow rule r matches.
+// covers every (attribute, role, purpose) the allow rule r matches. The
+// covering relation itself (policy.RuleCovers) is shared with
+// internal/compile, whose residual programs prune exactly the rules this
+// analyzer reports.
 func shadowedBy(g group, r policy.AccessRule) (*policy.PLA, *policy.AccessRule) {
 	for _, pla := range g.plas {
 		for i, s := range pla.Access {
 			// A deny's condition is ignored by DecideAttribute, so any
 			// covering deny shadows unconditionally.
-			if s.Effect == policy.Deny && ruleCovers(s, r) {
+			if s.Effect == policy.Deny && policy.RuleCovers(s, r) {
 				return pla, &pla.Access[i]
 			}
 		}
@@ -70,43 +73,11 @@ func coveredEarlier(pla *policy.PLA, i int) int {
 	}
 	for j := 0; j < i; j++ {
 		s := pla.Access[j]
-		if s.Effect == r.Effect && s.When == nil && ruleCovers(s, r) {
+		if s.Effect == r.Effect && s.When == nil && policy.RuleCovers(s, r) {
 			return j
 		}
 	}
 	return -1
-}
-
-// ruleCovers reports whether s matches every triple r matches.
-func ruleCovers(s, r policy.AccessRule) bool {
-	if s.Attribute != "*" && !strings.EqualFold(s.Attribute, r.Attribute) {
-		return false
-	}
-	return setCovers(s.Roles, r.Roles) && setCovers(s.Purposes, r.Purposes)
-}
-
-// setCovers reports whether the matcher set sup (empty = everything)
-// accepts at least everything sub accepts.
-func setCovers(sup, sub []string) bool {
-	if len(sup) == 0 {
-		return true
-	}
-	if len(sub) == 0 {
-		return false
-	}
-	for _, v := range sub {
-		found := false
-		for _, w := range sup {
-			if strings.EqualFold(v, w) {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
-	}
-	return true
 }
 
 func shadowFinding(pla *policy.PLA, idx int, r policy.AccessRule, by *policy.PLA, s *policy.AccessRule) Finding {

@@ -1,0 +1,42 @@
+package policy
+
+import "strings"
+
+// RuleCovers reports whether rule s matches every (attribute, role,
+// purpose) triple rule r matches. It is the covering relation behind
+// plalint's PL001 dead-rule analysis and the compile-time pruning of
+// residual render programs: under most-restrictive-wins composition, an
+// allow rule covered by an unconditional deny can never influence a
+// decision, and a rule covered by an earlier unconditional rule of the
+// same effect is redundant.
+func RuleCovers(s, r AccessRule) bool {
+	if s.Attribute != "*" && !strings.EqualFold(s.Attribute, r.Attribute) {
+		return false
+	}
+	return SetCovers(s.Roles, r.Roles) && SetCovers(s.Purposes, r.Purposes)
+}
+
+// SetCovers reports whether the matcher set sup (empty = everything)
+// accepts at least everything sub accepts. Matching is case-insensitive,
+// mirroring rule evaluation.
+func SetCovers(sup, sub []string) bool {
+	if len(sup) == 0 {
+		return true
+	}
+	if len(sub) == 0 {
+		return false
+	}
+	for _, v := range sub {
+		found := false
+		for _, w := range sup {
+			if strings.EqualFold(v, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -254,6 +254,30 @@ func compilePred(e Expr, s *Schema) compiledPred {
 	}
 }
 
+// CompiledPredicate is an exported bound row predicate: every column
+// reference is resolved against its schema once, so per-row evaluation
+// performs no name lookups. Selected reproduces EvalPredicate byte for
+// byte (including errors) — residual render programs bind PLA row
+// filters and intensional conditions through this at compile time.
+type CompiledPredicate struct {
+	selected func(r Row) (bool, error)
+	safe     bool
+}
+
+// CompilePredicate binds e as a predicate against s; a nil predicate
+// selects every row.
+func CompilePredicate(e Expr, s *Schema) CompiledPredicate {
+	c := compilePred(e, s)
+	return CompiledPredicate{selected: c.selected, safe: c.safe}
+}
+
+// Selected reports whether the row evaluates to exactly TRUE, with
+// EvalPredicate's error behavior.
+func (p CompiledPredicate) Selected(r Row) (bool, error) { return p.selected(r) }
+
+// Safe reports whether evaluation can never error for any row.
+func (p CompiledPredicate) Safe() bool { return p.safe }
+
 // SafePredicate reports whether evaluating e against rows of s can never
 // return an error: every column reference resolves in s and every scalar
 // call is statically well-formed. Query planners use this to relocate a

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"plabi"
 	apiv1 "plabi/api/v1"
 )
 
@@ -482,6 +483,48 @@ func TestAdminReloadSwapsChangedBundle(t *testing.T) {
 	}
 }
 
+func TestReloadRecompilesPrograms(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	path := filepath.Join(dir, "manifest.json")
+	writeManifest(t, path, m)
+	s, ts := newTestServer(t, m, Options{AuditDir: dir, ManifestPath: path})
+
+	// Tenant construction precompiles the report portfolio: residual
+	// programs exist before the first request.
+	before := s.engineFor("alpha")
+	if g := before.ProgramGeneration(); g == 0 {
+		t.Fatalf("fresh tenant has no compiled programs (generation %d)", g)
+	}
+
+	// A bundle change swaps in a new engine; the swap itself must
+	// recompile — the program generation is non-zero on the new engine
+	// BEFORE any post-reload render could lazily build a plan.
+	m.Tenants[0].ExtraPLAs = betaMask
+	writeManifest(t, path, m)
+	if _, apiErr := call(t, "POST", ts.URL+"/admin/reload", "admin-tok", nil, nil); apiErr != nil {
+		t.Fatalf("reload: %v", apiErr)
+	}
+	after := s.engineFor("alpha")
+	if after == before {
+		t.Fatal("reload did not swap the alpha engine")
+	}
+	if g := after.ProgramGeneration(); g == 0 {
+		t.Fatalf("reloaded tenant not recompiled (generation %d)", g)
+	}
+
+	// The recompiled program reflects the new bundle: drug is masked in
+	// the residual plan, not just at render time.
+	plan, err := after.ExplainCompiled("drug-consumption",
+		plabi.Consumer{Role: "analyst", Purpose: "quality"})
+	if err != nil {
+		t.Fatalf("ExplainCompiled: %v", err)
+	}
+	if !strings.Contains(plan, "mask") {
+		t.Fatalf("post-reload residual plan does not mask:\n%s", plan)
+	}
+}
+
 func TestReloadRemovesTenantAndRevokesTokens(t *testing.T) {
 	s, ts := newTestServer(t, testManifest(), Options{})
 	m2 := testManifest()
@@ -604,14 +647,16 @@ func TestConcurrentTenantIsolation(t *testing.T) {
 		}
 	}
 
-	// Decision caches are per-tenant: both saw traffic, and alpha's cache
-	// holds plans for two reports against beta's one — a shared cache
-	// could not produce diverging footprints from this workload.
+	// Decision caches are per-tenant: both saw traffic, and alpha's
+	// workload hits two reports per round against beta's one — a shared
+	// cache could not produce diverging hit counts from this workload
+	// (entry counts match by design: every tenant precompiles the same
+	// report portfolio at build time).
 	as, bs := s.engineFor("alpha").CacheStats(), s.engineFor("beta").CacheStats()
 	if as.Hits+as.Misses == 0 || bs.Hits+bs.Misses == 0 {
 		t.Fatalf("cache untouched: alpha=%+v beta=%+v", as, bs)
 	}
-	if as.Entries <= bs.Entries {
+	if as.Hits <= bs.Hits {
 		t.Errorf("cache footprints not isolated: alpha=%+v beta=%+v", as, bs)
 	}
 }

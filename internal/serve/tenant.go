@@ -112,6 +112,14 @@ func buildInstance(cfg TenantConfig, version int, auditDir string) (*instance, e
 			return nil, fmt.Errorf("serve: tenant %s: extra PLAs: %w", cfg.Name, err)
 		}
 	}
+	// Compile every (report, role) residual program before the instance
+	// serves a single request: a bundle swap therefore recompiles — the
+	// first post-reload render executes an already-specialized program
+	// instead of paying compilation (or a cold cache) on the hot path.
+	if _, err := eng.Precompile(); err != nil {
+		_ = eng.Close()
+		return nil, fmt.Errorf("serve: tenant %s: precompile: %w", cfg.Name, err)
+	}
 	return &instance{eng: eng, version: version}, nil
 }
 

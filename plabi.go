@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"plabi/internal/audit"
+	"plabi/internal/compile"
 	"plabi/internal/core"
 	"plabi/internal/enforce"
 	"plabi/internal/etl"
@@ -103,6 +104,11 @@ type (
 	RetryPolicy = fault.RetryPolicy
 	// InternalError is a recovered worker panic carrying site and stack.
 	InternalError = fault.InternalError
+	// CompiledReport is the residual render program one (report, role,
+	// purpose) triple compiles to: static verdicts folded, thresholds
+	// baked, row filters pre-bound, dead rules pruned. Inspect it via
+	// its fields or Explain.
+	CompiledReport = compile.Program
 )
 
 // NewMetrics returns an empty observability registry, for sharing one
@@ -116,7 +122,8 @@ func NewMetrics() *Metrics { return obs.New() }
 func NewFaultInjector(seed int64) *FaultInjector { return fault.NewInjector(seed) }
 
 // FaultSites lists the canonical injection-site names the engine
-// consults: etl.extract, etl.step, render.worker, audit.sink.write.
+// consults: etl.extract, etl.step, render.worker, audit.sink.write,
+// release.source.
 func FaultSites() []string { return fault.Sites() }
 
 // DefaultRetryPolicy is the engine-wide default for retryable sites:
@@ -155,6 +162,7 @@ type options struct {
 	retry      *fault.RetryPolicy
 	retrySites map[string]fault.RetryPolicy
 	failClosed bool
+	compiled   bool
 	// allowNilMetrics preserves Open's documented WithMetrics(nil)
 	// semantics (disable instrumentation) through validation.
 	allowNilMetrics bool
@@ -267,6 +275,9 @@ func (o *options) apply(ce *core.Engine) {
 	if o.failClosed {
 		ce.SetFailClosed(true)
 	}
+	if o.compiled {
+		ce.SetCompiledRenders(true)
+	}
 	if o.faultsSet && o.faults != nil {
 		ce.SetFaults(o.faults)
 	}
@@ -357,6 +368,15 @@ func WithRetryPolicyFor(site string, p RetryPolicy) Option {
 // audit.sink_drops and delivery proceeds).
 func WithFailClosed() Option {
 	return func(o *options) { o.failClosed = true }
+}
+
+// WithCompiledRenders makes this engine execute every render through its
+// residual compiled program (see CompileReport), independent of the
+// process-wide execution mode. Outputs are byte-identical to the other
+// modes; repeated renders at unchanged policy/catalog generations replay
+// the constant-folded result.
+func WithCompiledRenders() Option {
+	return func(o *options) { o.compiled = true }
 }
 
 // WithFaultInjector attaches a fault injector to every instrumented
@@ -498,6 +518,39 @@ func (e *Engine) Render(ctx context.Context, reportID string, c Consumer) (*Enfo
 	}
 	return enf, nil
 }
+
+// CompileReport specializes one (report, role, purpose) triple into its
+// residual render program — the partial evaluation of the composed PLA
+// set against the current policy, catalog and scope generations. The
+// returned program is the exact object compiled renders execute: it
+// lands in the generation-keyed decision cache, and any policy change
+// (AddPLAs, DeriveMetaReports, hot reload) invalidates it and forces a
+// recompile. Unknown ids wrap ErrUnknownReport.
+func (e *Engine) CompileReport(reportID string, c Consumer) (*CompiledReport, error) {
+	return e.core.CompileReport(reportID, c)
+}
+
+// ExplainCompiled renders the residual program for one (report, role,
+// purpose) triple as a deterministic, human-readable plan: pinned
+// generations, governing PLAs, pruned rules, folded verdicts, baked
+// thresholds, pre-bound filters and the per-column classification.
+func (e *Engine) ExplainCompiled(reportID string, c Consumer) (string, error) {
+	return e.core.ExplainCompiled(reportID, c)
+}
+
+// Precompile eagerly compiles the residual program for every registered
+// report × delivery role, returning the number of programs compiled.
+// plabid calls this on tenant construction and after every hot reload so
+// the first post-reload render pays no compilation cost.
+func (e *Engine) Precompile() (int, error) { return e.core.Precompile() }
+
+// ProgramGeneration counts residual programs compiled over the engine's
+// lifetime; a bump after AddPLAs or a reload proves recompilation.
+func (e *Engine) ProgramGeneration() uint64 { return e.core.ProgramGeneration() }
+
+// SetCompiledRenders toggles compiled-program execution at runtime (see
+// WithCompiledRenders).
+func (e *Engine) SetCompiledRenders(on bool) { e.core.SetCompiledRenders(on) }
 
 // ComplianceSuite generates the PLA-derived test suite for one report
 // and consumer.
