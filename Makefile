@@ -18,13 +18,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Static analysis: go vet plus plalint over every shipped PLA document
-# and the full healthcare deployment (error severity gates the build;
-# the scenario's intentionally blocked report stays a warning).
+# Static analysis: go vet, the repo's own audit-discipline vet pass
+# (plavet: PV001/PV002), plalint over every shipped PLA document and the
+# full healthcare deployment (error severity gates the build; the
+# scenario's intentionally blocked report stays a warning), and pladiff:
+# translation validation (PD000) of every compiled residual program, a
+# silent identity diff, and detection of the audit example's known
+# hospital allow-* expansion (must exit 1 with PD001 — proves the
+# expansion detector works, and pins that the bundle stays expansive).
 lint: vet
+	$(GO) run ./cmd/plavet .
 	$(GO) run ./cmd/plalint docs/sample.pla
 	for f in examples/*/policy.pla; do $(GO) run ./cmd/plalint $$f || exit 1; done
 	$(GO) run ./cmd/plalint -severity error -healthcare
+	$(GO) run ./cmd/pladiff -validate
+	$(GO) run ./cmd/pladiff -validate examples/audit/policy.pla
+	$(GO) run ./cmd/pladiff - -
+	out=$$($(GO) run ./cmd/pladiff -severity error - examples/audit/policy.pla; test $$? -eq 1) || exit 1; \
+	echo "$$out" | grep -q 'PD001' || { echo "lint: expected PD001 expansion not detected"; exit 1; }
 
 # Coverage with floors: internal/relation and internal/enforce must stay
 # at or above 80% statement coverage (see scripts/cover.sh).

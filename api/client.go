@@ -76,6 +76,23 @@ func (c *Client) Reports(ctx context.Context, tenant string) (*apiv1.ReportsResp
 	return &out, nil
 }
 
+// Reload asks the server to re-read its manifest and swap changed
+// tenant bundles (the client's token must be an admin token). A refusal
+// by the policy-change gate surfaces as an *apiv1.Error with Code
+// reload_rejected whose Impacts list the privilege expansions; force
+// overrides the gate and ships them.
+func (c *Client) Reload(ctx context.Context, force bool) (*apiv1.ReloadResponse, error) {
+	path := "/admin/reload"
+	if force {
+		path += "?force=1"
+	}
+	var out apiv1.ReloadResponse
+	if err := c.do(ctx, http.MethodPost, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Healthz fetches the unauthenticated liveness document.
 func (c *Client) Healthz(ctx context.Context) (*apiv1.HealthResponse, error) {
 	var out apiv1.HealthResponse

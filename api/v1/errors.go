@@ -38,6 +38,11 @@ const (
 	CodeRateLimited ErrorCode = "rate_limited"
 	// CodeInternal: an unexpected server-side failure. HTTP 500.
 	CodeInternal ErrorCode = "internal"
+	// CodeReloadRejected: the admin reload was refused by the policy-
+	// change gate — the staged manifest contains error-severity privilege
+	// expansions and neither allow_expansion nor ?force=1 was set.
+	// Error.Impacts carries the expansion findings. HTTP 409.
+	CodeReloadRejected ErrorCode = "reload_rejected"
 )
 
 // HTTPStatus returns the HTTP status a code is served with. Unknown
@@ -57,6 +62,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusServiceUnavailable
 	case CodeRateLimited:
 		return http.StatusTooManyRequests
+	case CodeReloadRejected:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -74,6 +81,9 @@ type Error struct {
 	// Decisions carries the blocking enforcement decisions for
 	// CodeBlocked responses.
 	Decisions []Decision `json:"decisions,omitempty"`
+	// Impacts carries the privilege-expansion findings for
+	// CodeReloadRejected responses (pladiff PD codes).
+	Impacts []LintFinding `json:"impacts,omitempty"`
 	// HTTP is the transport status the error arrived with; set by the
 	// client, never serialized.
 	HTTP int `json:"-"`

@@ -189,3 +189,31 @@ type HealthResponse struct {
 	Status  string         `json:"status"`
 	Tenants []TenantHealth `json:"tenants,omitempty"`
 }
+
+// TenantReload is one tenant's outcome inside a ReloadResponse.
+type TenantReload struct {
+	Name string `json:"name"`
+	// Swapped is true when a new engine instance replaced the old one
+	// (false = unchanged bundle fingerprint, old instance kept serving).
+	Swapped bool `json:"swapped"`
+	// Version counts the policy-bundle swaps this tenant has served
+	// (1 = the boot bundle).
+	Version int `json:"version"`
+	// ProgramGeneration is the engine's compiled-program generation
+	// counter after the reload; a swap recompiles every residual render
+	// program, so it advances with the swap.
+	ProgramGeneration uint64 `json:"program_generation"`
+	// Impacts lists the semantic policy-change findings (pladiff PD
+	// codes) between the old and new engine for swapped tenants. An
+	// error-severity impact here means the expansion was explicitly let
+	// through (allow_expansion or ?force=1).
+	Impacts []LintFinding `json:"impacts,omitempty"`
+}
+
+// ReloadResponse is the admin reload outcome.
+// POST /admin/reload[?force=1]
+type ReloadResponse struct {
+	// Status is "reloaded" when the swap went through.
+	Status  string         `json:"status"`
+	Tenants []TenantReload `json:"tenants,omitempty"`
+}

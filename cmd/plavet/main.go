@@ -1,0 +1,44 @@
+// Command plavet runs the repo's audit-discipline vet pass (PV001,
+// PV002 — see internal/analysis/plavet) over one or more directory
+// trees and exits 1 when any rule fires, 2 on operational errors.
+//
+// Usage:
+//
+//	plavet [dir ...]    (default ".")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plabi/internal/analysis/plavet"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: plavet [dir ...]\n\nVets every package under each dir (default \".\") for audit-write\ndiscipline: PV001 unchecked audit write, PV002 dropped Checked result.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	c := plavet.NewChecker()
+	bad := false
+	for _, root := range roots {
+		findings, err := c.Tree(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plavet:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -167,6 +167,18 @@ type Program struct {
 	LiveRules  int
 }
 
+// Blocked reports whether the program folds to a refusal: any static
+// block verdict means the render returns an error without touching data.
+// Mask verdicts keep the render alive (cells blank, rows survive).
+func (p *Program) Blocked() bool {
+	for _, v := range p.Static {
+		if v.Outcome == "block" {
+			return true
+		}
+	}
+	return false
+}
+
 // Input is everything Compile specializes against. The enforcement layer
 // supplies the already-composed PLA set together with its own folded
 // products (static verdicts, column classification) so the two layers

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -207,6 +208,85 @@ func TestChaosHealthcareScenario(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestChaosReplaySchedule proves the chaos artifact is replayable: a
+// run under a seeded random fault schedule, re-executed with
+// fault.ReplaySchedule over the recorded fires, reproduces the exact
+// same behavior — byte-identical audit sink, identical re-recorded
+// schedule, identical per-render outcomes — even though the replay
+// injector is configured with completely different rates. Workers is
+// pinned to 1: replay pins faults to per-site call ordinals, so the
+// engine's call order must be deterministic.
+func TestChaosReplaySchedule(t *testing.T) {
+	cfg := workload.DefaultConfig(7)
+	cfg.Prescriptions = 200
+	cfg.Patients = 40
+	consumers := []report.Consumer{
+		{Name: "a1", Role: "analyst", Purpose: "quality"},
+		{Name: "a2", Role: "auditor", Purpose: "quality"},
+	}
+
+	// run builds the engine clean (deterministic ETL, no faults), then
+	// attaches the injector and sink and drives a fixed render sequence.
+	run := func(t *testing.T, fi *fault.Injector) (sinkBytes string, sched []fault.Fire, outs []string) {
+		t.Helper()
+		e, _, err := BuildHealthcareEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetWorkers(1)
+		e.SetRetryPolicy(chaosRetry())
+		e.SetFailClosed(true)
+		var sink bytes.Buffer
+		e.Audit.SetSink(&sink)
+		e.SetFaults(fi)
+		for r := 0; r < 3; r++ {
+			for _, d := range e.Reports.All() {
+				for _, c := range consumers {
+					corr := fmt.Sprintf("replay-r%d-%s-%s", r, d.ID, c.Name)
+					ctx := obs.WithCorrelationID(context.Background(), corr)
+					enf, err := e.RenderContext(ctx, d.ID, c)
+					switch {
+					case err == nil:
+						outs = append(outs, corr+"=ok:"+enf.Table.String())
+					case tolerable(err):
+						outs = append(outs, corr+"=err:"+err.Error())
+					default:
+						t.Fatalf("render %s: intolerable error: %v", corr, err)
+					}
+				}
+			}
+		}
+		return sink.String(), fi.Schedule(), outs
+	}
+
+	orig := fault.NewInjector(404)
+	orig.Enable(fault.SiteAuditSink, fault.SiteConfig{ErrorRate: 0.15, Transient: true})
+	orig.Enable(fault.SiteRenderWorker, fault.SiteConfig{ErrorRate: 0.05, PanicRate: 0.03})
+	wantSink, recorded, wantOuts := run(t, orig)
+	if len(recorded) == 0 {
+		t.Fatal("seeded run fired nothing; raise the rates so the replay is meaningful")
+	}
+
+	rep := fault.NewInjector(1)
+	// Deliberately different (and absurd) configuration: replay must
+	// pin the schedule regardless.
+	rep.Enable(fault.SiteAuditSink, fault.SiteConfig{ErrorRate: 1})
+	rep.Enable(fault.SiteETLStep, fault.SiteConfig{PanicRate: 1})
+	rep.ReplaySchedule(recorded)
+	gotSink, replayed, gotOuts := run(t, rep)
+
+	if !reflect.DeepEqual(wantOuts, gotOuts) {
+		t.Fatalf("replay render outcomes diverge:\noriginal %v\nreplay   %v", wantOuts, gotOuts)
+	}
+	if !reflect.DeepEqual(recorded, replayed) {
+		t.Fatalf("replay re-recorded a different fault schedule:\noriginal %v\nreplay   %v", recorded, replayed)
+	}
+	if wantSink != gotSink {
+		t.Fatalf("replay audit sink is not byte-identical:\noriginal:\n%s\nreplay:\n%s", wantSink, gotSink)
+	}
+	t.Logf("replayed %d fires, %d renders, %d sink bytes byte-identical", len(recorded), len(wantOuts), len(wantSink))
 }
 
 // dumpChaosArtifacts writes the fault schedule and the audit sink contents

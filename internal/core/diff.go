@@ -1,0 +1,16 @@
+package core
+
+import "plabi/internal/diff"
+
+// DiffState snapshots the engine's deployment state — policy registry,
+// catalog, report definitions and meta-report scope assignment — for
+// cross-generation impact analysis (pladiff) and compiler translation
+// validation. The snapshot shares the live registries; diff only reads.
+func (e *Engine) DiffState() *diff.State {
+	return &diff.State{
+		Policies: e.Policies,
+		Catalog:  e.Catalog,
+		Reports:  e.Reports.All(),
+		Scopes:   e.Assign2Scopes(),
+	}
+}

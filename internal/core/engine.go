@@ -273,7 +273,7 @@ func (e *Engine) AddSource(src *etl.Source) {
 	for _, t := range src.Tables {
 		e.Catalog.Register(t)
 		e.Tracer.RegisterBase(t)
-		e.Audit.Append(audit.Event{Kind: "register", Actor: src.Owner, Object: t.Name,
+		_, _ = e.Audit.AppendChecked(context.Background(), audit.Event{Kind: "register", Actor: src.Owner, Object: t.Name,
 			Detail: fmt.Sprintf("%d rows", t.NumRows())})
 	}
 }
@@ -329,7 +329,7 @@ func (e *Engine) AddPLAs(dsl string) error {
 		if err := e.Policies.Add(p); err != nil {
 			return err
 		}
-		e.Audit.Append(audit.Event{Kind: "pla", Actor: p.Owner, Object: p.ID,
+		_, _ = e.Audit.AppendChecked(context.Background(), audit.Event{Kind: "pla", Actor: p.Owner, Object: p.ID,
 			Detail: fmt.Sprintf("level=%s scope=%s atoms=%d", p.Level, p.Scope, p.Atoms())})
 	}
 	return nil
@@ -363,7 +363,7 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 			ev.Kind = "violation"
 			ev.Detail = err.Error()
 		}
-		e.Audit.Append(ev)
+		_, _ = e.Audit.AppendChecked(ctx, ev)
 	}
 	if p.Workers == 0 {
 		e.mu.RLock()
@@ -429,7 +429,7 @@ func (e *Engine) DefineReport(d *report.Definition) error {
 	if err := e.Reports.Create(d); err != nil {
 		return err
 	}
-	e.Audit.Append(audit.Event{Kind: "report", Object: d.ID, Detail: d.Query})
+	_, _ = e.Audit.AppendChecked(context.Background(), audit.Event{Kind: "report", Object: d.ID, Detail: d.Query})
 	return nil
 }
 
@@ -453,7 +453,7 @@ func (e *Engine) DeriveMetaReports() ([]*metareport.MetaReport, error) {
 	e.mu.Unlock()
 	e.enforcer.SetExtraScopes(scopes)
 	for _, m := range metas {
-		e.Audit.Append(audit.Event{Kind: "metareport", Object: m.ID, Detail: m.Query})
+		_, _ = e.Audit.AppendChecked(context.Background(), audit.Event{Kind: "metareport", Object: m.ID, Detail: m.Query})
 	}
 	return metas, nil
 }

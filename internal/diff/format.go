@@ -1,0 +1,29 @@
+package diff
+
+import (
+	"io"
+
+	"plabi/internal/lint"
+)
+
+// WriteText renders impacts one per line through the lint text renderer.
+func WriteText(w io.Writer, imps []Impact) error {
+	return lint.WriteText(w, Findings(imps))
+}
+
+// WriteJSON renders impacts as an indented JSON array through the lint
+// JSON renderer ("[]" when clean).
+func WriteJSON(w io.Writer, imps []Impact) error {
+	return lint.WriteJSON(w, Findings(imps))
+}
+
+// Filter returns the impacts at or above the given severity.
+func Filter(imps []Impact, min lint.Severity) []Impact {
+	var out []Impact
+	for _, im := range imps {
+		if im.Severity >= min {
+			out = append(out, im)
+		}
+	}
+	return out
+}

@@ -121,6 +121,9 @@ type Fire struct {
 	Kind string `json:"kind"`
 	// Call is the per-site call ordinal the fault fired on.
 	Call uint64 `json:"call"`
+	// Transient marks an injected error retryable, so a replayed error
+	// keeps its retry eligibility.
+	Transient bool `json:"transient,omitempty"`
 }
 
 // Injector injects faults at named sites from a seeded schedule. The
@@ -135,6 +138,10 @@ type Injector struct {
 	sites    map[string]*siteState
 	fires    uint64
 	schedule []Fire
+	// replay, when non-nil, pins the fault schedule: site -> per-site
+	// call ordinal -> recorded fire. The RNG and the site rates are
+	// bypassed entirely (see ReplaySchedule).
+	replay map[string]map[uint64]Fire
 }
 
 type siteState struct {
@@ -236,10 +243,41 @@ func (i *Injector) Hit(ctx context.Context, site string) error {
 	}
 }
 
+// ReplaySchedule switches the injector to replay mode: instead of
+// drawing fault fates from the seeded RNG, the injector fires exactly
+// the recorded faults — same site, same per-site call ordinal, same
+// kind, same transience — and nothing else. Site rates, Times bounds
+// and the seed are ignored; sites named by the schedule are tracked on
+// demand, so the replay injector needs no Enable calls. Combined with a
+// deterministic execution order (single-worker engine), replaying the
+// Schedule() of a previous run reproduces it exactly even after the
+// site configuration has changed; latency fires reuse the site's
+// configured Latency (zero when the site was never enabled).
+func (i *Injector) ReplaySchedule(fires []Fire) {
+	if i == nil {
+		return
+	}
+	plan := map[string]map[uint64]Fire{}
+	for _, f := range fires {
+		byCall := plan[f.Site]
+		if byCall == nil {
+			byCall = map[uint64]Fire{}
+			plan[f.Site] = byCall
+		}
+		byCall[f.Call] = f
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.replay = plan
+}
+
 // decide draws the fate of one call under the injector lock.
 func (i *Injector) decide(site string) (*fire, bool) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	if i.replay != nil {
+		return i.decideReplay(site)
+	}
 	st, ok := i.sites[site]
 	if !ok {
 		return nil, false
@@ -263,8 +301,32 @@ func (i *Injector) decide(site string) (*fire, bool) {
 	st.fired++
 	i.fires++
 	f := &fire{kind: kind, seq: i.fires, delay: st.cfg.Latency}
-	i.schedule = append(i.schedule, Fire{Seq: f.seq, Site: site, Kind: kind, Call: st.calls})
+	i.schedule = append(i.schedule, Fire{Seq: f.seq, Site: site, Kind: kind, Call: st.calls, Transient: st.cfg.Transient})
 	return f, st.cfg.Transient
+}
+
+// decideReplay resolves one call against the pinned schedule. Called
+// with i.mu held.
+func (i *Injector) decideReplay(site string) (*fire, bool) {
+	byCall, ok := i.replay[site]
+	if !ok {
+		return nil, false
+	}
+	st := i.sites[site]
+	if st == nil {
+		st = &siteState{}
+		i.sites[site] = st
+	}
+	st.calls++
+	rec, ok := byCall[st.calls]
+	if !ok {
+		return nil, false
+	}
+	st.fired++
+	i.fires++
+	f := &fire{kind: rec.Kind, seq: i.fires, delay: st.cfg.Latency}
+	i.schedule = append(i.schedule, Fire{Seq: f.seq, Site: site, Kind: rec.Kind, Call: st.calls, Transient: rec.Transient})
+	return f, rec.Transient
 }
 
 // Schedule returns a copy of every fault fired so far, in fire order —

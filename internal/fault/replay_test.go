@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// outcomes drives a fixed interleaved call pattern over two sites and
+// records the per-call fate ("ok", "error", "error!" for transient,
+// "panic") — the observable behavior a replay must reproduce.
+func outcomes(t *testing.T, i *Injector, n int) []string {
+	t.Helper()
+	var out []string
+	hit := func(site string) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*PanicValue); !ok {
+					t.Fatalf("unexpected panic value %v", r)
+				}
+				out = append(out, "panic")
+			}
+		}()
+		err := i.Hit(context.Background(), site)
+		switch {
+		case err == nil:
+			out = append(out, "ok")
+		case !errors.Is(err, ErrInjected):
+			t.Fatalf("unexpected error %v", err)
+		default:
+			var se *SiteError
+			if errors.As(err, &se) && se.Temporary() {
+				out = append(out, "error!")
+			} else {
+				out = append(out, "error")
+			}
+		}
+	}
+	for c := 0; c < n; c++ {
+		hit(SiteETLStep)
+		if c%3 == 0 {
+			hit(SiteAuditSink)
+		}
+	}
+	return out
+}
+
+// TestReplaySchedule records a seeded run's schedule, replays it on an
+// injector with a different seed and *different site rates*, and
+// requires identical per-call outcomes and an identical re-recorded
+// schedule — the property the chaos suite's replay artifact relies on.
+func TestReplaySchedule(t *testing.T) {
+	orig := NewInjector(42)
+	orig.Enable(SiteETLStep, SiteConfig{ErrorRate: 0.25, PanicRate: 0.1})
+	orig.Enable(SiteAuditSink, SiteConfig{ErrorRate: 0.5, Transient: true})
+	wantOut := outcomes(t, orig, 120)
+	recorded := orig.Schedule()
+	if len(recorded) == 0 {
+		t.Fatal("seeded run fired nothing; test is vacuous")
+	}
+
+	rep := NewInjector(7)
+	// Deliberately wrong configuration: replay must ignore it.
+	rep.Enable(SiteETLStep, SiteConfig{ErrorRate: 1})
+	rep.ReplaySchedule(recorded)
+	gotOut := outcomes(t, rep, 120)
+	if !reflect.DeepEqual(wantOut, gotOut) {
+		t.Fatalf("replay diverged from original outcomes:\n%v\n%v", wantOut, gotOut)
+	}
+	if got := rep.Schedule(); !reflect.DeepEqual(recorded, got) {
+		t.Fatalf("replay re-recorded a different schedule:\noriginal %v\nreplay   %v", recorded, got)
+	}
+}
+
+// TestReplayScheduleUnknownSite proves sites absent from the recorded
+// schedule never fire under replay, even when enabled with rate 1.
+func TestReplayScheduleUnknownSite(t *testing.T) {
+	i := NewInjector(1)
+	i.Enable(SiteRenderWorker, SiteConfig{ErrorRate: 1, Transient: true})
+	i.ReplaySchedule([]Fire{{Seq: 1, Site: SiteETLStep, Kind: "error", Call: 3}})
+	for c := 0; c < 10; c++ {
+		if err := i.Hit(context.Background(), SiteRenderWorker); err != nil {
+			t.Fatalf("call %d: replay fired at a site outside the schedule: %v", c, err)
+		}
+	}
+	// The scheduled site fires on exactly its recorded call ordinal,
+	// with no Enable call for it.
+	for c := 1; c <= 5; c++ {
+		err := i.Hit(context.Background(), SiteETLStep)
+		if (c == 3) != (err != nil) {
+			t.Fatalf("call %d: err=%v, want fire exactly on call 3", c, err)
+		}
+	}
+}
+
+// TestReplayScheduleEmpty pins an empty schedule: a fully configured
+// injector goes silent.
+func TestReplayScheduleEmpty(t *testing.T) {
+	i := NewInjector(99)
+	i.Enable(SiteETLStep, SiteConfig{PanicRate: 1})
+	i.Enable(SiteAuditSink, SiteConfig{ErrorRate: 1, LatencyRate: 0.5, Latency: time.Millisecond})
+	i.ReplaySchedule(nil)
+	if got := outcomes(t, i, 30); len(got) != 40 {
+		t.Fatalf("outcome count %d, want 40", len(got))
+	} else {
+		for c, o := range got {
+			if o != "ok" {
+				t.Fatalf("outcome %d = %q under empty replay, want ok", c, o)
+			}
+		}
+	}
+	if s := i.Schedule(); len(s) != 0 {
+		t.Fatalf("empty replay recorded fires: %v", s)
+	}
+}

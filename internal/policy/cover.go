@@ -1,6 +1,9 @@
 package policy
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 // RuleCovers reports whether rule s matches every (attribute, role,
 // purpose) triple rule r matches. It is the covering relation behind
@@ -14,6 +17,25 @@ func RuleCovers(s, r AccessRule) bool {
 		return false
 	}
 	return SetCovers(s.Roles, r.Roles) && SetCovers(s.Purposes, r.Purposes)
+}
+
+// RuleCoversWhen is RuleCovers refined with intensional conditions: a
+// conditioned rule releases (or denies) strictly less than an
+// unconditional one, so s only covers r when s is unconditional or both
+// carry the same condition. pladiff's expansion analysis uses this
+// stricter relation — a new allow guarded only by a *different* condition
+// than the old one is a potential widening, not a covered rewrite.
+func RuleCoversWhen(s, r AccessRule) bool {
+	if !RuleCovers(s, r) {
+		return false
+	}
+	if s.When == nil {
+		return true
+	}
+	if r.When == nil {
+		return false
+	}
+	return fmt.Sprint(s.When) == fmt.Sprint(r.When)
 }
 
 // SetCovers reports whether the matcher set sup (empty = everything)

@@ -57,6 +57,13 @@ type TenantConfig struct {
 	CacheSize  int  `json:"cache_size,omitempty"`
 	Workers    int  `json:"workers,omitempty"`
 	FailClosed bool `json:"fail_closed,omitempty"`
+	// AllowExpansion lets a reload through even when pladiff finds
+	// error-severity privilege expansions between the running engine and
+	// the staged one. Off by default: expansions are refused unless the
+	// admin endpoint is called with ?force=1. Deliberately excluded from
+	// the bundle fingerprint — it gates the swap, it does not change the
+	// engine.
+	AllowExpansion bool `json:"allow_expansion,omitempty"`
 }
 
 var tenantNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]{0,63}$`)

@@ -93,27 +93,66 @@ func New(m *Manifest, opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Reload applies a new manifest: tenants whose policy bundle changed get
-// a fresh engine built and atomically swapped in (the old engine drains
-// its in-flight requests, then its audit sink is flushed and closed);
-// unchanged tenants keep serving without interruption; removed tenants
-// drain and close; added tenants are built. The token and rate-limit
-// maps always follow the new manifest. Engines are built BEFORE any swap,
-// so a manifest whose build fails leaves the server fully on the old
-// state.
+// ReloadRejectedError is returned when the policy-change gate refuses a
+// reload: the staged manifest contains error-severity privilege
+// expansions for a tenant that has neither allow_expansion set nor the
+// force flag passed. No swap has happened; the server keeps serving the
+// old state.
+type ReloadRejectedError struct {
+	// Tenant is the first tenant whose staged bundle expands privileges.
+	Tenant string
+	// Impacts are the expansion findings for that tenant.
+	Impacts []plabi.Impact
+}
+
+func (e *ReloadRejectedError) Error() string {
+	return fmt.Sprintf("serve: reload rejected: tenant %q: %d privilege expansion(s); set allow_expansion or force the reload",
+		e.Tenant, len(e.Impacts))
+}
+
+// Reload applies a new manifest with the expansion gate armed (see
+// ReloadGated).
 func (s *Server) Reload(m *Manifest) error {
+	_, err := s.ReloadGated(m, false)
+	return err
+}
+
+// ReloadGated applies a new manifest: tenants whose policy bundle
+// changed get a fresh engine built and atomically swapped in (the old
+// engine drains its in-flight requests, then its audit sink is flushed
+// and closed); unchanged tenants keep serving without interruption;
+// removed tenants drain and close; added tenants are built. The token
+// and rate-limit maps always follow the new manifest. Engines are built
+// BEFORE any swap, so a manifest whose build fails leaves the server
+// fully on the old state.
+//
+// Between build and swap, every staged engine is diffed against the one
+// it replaces (pladiff). Error-severity impacts — privilege expansions —
+// abort the whole reload with *ReloadRejectedError unless the tenant's
+// manifest entry sets allow_expansion or force is true. The per-tenant
+// impact lists are returned in the response either way, so operators see
+// what a forced reload shipped.
+func (s *Server) ReloadGated(m *Manifest, force bool) (*apiv1.ReloadResponse, error) {
 	if err := m.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	// Phase 1: build every engine the new manifest needs.
 	type staged struct {
-		cfg TenantConfig
-		in  *instance // nil = keep the running instance
+		cfg     TenantConfig
+		in      *instance // nil = keep the running instance
+		impacts []plabi.Impact
 	}
 	var plan []staged
+	abort := func(plan []staged) {
+		for _, st := range plan {
+			if st.in != nil {
+				_ = st.in.eng.Close()
+			}
+		}
+	}
 	for _, cfg := range m.Tenants {
 		old, exists := s.tenants[cfg.Name]
 		if exists && old.fingerprint == cfg.bundleFingerprint() {
@@ -128,17 +167,40 @@ func (s *Server) Reload(m *Manifest) error {
 		}
 		in, err := buildInstance(cfg, version, s.auditDir)
 		if err != nil {
-			for _, st := range plan {
-				if st.in != nil {
-					_ = st.in.eng.Close()
-				}
-			}
-			return err
+			abort(plan)
+			return nil, err
 		}
 		plan = append(plan, staged{cfg: cfg, in: in})
 	}
 
+	// Gate: diff each staged engine against the instance it replaces.
+	for i, st := range plan {
+		if st.in == nil {
+			continue
+		}
+		old, exists := s.tenants[st.cfg.Name]
+		if !exists {
+			continue // new tenant: nothing served before, nothing to widen
+		}
+		cur := old.cur.Load()
+		if cur == nil {
+			continue
+		}
+		imps, err := plabi.Diff(cur.eng, st.in.eng)
+		if err != nil {
+			abort(plan)
+			return nil, fmt.Errorf("serve: reload diff %s: %w", st.cfg.Name, err)
+		}
+		plan[i].impacts = imps
+		if exp := plabi.Expansions(imps); len(exp) > 0 && !st.cfg.AllowExpansion && !force {
+			abort(plan)
+			s.metrics.Counter("serve.reloads_rejected").Inc()
+			return nil, &ReloadRejectedError{Tenant: st.cfg.Name, Impacts: exp}
+		}
+	}
+
 	// Phase 2: swap. From here nothing can fail.
+	resp := &apiv1.ReloadResponse{Status: "reloaded"}
 	kept := map[string]bool{}
 	for _, st := range plan {
 		kept[st.cfg.Name] = true
@@ -156,6 +218,14 @@ func (s *Server) Reload(m *Manifest) error {
 			t.swap(st.in)
 			s.metrics.Counter("serve.bundle_swaps").Inc()
 		}
+		cur := t.cur.Load()
+		tr := apiv1.TenantReload{Name: st.cfg.Name, Swapped: st.in != nil,
+			Impacts: wireFindings(plabi.ImpactFindings(st.impacts))}
+		if cur != nil {
+			tr.Version = cur.version
+			tr.ProgramGeneration = cur.eng.ProgramGeneration()
+		}
+		resp.Tenants = append(resp.Tenants, tr)
 	}
 	for name, t := range s.tenants {
 		if !kept[name] {
@@ -175,20 +245,25 @@ func (s *Server) Reload(m *Manifest) error {
 	}
 	s.metrics.Gauge("serve.tenants").Set(int64(len(s.tenants)))
 	s.metrics.Counter("serve.reloads").Inc()
-	return nil
+	return resp, nil
 }
 
 // ReloadFromManifestFile re-reads the manifest the server was started
 // from and applies it (SIGHUP and /admin/reload both land here).
 func (s *Server) ReloadFromManifestFile() error {
+	_, err := s.reloadFromManifestFile(false)
+	return err
+}
+
+func (s *Server) reloadFromManifestFile(force bool) (*apiv1.ReloadResponse, error) {
 	if s.manifestPath == "" {
-		return fmt.Errorf("serve: no manifest path configured")
+		return nil, fmt.Errorf("serve: no manifest path configured")
 	}
 	m, err := LoadManifest(s.manifestPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return s.Reload(m)
+	return s.ReloadGated(m, force)
 }
 
 // Close drains and closes every tenant engine. The server rejects
@@ -589,9 +664,31 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &apiv1.Error{Code: apiv1.CodeUnauthorized, Message: "admin token required"})
 		return
 	}
-	if err := s.ReloadFromManifestFile(); err != nil {
+	force := r.URL.Query().Get("force") == "1"
+	resp, err := s.reloadFromManifestFile(force)
+	if err != nil {
+		var rej *ReloadRejectedError
+		if errors.As(err, &rej) {
+			writeError(w, &apiv1.Error{Code: apiv1.CodeReloadRejected,
+				Message: rej.Error(),
+				Impacts: wireFindings(plabi.ImpactFindings(rej.Impacts))})
+			return
+		}
 		writeError(w, &apiv1.Error{Code: apiv1.CodeInternal, Message: err.Error()})
 		return
 	}
-	writeJSON(w, map[string]string{"status": "reloaded"})
+	writeJSON(w, resp)
+}
+
+// wireFindings converts lint findings to their /v1 wire shape.
+func wireFindings(fs []lint.Finding) []apiv1.LintFinding {
+	var out []apiv1.LintFinding
+	for _, f := range fs {
+		out = append(out, apiv1.LintFinding{
+			Code: f.Code, Severity: f.Severity.String(), Level: f.Level.String(),
+			Pos: f.Pos.String(), Subject: f.Subject, Message: f.Message,
+			PLAs: append([]string(nil), f.PLAs...),
+		})
+	}
+	return out
 }

@@ -502,7 +502,8 @@ func TestReloadRecompilesPrograms(t *testing.T) {
 	// BEFORE any post-reload render could lazily build a plan.
 	m.Tenants[0].ExtraPLAs = betaMask
 	writeManifest(t, path, m)
-	if _, apiErr := call(t, "POST", ts.URL+"/admin/reload", "admin-tok", nil, nil); apiErr != nil {
+	var rr apiv1.ReloadResponse
+	if _, apiErr := call(t, "POST", ts.URL+"/admin/reload", "admin-tok", nil, &rr); apiErr != nil {
 		t.Fatalf("reload: %v", apiErr)
 	}
 	after := s.engineFor("alpha")
@@ -511,6 +512,37 @@ func TestReloadRecompilesPrograms(t *testing.T) {
 	}
 	if g := after.ProgramGeneration(); g == 0 {
 		t.Fatalf("reloaded tenant not recompiled (generation %d)", g)
+	}
+
+	// The reload response reports the swap and the generations, so the
+	// operator sees the recompile without probing the engine.
+	if rr.Status != "reloaded" {
+		t.Fatalf("reload status = %q", rr.Status)
+	}
+	got := map[string]apiv1.TenantReload{}
+	for _, tr := range rr.Tenants {
+		got[tr.Name] = tr
+	}
+	alpha, beta := got["alpha"], got["beta"]
+	if !alpha.Swapped || alpha.Version != 2 {
+		t.Fatalf("alpha reload entry = %+v, want swapped v2", alpha)
+	}
+	if alpha.ProgramGeneration == 0 || alpha.ProgramGeneration != after.ProgramGeneration() {
+		t.Fatalf("alpha reload reports generation %d, engine at %d",
+			alpha.ProgramGeneration, after.ProgramGeneration())
+	}
+	if beta.Swapped || beta.Version != 1 {
+		t.Fatalf("beta reload entry = %+v, want unswapped v1", beta)
+	}
+	// The restriction shows up as non-error impacts (new deny, masked
+	// column), so the gate let it through.
+	if len(alpha.Impacts) == 0 {
+		t.Fatal("alpha reload entry carries no impact findings for a bundle change")
+	}
+	for _, im := range alpha.Impacts {
+		if im.Severity == "error" {
+			t.Fatalf("restriction classified as expansion: %+v", im)
+		}
 	}
 
 	// The recompiled program reflects the new bundle: drug is masked in
@@ -522,6 +554,106 @@ func TestReloadRecompilesPrograms(t *testing.T) {
 	}
 	if !strings.Contains(plan, "mask") {
 		t.Fatalf("post-reload residual plan does not mask:\n%s", plan)
+	}
+}
+
+// TestReloadGateRefusesExpansion is the end-to-end proof of the reload
+// gate: alpha boots WITH the masking bundle, the staged manifest drops
+// it — a privilege expansion (the drug column goes from masked to
+// released). The reload is refused with the impact list in the error
+// envelope; the same reload succeeds with ?force=1; and a manifest that
+// sets allow_expansion passes without forcing.
+func TestReloadGateRefusesExpansion(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	m.Tenants[0].ExtraPLAs = betaMask // alpha starts masked
+	path := filepath.Join(dir, "manifest.json")
+	writeManifest(t, path, m)
+	s, ts := newTestServer(t, m, Options{AuditDir: dir, ManifestPath: path})
+	before := s.engineFor("alpha")
+
+	// Stage the expansion: alpha's mask is dropped.
+	m.Tenants[0].ExtraPLAs = ""
+	writeManifest(t, path, m)
+
+	_, apiErr := call(t, "POST", ts.URL+"/admin/reload", "admin-tok", nil, nil)
+	if apiErr == nil {
+		t.Fatal("expansion reload was not refused")
+	}
+	if apiErr.Code != apiv1.CodeReloadRejected || apiErr.HTTP != 409 {
+		t.Fatalf("refusal = code %q http %d, want reload_rejected 409", apiErr.Code, apiErr.HTTP)
+	}
+	if len(apiErr.Impacts) == 0 {
+		t.Fatal("refusal envelope carries no impact findings")
+	}
+	codes := map[string]bool{}
+	for _, im := range apiErr.Impacts {
+		if im.Severity != "error" {
+			t.Fatalf("refusal lists non-error impact: %+v", im)
+		}
+		codes[im.Code] = true
+	}
+	if !codes["PD001"] {
+		t.Fatalf("refusal does not name the PD001 expansion: %v", codes)
+	}
+
+	// Nothing swapped: alpha still serves the masked bundle.
+	if s.engineFor("alpha") != before {
+		t.Fatal("refused reload swapped the engine anyway")
+	}
+	var r apiv1.RenderResponse
+	if _, apiErr := call(t, "POST", ts.URL+"/v1/tenants/alpha/render", "alpha-tok",
+		apiv1.RenderRequest{Report: "drug-consumption",
+			Consumer: apiv1.Consumer{Role: "analyst", Purpose: "quality"}}, &r); apiErr != nil {
+		t.Fatalf("render after refusal: %v", apiErr)
+	}
+	if r.MaskedCells == 0 {
+		t.Fatal("old bundle no longer governs after refused reload")
+	}
+
+	// The same reload goes through with ?force=1, reporting what it
+	// shipped.
+	var rr apiv1.ReloadResponse
+	if _, apiErr := call(t, "POST", ts.URL+"/admin/reload?force=1", "admin-tok", nil, &rr); apiErr != nil {
+		t.Fatalf("forced reload: %v", apiErr)
+	}
+	var forced apiv1.TenantReload
+	for _, tr := range rr.Tenants {
+		if tr.Name == "alpha" {
+			forced = tr
+		}
+	}
+	if !forced.Swapped || forced.Version != 2 {
+		t.Fatalf("forced reload entry = %+v, want swapped v2", forced)
+	}
+	hasError := false
+	for _, im := range forced.Impacts {
+		if im.Severity == "error" {
+			hasError = true
+		}
+	}
+	if !hasError {
+		t.Fatal("forced reload response does not list the expansion it shipped")
+	}
+	if r, _ := call(t, "POST", ts.URL+"/v1/tenants/alpha/render", "alpha-tok",
+		apiv1.RenderRequest{Report: "drug-consumption",
+			Consumer: apiv1.Consumer{Role: "analyst", Purpose: "quality"}}, &r); r == nil {
+		t.Fatal("render after forced reload failed")
+	}
+
+	// allow_expansion in the manifest is the declarative override: the
+	// reverse trip (mask back on, then off again with the flag set)
+	// succeeds without forcing.
+	m.Tenants[0].ExtraPLAs = betaMask
+	writeManifest(t, path, m)
+	if _, apiErr := call(t, "POST", ts.URL+"/admin/reload", "admin-tok", nil, nil); apiErr != nil {
+		t.Fatalf("restriction reload refused: %v", apiErr)
+	}
+	m.Tenants[0].ExtraPLAs = ""
+	m.Tenants[0].AllowExpansion = true
+	writeManifest(t, path, m)
+	if _, apiErr := call(t, "POST", ts.URL+"/admin/reload", "admin-tok", nil, nil); apiErr != nil {
+		t.Fatalf("allow_expansion reload refused: %v", apiErr)
 	}
 }
 
