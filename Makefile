@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race lint cover bench-smoke bench bench-core bench-compiled serve-bench fuzz-smoke chaos ci
+.PHONY: build vet test race lint cover bench-smoke bench bench-core bench-compiled scale-ceiling bench-scale serve-bench fuzz-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -54,8 +54,10 @@ bench:
 # Full core-kernel measurement run: vectorized vs row-at-a-time vs
 # nested-loop vs compiled at 1k/10k/100k, converted to BENCH_core.json
 # with the >=5x vectorized and >=1.5x compiled speedup floors enforced.
+# The out-of-core families (RenderSegment/JoinSegment/ScanPruned) are
+# excluded here — they have their own scale lane below.
 bench-core:
-	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchtime=5x -benchmem . | tee bench_core.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkCore(Join(Nested)?|Render(Compiled)?|ETL|Rewrite)$$' -benchtime=5x -benchmem . | tee bench_core.txt
 	$(GO) run ./cmd/benchjson -in bench_core.txt -out BENCH_core.json -check -min-compiled 1.5
 
 # Compiled-render family only: the residual-program render against the
@@ -63,6 +65,23 @@ bench-core:
 bench-compiled:
 	$(GO) test -run '^$$' -bench '^BenchmarkCoreRender(Compiled)?$$' -benchtime=5x -benchmem . | tee bench_compiled.txt
 	$(GO) run ./cmd/benchjson -in bench_compiled.txt -out BENCH_compiled.json -check-compiled -min-compiled 1.5
+
+# Memory-ceiling check: stream 1M rows through a SegmentWriter and scan
+# them back (pruned select, full scan, aggregation) with the runtime's
+# soft memory limit pinned to half the table's in-memory footprint; the
+# sampled peak heap must stay under that budget. PLABI_SCALE_10M=1 runs
+# the 10M-row variant.
+scale-ceiling:
+	PLABI_SCALE=1 $(GO) test -run '^TestScaleMemoryCeiling$$' -count=1 -v .
+
+# Out-of-core scale lane: the segment-backed render and join against
+# their in-memory twins plus the zone-map pruning scan, at 1M rows,
+# converted to BENCH_scale.json with the >=50% pruned-segment floor
+# enforced. Two iterations per benchmark keep the 1M lane under a few
+# minutes; the numbers feed the README trajectory, not benchstat.
+bench-scale:
+	PLABI_SCALE=1 $(GO) test -run '^$$' -bench '^BenchmarkCore(RenderSegment|JoinSegment|ScanPruned)$$' -benchtime=2x -benchmem -timeout 40m . | tee bench_scale.txt
+	$(GO) run ./cmd/benchjson -in bench_scale.txt -out BENCH_scale.json -suite scale -check-scale -min-prune 0.5
 
 # Serving benchmark: the load harness self-hosts a two-tenant plabid,
 # drives a mixed render/check workload and writes BENCH_serve.json.
@@ -79,10 +98,12 @@ serve-bench:
 chaos:
 	CHAOS_ARTIFACT_DIR=./chaos-artifacts $(GO) test -race -run TestChaos ./internal/core -count=1 -v
 
-# Short fuzz campaigns over the SQL parser and the PLA DSL parser; the
-# checked-in corpora under */testdata/fuzz replay first.
+# Short fuzz campaigns over the SQL parser, the PLA DSL parser and the
+# columnar segment decoder; the checked-in corpora under */testdata/fuzz
+# replay first.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSelect -fuzztime $(FUZZTIME) ./internal/sql
 	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime $(FUZZTIME) ./internal/policy
+	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime $(FUZZTIME) ./internal/relation
 
-ci: lint build race chaos bench-smoke cover
+ci: lint build race chaos bench-smoke scale-ceiling bench-scale cover

@@ -1,0 +1,381 @@
+// Scale benchmarks for the out-of-core storage layer: the flagship
+// render and the prescriptions join run side-by-side fully in-memory and
+// segment-backed (storage=memory vs storage=segment in the same run),
+// plus a zone-map pruning benchmark over a selective filter and a
+// memory-ceiling test that streams rows through a SegmentWriter and
+// asserts the scan working set stays under a budget far below the
+// table's in-memory footprint.
+//
+// Scales: 50k rows by default (so the suite is cheap enough for the
+// ordinary test lane), 1M with PLABI_SCALE=1 (the CI scale-bench lane),
+// 10M with PLABI_SCALE_10M=1 (opt-in, for the README trajectory).
+// cmd/benchjson parses the output of
+//
+//	go test -run '^$' -bench '^BenchmarkCore(RenderSegment|JoinSegment|ScanPruned)' -benchmem
+//
+// into BENCH_scale.json; -check-scale enforces the pruning floor and the
+// segment-vs-memory peak-heap ordering.
+package plabi
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+
+	"plabi/internal/core"
+	"plabi/internal/obs"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/workload"
+)
+
+// scaleRows picks the row count for the scale suite.
+func scaleRows() int {
+	if os.Getenv("PLABI_SCALE_10M") == "1" {
+		return 10_000_000
+	}
+	if os.Getenv("PLABI_SCALE") == "1" {
+		return 1_000_000
+	}
+	return 50_000
+}
+
+// heapWatcher samples runtime.ReadMemStats in the background and records
+// the peak HeapAlloc seen. Sampling every 10ms keeps the stop-the-world
+// cost low while still catching the steady-state working set; short
+// transient spikes between samples are invisible, so peaks are a floor,
+// not an exact maximum.
+type heapWatcher struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func watchHeap() *heapWatcher {
+	w := &heapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > w.peak {
+				w.peak = ms.HeapAlloc
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return w
+}
+
+// Peak stops the watcher and returns the highest HeapAlloc sampled.
+func (w *heapWatcher) Peak() uint64 {
+	close(w.stop)
+	<-w.done
+	return w.peak
+}
+
+// storageModes pairs the sub-benchmark label with the segment-store hook
+// it applies. storage=memory is measured in the same run as
+// storage=segment so the BENCH_scale.json ratios never compare across
+// machines or commits.
+var storageModes = []struct {
+	name    string
+	segment bool
+}{
+	{"memory", false},
+	{"segment", true},
+}
+
+// scaleEngines caches the expensive 1M-row engines across benchmark
+// re-invocations: go test re-runs the leaf function for the warmup and
+// every measured b.N, and a full ETL build at scale costs minutes.
+// Sharing one engine means the measured renders are steady-state
+// (plan/provenance caches warm) for both storage modes alike. Segment
+// directories go to os.MkdirTemp because b.TempDir is cleaned between
+// invocations; the OS temp dir reclaims them.
+var scaleEngines sync.Map // "n/storage" -> *core.Engine
+
+func scaleEngineFor(b *testing.B, n int, segment bool) *core.Engine {
+	b.Helper()
+	key := fmt.Sprintf("%d/%v", n, segment)
+	// Drop engines of other configurations first: leaf benchmarks run to
+	// completion one after another, and a cached sibling engine resident
+	// in the heap would inflate this one's peak_alloc_bytes sample.
+	scaleEngines.Range(func(k, v any) bool {
+		if k.(string) != key {
+			scaleEngines.Delete(k)
+		}
+		return true
+	})
+	if v, ok := scaleEngines.Load(key); ok {
+		return v.(*core.Engine)
+	}
+	cfg := workload.DefaultConfig(42)
+	cfg.Prescriptions = n
+	cfg.Patients = n / 10
+	cfg.LabResults = n / 10
+	e, _, err := core.BuildHealthcareEngineWith(cfg, func(e *core.Engine) {
+		if segment {
+			dir, err := os.MkdirTemp("", "plabi-scale-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.SetSegmentStore(dir)
+			e.SetSpillThreshold(1)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaleEngines.Store(key, e)
+	return e
+}
+
+// BenchmarkCoreRenderSegment measures the full enforced render of the
+// flagship drug-consumption report with every ETL staging table spilled
+// to on-disk columnar segments, against the identical fully in-memory
+// engine. Both sides report peak_alloc_bytes; at scale the segment side
+// must peak below the in-memory side (enforced by benchjson
+// -check-scale).
+func BenchmarkCoreRenderSegment(b *testing.B) {
+	n := scaleRows()
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		for _, st := range storageModes {
+			b.Run("storage="+st.name, func(b *testing.B) {
+				prev := relation.SetExecMode(relation.ExecVectorized)
+				defer relation.SetExecMode(prev)
+				e := scaleEngineFor(b, n, st.segment)
+				consumer := report.Consumer{Name: "bench", Role: "analyst", Purpose: "quality"}
+				runtime.GC()
+				w := watchHeap()
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					enf, err := e.Render("drug-consumption", consumer)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if enf.Table.NumRows() == 0 {
+						b.Fatal("all rows suppressed")
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(w.Peak()), "peak_alloc_bytes")
+			})
+		}
+	})
+}
+
+// BenchmarkCoreJoinSegment measures the prescriptions ⋈ drugcost hash
+// join with the probe side segment-backed (streamed partition-wise
+// through the scan path) against the fully in-memory join.
+func BenchmarkCoreJoinSegment(b *testing.B) {
+	n := scaleRows()
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		ds := benchDataset(b, n)
+		for _, st := range storageModes {
+			b.Run("storage="+st.name, func(b *testing.B) {
+				prev := relation.SetExecMode(relation.ExecVectorized)
+				defer relation.SetExecMode(prev)
+				left := ds.Prescriptions
+				if st.segment {
+					s := relation.NewSegmentStore(b.TempDir())
+					spilled, err := s.Spill(left)
+					if err != nil {
+						b.Fatal(err)
+					}
+					left = spilled
+				}
+				l := relation.Rename(left, "p")
+				r := relation.Rename(ds.DrugCost, "c")
+				pred := relation.Eq(relation.ColRefExpr("p.drug"), relation.ColRefExpr("c.drug"))
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := relation.Join(l, r, pred, relation.InnerJoin)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.NumRows() == 0 {
+						b.Fatal("empty join")
+					}
+				}
+			})
+		}
+	})
+}
+
+// scaleSchema is the synthetic wide-ish fact table used by the pruning
+// benchmark and the memory-ceiling test: a monotone int key plus string
+// and float payload.
+func scaleSchema() *relation.Schema {
+	return relation.NewSchema(
+		relation.Col("id", relation.TInt),
+		relation.Col("patient", relation.TString),
+		relation.Col("drug", relation.TString),
+		relation.Col("cost", relation.TFloat),
+	)
+}
+
+func scaleRow(i int) relation.Row {
+	return relation.Row{
+		relation.Int(int64(i)),
+		relation.Str(fmt.Sprintf("patient-%07d", i%100000)),
+		relation.Str(fmt.Sprintf("drug-%03d", i%500)),
+		relation.Float(float64(i%997) * 1.25),
+	}
+}
+
+// streamScaleTable streams n synthetic rows into a fresh segment writer
+// without ever materializing the table in memory; only one partition is
+// buffered at a time.
+func streamScaleTable(tb testing.TB, s *relation.SegmentStore, n int) *relation.Table {
+	tb.Helper()
+	w, err := s.NewWriter("facts", scaleSchema())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(scaleRow(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	t, err := w.Close()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+// BenchmarkCoreScanPruned measures a selective filter (id < n/4) over a
+// segment-backed table cut into 64 partitions: the monotone key gives
+// every partition a tight zone map, so ~3/4 of the segments are skipped
+// without touching disk. Reports pruned_segments / segments_total /
+// pruned_frac per op; benchjson -check-scale enforces the ≥50% floor.
+func BenchmarkCoreScanPruned(b *testing.B) {
+	n := scaleRows()
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		prev := relation.SetExecMode(relation.ExecVectorized)
+		defer relation.SetExecMode(prev)
+		m := obs.New()
+		s := relation.NewSegmentStore(b.TempDir())
+		s.SetMetrics(m)
+		s.SetPartitionRows((n + 63) / 64)
+		tab := streamScaleTable(b, s, n)
+		pred := relation.Bin(relation.OpLt, relation.ColRefExpr("id"), relation.Lit(relation.Int(int64(n/4))))
+		segs := m.Counter("segment.read.segments")
+		pruned := m.Counter("segment.read.pruned")
+		segs0, pruned0 := segs.Value(), pruned.Value()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := relation.Select(tab, pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := out.NumRows(); got != n/4 {
+				b.Fatalf("selected %d rows, want %d", got, n/4)
+			}
+		}
+		b.StopTimer()
+		// segment.read.segments counts scanned (surviving) segments only;
+		// the partition total is scanned + pruned.
+		scannedPerOp := float64(segs.Value()-segs0) / float64(b.N)
+		prunedPerOp := float64(pruned.Value()-pruned0) / float64(b.N)
+		totalPerOp := scannedPerOp + prunedPerOp
+		b.ReportMetric(prunedPerOp, "pruned_segments")
+		b.ReportMetric(totalPerOp, "segments_total")
+		if totalPerOp > 0 {
+			b.ReportMetric(prunedPerOp/totalPerOp, "pruned_frac")
+		}
+	})
+}
+
+// TestScaleMemoryCeiling streams a 1M-row (10M with PLABI_SCALE_10M=1)
+// table through a SegmentWriter and scans it back — a selective pruned
+// filter plus a full unpruned pass — while sampling peak HeapAlloc. The
+// peak must stay under a budget of half the table's estimated in-memory
+// footprint, with the Go runtime's soft memory limit pinned to the
+// budget for the duration: out-of-core means the working set is bounded
+// by partitions in flight, not by table size. Skipped unless
+// PLABI_SCALE=1 (the CI scale-bench lane) so the ordinary test lane
+// stays fast.
+func TestScaleMemoryCeiling(t *testing.T) {
+	if os.Getenv("PLABI_SCALE") != "1" && os.Getenv("PLABI_SCALE_10M") != "1" {
+		t.Skip("set PLABI_SCALE=1 to run the memory-ceiling check")
+	}
+	n := scaleRows()
+	// Estimated fully-materialized footprint: slice header + Value array
+	// per row, plus the string payload bytes. Deliberately conservative
+	// (ignores allocator overhead and lineage), so the budget it halves is
+	// an under- not over-estimate of what the in-memory path would need.
+	valSize := int(unsafe.Sizeof(relation.Value{}))
+	cols := scaleSchema().Len()
+	inMem := uint64(n) * uint64(24+cols*valSize+len("patient-0000000")+len("drug-000"))
+	budget := inMem / 2
+	prevLimit := debug.SetMemoryLimit(int64(budget))
+	defer debug.SetMemoryLimit(prevLimit)
+
+	s := relation.NewSegmentStore(t.TempDir())
+	s.SetPartitionRows(1 << 14)
+	s.SetScanWorkers(4)
+	runtime.GC()
+	w := watchHeap()
+
+	tab := streamScaleTable(t, s, n)
+	pred := relation.Bin(relation.OpLt, relation.ColRefExpr("id"), relation.Lit(relation.Int(int64(n/10))))
+	out, err := relation.Select(tab, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.NumRows(); got != n/10 {
+		t.Fatalf("pruned select: %d rows, want %d", got, n/10)
+	}
+	// Full unpruned pass: every partition decoded, streamed, discarded.
+	sc := relation.NewScanner(tab, nil)
+	scanned := 0
+	for {
+		batch, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		scanned += batch.Len()
+	}
+	sc.Close()
+	if scanned != n {
+		t.Fatalf("full scan saw %d rows, want %d", scanned, n)
+	}
+	// Render-shaped pass: a full aggregation over every row, streamed
+	// partition-wise — the report path's access pattern without the
+	// engine around it.
+	agg, err := relation.GroupBy(tab, []string{"drug"}, []relation.AggSpec{
+		{Kind: relation.AggCount}, {Kind: relation.AggSum, Col: "cost"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.NumRows() != 500 {
+		t.Fatalf("aggregate has %d groups, want 500", agg.NumRows())
+	}
+
+	peak := w.Peak()
+	t.Logf("n=%d estimated in-memory footprint %.1f MB, budget %.1f MB, peak heap %.1f MB",
+		n, float64(inMem)/1e6, float64(budget)/1e6, float64(peak)/1e6)
+	if peak >= budget {
+		t.Fatalf("peak heap %d bytes exceeds out-of-core budget %d (in-memory estimate %d)", peak, budget, inMem)
+	}
+}

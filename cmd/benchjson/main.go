@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -39,10 +38,14 @@ type Benchmark struct {
 	Family      string  `json:"family"`
 	N           int     `json:"n"`
 	Mode        string  `json:"mode,omitempty"`
+	Storage     string  `json:"storage,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (pruned_segments,
+	// peak_alloc_bytes, pruned_frac, ...) keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Speedup is one mode-over-baseline ratio at one scale.
@@ -57,7 +60,7 @@ type Speedup struct {
 	Speedup    float64 `json:"speedup"`
 }
 
-// Report is the BENCH_core.json document.
+// Report is the BENCH_core.json / BENCH_scale.json document.
 type Report struct {
 	Suite      string      `json:"suite"`
 	GoVersion  string      `json:"go_version"`
@@ -65,44 +68,94 @@ type Report struct {
 	GOARCH     string      `json:"goarch"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups"`
+	Scale      *ScaleRow   `json:"scale,omitempty"`
 }
 
-// benchLine matches a go-test benchmark result, e.g.
-//
-//	BenchmarkCoreJoin/n=100000/mode=vectorized-8  5  27555877 ns/op  17127030 B/op  1073 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// ScaleRow condenses the out-of-core suite at its largest measured scale
+// into the numbers the scale-bench lane gates on and the README quotes.
+type ScaleRow struct {
+	N int `json:"n"`
+	// SegmentNs / MemoryNs are the storage=segment and storage=memory
+	// render times from the same run.
+	SegmentNs float64 `json:"segment_ns"`
+	MemoryNs  float64 `json:"memory_ns,omitempty"`
+	// Peak sampled HeapAlloc during each render loop.
+	PeakAllocBytes       float64 `json:"peak_alloc_bytes,omitempty"`
+	MemoryPeakAllocBytes float64 `json:"memory_peak_alloc_bytes,omitempty"`
+	// Zone-map pruning on the selective-filter scan.
+	PrunedSegments float64 `json:"pruned_segments"`
+	SegmentsTotal  float64 `json:"segments_total"`
+	PruneFraction  float64 `json:"prune_fraction"`
+}
 
 func parse(r io.Reader) ([]Benchmark, error) {
 	var out []Benchmark
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
+		if b, ok := parseLine(sc.Text()); ok {
+			out = append(out, b)
 		}
-		b := Benchmark{Name: trimProcs(m[1])}
-		b.Iterations, _ = strconv.Atoi(m[2])
-		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		for _, seg := range strings.Split(b.Name, "/") {
-			switch {
-			case strings.HasPrefix(seg, "Benchmark"):
-				b.Family = strings.TrimPrefix(seg, "BenchmarkCore")
-			case strings.HasPrefix(seg, "n="):
-				b.N, _ = strconv.Atoi(seg[2:])
-			case strings.HasPrefix(seg, "mode="):
-				b.Mode = seg[5:]
-			}
-		}
-		out = append(out, b)
 	}
 	return out, sc.Err()
+}
+
+// parseLine parses one go-test benchmark result line — the name, the
+// iteration count, then value/unit pairs, e.g.
+//
+//	BenchmarkCoreScanPruned/n=50000-8  2  8109238 ns/op  0.75 pruned_frac  14018960 B/op  21879 allocs/op
+//
+// ns/op, B/op and allocs/op land in dedicated fields; any other unit
+// (custom b.ReportMetric output, which go test interleaves between
+// ns/op and the -benchmem columns) goes into Metrics keyed by unit.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: trimProcs(f[0]), Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp, seenNs = v, true
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		case "MB/s":
+			// throughput of bytes-processing benchmarks; not used here
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	if !seenNs {
+		return Benchmark{}, false
+	}
+	for _, seg := range strings.Split(b.Name, "/") {
+		switch {
+		case strings.HasPrefix(seg, "Benchmark"):
+			b.Family = strings.TrimPrefix(seg, "BenchmarkCore")
+		case strings.HasPrefix(seg, "n="):
+			b.N, _ = strconv.Atoi(seg[2:])
+		case strings.HasPrefix(seg, "mode="):
+			b.Mode = seg[5:]
+		case strings.HasPrefix(seg, "storage="):
+			b.Storage = seg[8:]
+		}
+	}
+	return b, true
 }
 
 // trimProcs drops the trailing -<GOMAXPROCS> go test appends to the last
@@ -120,33 +173,43 @@ func trimProcs(name string) string {
 
 // speedups derives every same-run ratio the suite supports: vectorized
 // vs row for each (family, n), vectorized join vs the nested-loop
-// baseline family, and a compiled family (e.g. RenderCompiled) vs the
-// vectorized mode of the family it specializes (Render).
+// baseline family, a compiled family (e.g. RenderCompiled) vs the
+// vectorized mode of the family it specializes (Render), and the
+// segment-backed storage mode vs its in-memory twin (a ratio below 1.0
+// is the expected out-of-core slowdown, recorded, not gated).
 func speedups(benchmarks []Benchmark) []Speedup {
 	type key struct {
-		family string
-		n      int
-		mode   string
+		family  string
+		n       int
+		mode    string
+		storage string
 	}
 	ns := map[key]float64{}
 	for _, b := range benchmarks {
-		ns[key{b.Family, b.N, b.Mode}] = b.NsPerOp
+		ns[key{b.Family, b.N, b.Mode, b.Storage}] = b.NsPerOp
 	}
 	var out []Speedup
 	for _, b := range benchmarks {
+		if b.Storage == "segment" {
+			if base, ok := ns[key{b.Family, b.N, b.Mode, "memory"}]; ok && base > 0 {
+				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "memory",
+					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+			}
+			continue
+		}
 		switch b.Mode {
 		case "vectorized":
-			if base, ok := ns[key{b.Family, b.N, "row"}]; ok && base > 0 {
+			if base, ok := ns[key{b.Family, b.N, "row", ""}]; ok && base > 0 {
 				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "row",
 					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
 			}
-			if base, ok := ns[key{b.Family + "Nested", b.N, ""}]; ok && base > 0 {
+			if base, ok := ns[key{b.Family + "Nested", b.N, "", ""}]; ok && base > 0 {
 				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "nested",
 					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
 			}
 		case "compiled":
 			parent := strings.TrimSuffix(b.Family, "Compiled")
-			if base, ok := ns[key{parent, b.N, "vectorized"}]; ok && base > 0 {
+			if base, ok := ns[key{parent, b.N, "vectorized", ""}]; ok && base > 0 {
 				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "vectorized",
 					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
 			}
@@ -162,6 +225,59 @@ func speedups(benchmarks []Benchmark) []Speedup {
 		return out[i].Baseline < out[j].Baseline
 	})
 	return out
+}
+
+// scaleSummary condenses the out-of-core families at their largest
+// measured scale into one ScaleRow, or nil when the input has none.
+func scaleSummary(benchmarks []Benchmark) *ScaleRow {
+	maxN := 0
+	for _, b := range benchmarks {
+		if (b.Family == "RenderSegment" || b.Family == "ScanPruned") && b.N > maxN {
+			maxN = b.N
+		}
+	}
+	if maxN == 0 {
+		return nil
+	}
+	row := &ScaleRow{N: maxN}
+	for _, b := range benchmarks {
+		if b.N != maxN {
+			continue
+		}
+		switch {
+		case b.Family == "RenderSegment" && b.Storage == "segment":
+			row.SegmentNs = b.NsPerOp
+			row.PeakAllocBytes = b.Metrics["peak_alloc_bytes"]
+		case b.Family == "RenderSegment" && b.Storage == "memory":
+			row.MemoryNs = b.NsPerOp
+			row.MemoryPeakAllocBytes = b.Metrics["peak_alloc_bytes"]
+		case b.Family == "ScanPruned":
+			row.PrunedSegments = b.Metrics["pruned_segments"]
+			row.SegmentsTotal = b.Metrics["segments_total"]
+			row.PruneFraction = b.Metrics["pruned_frac"]
+		}
+	}
+	return row
+}
+
+// checkScale enforces the scale-bench lane's floors: the segment-backed
+// render must have been measured, and zone-map pruning must skip at
+// least minPrune of the partitions on the selective-filter scan.
+func checkScale(row *ScaleRow, minPrune float64) error {
+	if row == nil {
+		return fmt.Errorf("no RenderSegment/ScanPruned benchmarks in input")
+	}
+	if row.SegmentNs == 0 {
+		return fmt.Errorf("missing segment-backed render measurement at n=%d", row.N)
+	}
+	if row.SegmentsTotal == 0 {
+		return fmt.Errorf("missing pruned-scan measurement at n=%d", row.N)
+	}
+	if row.PruneFraction < minPrune {
+		return fmt.Errorf("pruning skipped only %.0f%% of segments at n=%d (%g of %g, floor %.0f%%)",
+			row.PruneFraction*100, row.N, row.PrunedSegments, row.SegmentsTotal, minPrune*100)
+	}
+	return nil
 }
 
 // check enforces the acceptance floors: at the largest measured scale,
@@ -207,10 +323,13 @@ func enforceFloor(sp []Speedup, family, baseline string, floor float64) error {
 func main() {
 	in := flag.String("in", "-", "benchmark output to parse ('-' for stdin)")
 	out := flag.String("out", "BENCH_core.json", "where to write the JSON report")
+	suite := flag.String("suite", "core", "suite label recorded in the report")
 	doCheck := flag.Bool("check", false, "fail unless the 100k join/render speedup floors hold")
 	doCheckCompiled := flag.Bool("check-compiled", false, "fail unless the 100k compiled-render floor holds (for runs without the join families)")
+	doCheckScale := flag.Bool("check-scale", false, "fail unless the segment render was measured and the pruning floor holds")
 	min := flag.Float64("min", 5.0, "vectorized-over-reference speedup floor enforced by -check")
 	minCompiled := flag.Float64("min-compiled", 1.5, "compiled-over-vectorized render floor enforced by -check and -check-compiled")
+	minPrune := flag.Float64("min-prune", 0.5, "pruned-segment fraction floor enforced by -check-scale")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -233,12 +352,13 @@ func main() {
 		os.Exit(1)
 	}
 	rep := Report{
-		Suite:      "core",
+		Suite:      *suite,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		Benchmarks: benchmarks,
 		Speedups:   speedups(benchmarks),
+		Scale:      scaleSummary(benchmarks),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -252,6 +372,18 @@ func main() {
 	}
 	for _, s := range rep.Speedups {
 		fmt.Printf("%-10s n=%-7d vs %-6s %6.2fx\n", s.Family, s.N, s.Baseline, s.Speedup)
+	}
+	if rep.Scale != nil {
+		fmt.Printf("scale n=%d: segment render %.0f ns, pruning %.0f/%.0f segments (%.0f%%), peak heap %.1f MB (in-memory %.1f MB)\n",
+			rep.Scale.N, rep.Scale.SegmentNs, rep.Scale.PrunedSegments, rep.Scale.SegmentsTotal,
+			rep.Scale.PruneFraction*100, rep.Scale.PeakAllocBytes/1e6, rep.Scale.MemoryPeakAllocBytes/1e6)
+	}
+	if *doCheckScale {
+		if err := checkScale(rep.Scale, *minPrune); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scale floors hold (pruning >= %.0f%%)\n", *minPrune*100)
 	}
 	if *doCheck {
 		if err := check(rep.Speedups, *min, *minCompiled); err != nil {

@@ -74,6 +74,86 @@ func TestSpeedups(t *testing.T) {
 	}
 }
 
+const scaleSample = `goos: linux
+goarch: amd64
+pkg: plabi
+BenchmarkCoreRenderSegment/n=1000000/storage=memory-8    	       2	  14563081 ns/op	 330417224 peak_alloc_bytes	 9923556 B/op	    1140 allocs/op
+BenchmarkCoreRenderSegment/n=1000000/storage=segment-8   	       2	 196491918 ns/op	 135251896 peak_alloc_bytes	139051040 B/op	  164099 allocs/op
+BenchmarkCoreJoinSegment/n=1000000/storage=memory-8      	       2	  38674844 ns/op	35835064 B/op	      57 allocs/op
+BenchmarkCoreJoinSegment/n=1000000/storage=segment-8     	       2	  61024490 ns/op	87001888 B/op	    5203 allocs/op
+BenchmarkCoreScanPruned/n=1000000-8                      	       2	   8109238 ns/op	         0.7500 pruned_frac	        48.00 pruned_segments	        64.00 segments_total	14018960 B/op	   21879 allocs/op
+PASS
+ok  	plabi	42.000s
+`
+
+func TestParseCustomMetrics(t *testing.T) {
+	bs, err := parse(strings.NewReader(scaleSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(bs))
+	}
+	seg := bs[1]
+	if seg.Family != "RenderSegment" || seg.Storage != "segment" || seg.N != 1000000 {
+		t.Fatalf("unexpected parse: %+v", seg)
+	}
+	// Custom metrics sit between ns/op and the -benchmem columns; both
+	// sides must survive the interleaving.
+	if seg.Metrics["peak_alloc_bytes"] != 135251896 {
+		t.Fatalf("peak_alloc_bytes = %v", seg.Metrics["peak_alloc_bytes"])
+	}
+	if seg.BytesPerOp != 139051040 || seg.AllocsPerOp != 164099 {
+		t.Fatalf("benchmem columns lost around custom metrics: %+v", seg)
+	}
+	pruned := bs[4]
+	if pruned.Metrics["pruned_frac"] != 0.75 || pruned.Metrics["segments_total"] != 64 {
+		t.Fatalf("pruned metrics: %+v", pruned.Metrics)
+	}
+}
+
+func TestScaleSummaryAndCheck(t *testing.T) {
+	bs, err := parse(strings.NewReader(scaleSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speedups(bs)
+	var storageRatios int
+	for _, s := range sp {
+		if s.Baseline == "memory" {
+			storageRatios++
+		}
+	}
+	if storageRatios != 2 {
+		t.Fatalf("got %d segment-vs-memory ratios, want 2: %+v", storageRatios, sp)
+	}
+	row := scaleSummary(bs)
+	if row == nil || row.N != 1000000 {
+		t.Fatalf("scale summary: %+v", row)
+	}
+	if row.SegmentNs != 196491918 || row.MemoryNs != 14563081 {
+		t.Fatalf("render times: %+v", row)
+	}
+	if row.PruneFraction != 0.75 || row.PrunedSegments != 48 || row.SegmentsTotal != 64 {
+		t.Fatalf("pruning: %+v", row)
+	}
+	if row.PeakAllocBytes != 135251896 || row.MemoryPeakAllocBytes != 330417224 {
+		t.Fatalf("peaks: %+v", row)
+	}
+	if err := checkScale(row, 0.5); err != nil {
+		t.Fatalf("0.5 floor should hold: %v", err)
+	}
+	if err := checkScale(row, 0.8); err == nil {
+		t.Fatal("0.8 floor should fail on the sample")
+	}
+	if err := checkScale(nil, 0.5); err == nil {
+		t.Fatal("missing scale benchmarks should fail the check")
+	}
+	if core := scaleSummary(nil); core != nil {
+		t.Fatalf("no scale families should yield nil, got %+v", core)
+	}
+}
+
 func TestCheck(t *testing.T) {
 	bs, _ := parse(strings.NewReader(sample))
 	sp := speedups(bs)

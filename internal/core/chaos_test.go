@@ -51,6 +51,7 @@ func chaosInjector(seed int64) *fault.Injector {
 		LatencyRate: 0.05, Latency: 200 * time.Microsecond,
 	})
 	fi.Enable(fault.SiteReleaseSource, fault.SiteConfig{ErrorRate: 0.1, Transient: true})
+	fi.Enable(fault.SiteSegmentRead, fault.SiteConfig{ErrorRate: 0.05, Transient: true})
 	return fi
 }
 
@@ -79,6 +80,12 @@ func tolerable(err error) bool {
 //  4. every successful render's correlation id is present in the sink —
 //     no un-audited data release under fail-closed;
 //  5. successful renders are byte-identical to the no-fault baseline.
+//
+// The chaos engines run segment-backed (every staging table spilled to
+// disk, small partitions, transient faults injected at
+// relation.segment.read), while the baseline stays fully in-memory and
+// fault-free — so invariant 5 proves equality across fault schedules AND
+// storage modes at once.
 func TestChaosHealthcareScenario(t *testing.T) {
 	cfg := workload.DefaultConfig(7)
 	cfg.Prescriptions = 600
@@ -124,6 +131,7 @@ func TestChaosHealthcareScenario(t *testing.T) {
 			// failures are tolerated and retried from scratch.
 			var e *Engine
 			var ds *workload.Dataset
+			segDir := t.TempDir()
 			for attempt := 0; ; attempt++ {
 				var err error
 				e, ds, err = BuildHealthcareEngineWith(cfg, func(e *Engine) {
@@ -131,6 +139,9 @@ func TestChaosHealthcareScenario(t *testing.T) {
 					e.SetFailClosed(true)
 					e.Audit.SetSink(&sink)
 					e.SetFaults(fi)
+					s := e.SetSegmentStore(segDir)
+					s.SetPartitionRows(64)
+					e.SetSpillThreshold(1)
 				})
 				if err == nil {
 					break

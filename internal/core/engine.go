@@ -55,6 +55,8 @@ type Engine struct {
 	failClosed atomic.Bool
 	retryp     atomic.Pointer[fault.RetryPolicy]
 	retrySites atomic.Pointer[map[string]fault.RetryPolicy]
+	segStore   atomic.Pointer[relation.SegmentStore]
+	spillRows  atomic.Int64
 	closed     atomic.Bool
 }
 
@@ -84,6 +86,9 @@ func (e *Engine) SetMetrics(m *obs.Metrics) {
 	e.obsp.Store(m)
 	e.Audit.SetMetrics(m)
 	e.enforcer.SetMetrics(m)
+	if s := e.segStore.Load(); s != nil {
+		s.SetMetrics(m)
+	}
 }
 
 // Obs returns the engine's observability registry (nil when detached; a
@@ -98,6 +103,9 @@ func (e *Engine) SetFaults(fi *fault.Injector) {
 	e.faults.Store(fi)
 	e.Audit.SetFaults(fi)
 	e.enforcer.SetFaults(fi)
+	if s := e.segStore.Load(); s != nil {
+		s.SetFaults(fi)
+	}
 }
 
 // Faults returns the attached injector (nil when none).
@@ -109,6 +117,9 @@ func (e *Engine) Faults() *fault.Injector { return e.faults.Load() }
 func (e *Engine) SetRetryPolicy(p fault.RetryPolicy) {
 	e.retryp.Store(&p)
 	e.Audit.SetRetryPolicy(e.RetryPolicyFor(fault.SiteAuditSink))
+	if s := e.segStore.Load(); s != nil {
+		s.SetRetryPolicy(e.RetryPolicyFor(fault.SiteSegmentRead))
+	}
 }
 
 // SetRetryPolicyFor overrides the retry policy at one named site
@@ -133,7 +144,38 @@ func (e *Engine) SetRetryPolicyFor(site string, p fault.RetryPolicy) {
 	if site == fault.SiteAuditSink {
 		e.Audit.SetRetryPolicy(p)
 	}
+	if site == fault.SiteSegmentRead {
+		if s := e.segStore.Load(); s != nil {
+			s.SetRetryPolicy(p)
+		}
+	}
 }
+
+// SetSegmentStore roots the engine's out-of-core columnar storage at
+// dir and returns the store, pre-wired into the engine's metrics, fault
+// injector and segment-read retry policy. ETL staging tables that cross
+// the spill threshold (SetSpillThreshold) move into it, and later
+// reconfiguration of metrics/faults/retry follows through automatically.
+func (e *Engine) SetSegmentStore(dir string) *relation.SegmentStore {
+	s := relation.NewSegmentStore(dir)
+	s.SetMetrics(e.Obs())
+	s.SetFaults(e.Faults())
+	s.SetRetryPolicy(e.RetryPolicyFor(fault.SiteSegmentRead))
+	e.segStore.Store(s)
+	return s
+}
+
+// SegmentStore returns the configured segment store (nil when the
+// engine is fully in-memory).
+func (e *Engine) SegmentStore() *relation.SegmentStore { return e.segStore.Load() }
+
+// SetSpillThreshold sets the staging-table row count at or above which
+// ETL outputs spill to the segment store; 0 (the default) disables
+// spilling even when a store is configured.
+func (e *Engine) SetSpillThreshold(n int) { e.spillRows.Store(int64(n)) }
+
+// SpillThreshold returns the configured spill threshold.
+func (e *Engine) SpillThreshold() int { return int(e.spillRows.Load()) }
 
 // RetryPolicy returns the engine's default retry policy.
 func (e *Engine) RetryPolicy() fault.RetryPolicy {
@@ -355,6 +397,8 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 	ectx.Metrics = m
 	ectx.Faults = e.Faults()
 	ectx.Retry = e.RetryPolicyFor(fault.SiteETLExtract)
+	ectx.SpillStore = e.SegmentStore()
+	ectx.SpillThreshold = e.SpillThreshold()
 	ectx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
 		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
 			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut),

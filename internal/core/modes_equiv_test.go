@@ -25,11 +25,18 @@ type scenarioRun struct {
 }
 
 func runScenario(t *testing.T, mode relation.ExecMode) scenarioRun {
+	return runScenarioWith(t, mode, nil)
+}
+
+// runScenarioWith is runScenario with an engine-configuration hook
+// applied before the scenario ETL runs (the segment-backed equivalence
+// test uses it to reroute staging tables through a spill store).
+func runScenarioWith(t *testing.T, mode relation.ExecMode, configure func(*Engine)) scenarioRun {
 	t.Helper()
 	prev := relation.SetExecMode(mode)
 	defer relation.SetExecMode(prev)
 
-	e, _, err := BuildHealthcareEngine(workload.DefaultConfig(7))
+	e, _, err := BuildHealthcareEngineWith(workload.DefaultConfig(7), configure)
 	if err != nil {
 		t.Fatalf("mode %v: build: %v", mode, err)
 	}
@@ -138,4 +145,30 @@ func TestScenarioModeEquivalence(t *testing.T) {
 
 	compareRuns(t, "vectorized", "row", vec, row)
 	compareRuns(t, "vectorized", "compiled", vec, compiled)
+}
+
+// TestSegmentModeEquivalence is the storage-mode analogue: the complete
+// scenario with every ETL staging table spilled to on-disk columnar
+// segments (tiny partitions, so reports cross many partition boundaries)
+// must be byte-identical — tables, decisions, counters, audit kinds — to
+// the fully in-memory run, at every execution mode. The in-memory run is
+// the semantic oracle for the out-of-core storage layer.
+func TestSegmentModeEquivalence(t *testing.T) {
+	modes := []struct {
+		name string
+		m    relation.ExecMode
+	}{
+		{"row", relation.ExecRowAtATime},
+		{"vectorized", relation.ExecVectorized},
+		{"compiled", relation.ExecCompiled},
+	}
+	for _, mode := range modes {
+		mem := runScenario(t, mode.m)
+		seg := runScenarioWith(t, mode.m, func(e *Engine) {
+			s := e.SetSegmentStore(t.TempDir())
+			s.SetPartitionRows(16)
+			e.SetSpillThreshold(1) // spill every staging table
+		})
+		compareRuns(t, mode.name+"/in-memory", mode.name+"/segment", mem, seg)
+	}
 }

@@ -74,6 +74,10 @@ func (e *EntityResolution) Run(c *Context) error {
 	if ci < 0 {
 		return fmt.Errorf("entity-resolution: canonical column %q not found", e.CanonColumn)
 	}
+	canon, err = canon.Materialize()
+	if err != nil {
+		return err
+	}
 	matcher := newMatcher()
 	for _, r := range canon.Rows {
 		if v := r[ci]; v.Kind == relation.TString {

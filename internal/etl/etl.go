@@ -85,6 +85,14 @@ type Context struct {
 	// Retry bounds retries at the retryable source-extraction boundary.
 	// The zero policy performs a single attempt.
 	Retry fault.RetryPolicy
+	// SpillStore, when non-nil and SpillThreshold > 0, receives staging
+	// tables of at least SpillThreshold rows as on-disk columnar
+	// segments: Put swaps the in-memory rows for a segment-backed view,
+	// so wide intermediates stop occupying heap between steps. A failed
+	// spill keeps the in-memory table (fail-open) and counts
+	// etl.spill.errors on Metrics.
+	SpillStore     *relation.SegmentStore
+	SpillThreshold int
 
 	// runCtx is the context of the executing pipeline run, exposed to
 	// steps via Ctx so long row loops can honour cancellation.
@@ -111,8 +119,16 @@ func (c *Context) Get(name string) (*relation.Table, error) {
 	return t, nil
 }
 
-// Put stores a staging table under the given name.
+// Put stores a staging table under the given name, spilling it to the
+// configured segment store first when it crosses the spill threshold.
 func (c *Context) Put(name string, t *relation.Table) {
+	if c.SpillStore != nil && c.SpillThreshold > 0 && t.NumRows() >= c.SpillThreshold {
+		if spilled, err := c.SpillStore.Spill(t); err == nil {
+			t = spilled
+		} else {
+			c.Metrics.Counter("etl.spill.errors").Inc()
+		}
+	}
 	c.mu.Lock()
 	c.Staging[strings.ToLower(name)] = t
 	c.mu.Unlock()

@@ -267,6 +267,10 @@ func (a *AggregateStep) Run(c *Context) error {
 // The row loop polls ctx so cancellation lands mid-step on large tables,
 // not only at the next wave boundary.
 func mapCol(ctx context.Context, t *relation.Table, ci int, fn func(relation.Value) relation.Value) (*relation.Table, error) {
+	t, err := t.Materialize() // column rewrites read every row anyway
+	if err != nil {
+		return nil, err
+	}
 	out := &relation.Table{Name: t.Name, Schema: t.Schema.Clone()}
 	out.ColOrigin = make([]relation.ColRefSet, t.Schema.Len())
 	for c := range out.ColOrigin {

@@ -44,11 +44,13 @@ const (
 	SiteAuditSink = "audit.sink.write"
 	// SiteReleaseSource wraps each source-level anonymized release.
 	SiteReleaseSource = "release.source"
+	// SiteSegmentRead wraps each segment partition read (retryable).
+	SiteSegmentRead = "relation.segment.read"
 )
 
 // Sites lists every registered injection site.
 func Sites() []string {
-	return []string{SiteETLExtract, SiteETLStep, SiteRenderWorker, SiteAuditSink, SiteReleaseSource}
+	return []string{SiteETLExtract, SiteETLStep, SiteRenderWorker, SiteAuditSink, SiteReleaseSource, SiteSegmentRead}
 }
 
 // ErrInjected is the sentinel behind every injected error, matched with

@@ -69,15 +69,7 @@ func (t *Tracer) DistinctSupport(rt RowTrace, table, col string) int {
 		return 0
 	}
 	if relation.CurrentExecMode() == relation.ExecRowAtATime {
-		// Reference path: canonical string keys, one allocation per ref.
-		seen := map[string]bool{}
-		for _, ref := range rt.Rows {
-			if ref.Table != table || ref.Row < 0 || ref.Row >= base.NumRows() {
-				continue
-			}
-			seen[base.Rows[ref.Row][ci].Key()] = true
-		}
-		return len(seen)
+		return t.distinctSupportRows(rt, base, table, ci)
 	}
 	// Vectorized path: dictionary-encode the column once per (table,
 	// column) — relation.MapKey partitions values into exactly Value.Key's
@@ -85,6 +77,11 @@ func (t *Tracer) DistinctSupport(rt RowTrace, table, col string) int {
 	// every subsequent threshold check is a branch-free array scan over a
 	// seen-bitmap instead of one hash probe per supporting row.
 	d := t.colDict(table, base, ci)
+	if d == nil {
+		// Segment-backed base whose store failed mid-build: fall back to
+		// the per-ref path, which degrades per cell instead of per column.
+		return t.distinctSupportRows(rt, base, table, ci)
+	}
 	seen := make([]bool, d.card)
 	n := 0
 	for _, ref := range rt.Rows {
@@ -97,6 +94,25 @@ func (t *Tracer) DistinctSupport(rt RowTrace, table, col string) int {
 		}
 	}
 	return n
+}
+
+// distinctSupportRows is the reference distinct count: canonical string
+// keys, one lookup per supporting ref. ValueAt streams segment-backed
+// bases one partition at a time; an unreadable cell is skipped, which
+// can only lower the count — the fail-closed direction for thresholds.
+func (t *Tracer) distinctSupportRows(rt RowTrace, base *relation.Table, table string, ci int) int {
+	seen := map[string]bool{}
+	for _, ref := range rt.Rows {
+		if ref.Table != table || ref.Row < 0 || ref.Row >= base.NumRows() {
+			continue
+		}
+		v, err := base.ValueAt(ref.Row, ci)
+		if err != nil {
+			continue
+		}
+		seen[v.Key()] = true
+	}
+	return len(seen)
 }
 
 // colDict is an immutable dictionary encoding of one base-table column:
@@ -120,10 +136,18 @@ func (t *Tracer) colDict(table string, base *relation.Table, ci int) *colDict {
 		}
 	}
 	t.mu.RUnlock()
-	ids := make(map[relation.ValKey]int32, len(base.Rows))
-	d := &colDict{codes: make([]int32, len(base.Rows))}
-	for ri, r := range base.Rows {
-		k := relation.MapKey(r[ci])
+	n := base.NumRows()
+	ids := make(map[relation.ValKey]int32, n)
+	d := &colDict{codes: make([]int32, n)}
+	// ValueAt walks a segment-backed base sequentially, keeping one
+	// decoded partition resident; an in-memory base reads its rows
+	// directly. First-seen code order is identical either way.
+	for ri := 0; ri < n; ri++ {
+		v, err := base.ValueAt(ri, ci)
+		if err != nil {
+			return nil
+		}
+		k := relation.MapKey(v)
 		id, ok := ids[k]
 		if !ok {
 			id = int32(len(ids))
@@ -183,10 +207,14 @@ func (t *Tracer) TraceCell(tab *relation.Table, row int, col string) (CellTrace,
 	if row < 0 || row >= tab.NumRows() {
 		return CellTrace{}, fmt.Errorf("provenance: row %d out of range", row)
 	}
+	v, err := tab.ValueAt(row, ci)
+	if err != nil {
+		return CellTrace{}, fmt.Errorf("provenance: reading cell (%d, %s): %w", row, col, err)
+	}
 	trace := CellTrace{
 		Column:  col,
 		Row:     row,
-		Value:   tab.Rows[row][ci],
+		Value:   v,
 		Origins: tab.ColumnOrigin(ci),
 		Rows:    tab.RowLineage(row),
 	}
@@ -203,11 +231,15 @@ func (t *Tracer) TraceCell(tab *relation.Table, row int, col string) (CellTrace,
 			if bci < 0 || ref.Row < 0 || ref.Row >= base.NumRows() {
 				continue
 			}
+			bv, err := base.ValueAt(ref.Row, bci)
+			if err != nil {
+				return CellTrace{}, fmt.Errorf("provenance: reading %s#%d.%s: %w", ref.Table, ref.Row, origin.Column, err)
+			}
 			trace.Cells = append(trace.Cells, SourceCell{
 				Table:  ref.Table,
 				Row:    ref.Row,
 				Column: origin.Column,
-				Value:  base.Rows[ref.Row][bci],
+				Value:  bv,
 			})
 		}
 	}
@@ -237,7 +269,11 @@ func (t *Tracer) BaseValue(ref relation.RowRef, col string) (relation.Value, boo
 	if ci < 0 || ref.Row < 0 || ref.Row >= base.NumRows() {
 		return relation.Null(), false
 	}
-	return base.Rows[ref.Row][ci], true
+	v, err := base.ValueAt(ref.Row, ci)
+	if err != nil {
+		return relation.Null(), false
+	}
+	return v, true
 }
 
 // Step records one transformation in the ETL/reporting pipeline: an

@@ -9,6 +9,9 @@ import (
 // Select returns the rows of t satisfying pred, preserving lineage and
 // column origins.
 func Select(t *Table, pred Expr) (*Table, error) {
+	if t.seg != nil {
+		return selectSeg(t, pred)
+	}
 	if CurrentExecMode() == ExecRowAtATime {
 		return selectRows(t, pred)
 	}
@@ -59,6 +62,13 @@ func (p ProjCol) outName() string {
 // each output column are the union of origins of every input column the
 // expression references; row lineage is preserved.
 func Project(t *Table, cols ...ProjCol) (*Table, error) {
+	if t.seg != nil {
+		mt, err := t.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		t = mt
+	}
 	if CurrentExecMode() == ExecRowAtATime {
 		return projectRows(t, cols...)
 	}
@@ -115,6 +125,13 @@ func ProjectCols(t *Table, names ...string) (*Table, error) {
 
 // Extend appends one computed column to every row.
 func Extend(t *Table, name string, e Expr) (*Table, error) {
+	if t.seg != nil {
+		mt, err := t.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		t = mt
+	}
 	if CurrentExecMode() == ExecRowAtATime {
 		return extendRows(t, name, e)
 	}
@@ -151,6 +168,9 @@ func extendRows(t *Table, name string, e Expr) (*Table, error) {
 // Rename returns t with the table renamed and columns qualified by the new
 // name; lineage and origins are preserved.
 func Rename(t *Table, name string) *Table {
+	if t.seg != nil {
+		return renameSeg(t, name)
+	}
 	out := t.derived(name)
 	out.Schema = t.Schema.Qualify(name)
 	out.Rows = t.Rows
@@ -178,6 +198,9 @@ const (
 // Output columns are l's columns followed by r's; lineage of each output
 // row is the union of the matched input rows' lineage.
 func Join(l, r *Table, pred Expr, kind JoinKind) (*Table, error) {
+	if l.seg != nil || r.seg != nil {
+		return joinSeg(l, r, pred, kind)
+	}
 	if CurrentExecMode() == ExecRowAtATime {
 		return joinRows(l, r, pred, kind)
 	}
@@ -188,7 +211,15 @@ func Join(l, r *Table, pred Expr, kind JoinKind) (*Table, error) {
 // no hash fast path. It is the semantic reference the hash joins must
 // match and the baseline the benchmark suite measures them against.
 func NestedLoopJoin(l, r *Table, pred Expr, kind JoinKind) (*Table, error) {
-	return nestedLoopInto(newJoinShell(l, r), l, r, pred, kind)
+	lm, err := l.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	rm, err := r.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return nestedLoopInto(newJoinShell(lm, rm), lm, rm, pred, kind)
 }
 
 // joinRows is the row-at-a-time reference implementation of Join.
@@ -398,6 +429,9 @@ func (st *aggState) result(kind AggKind) Value {
 // aggregation-threshold enforcement (a group's base-row support is exactly
 // the size of its patient-level lineage).
 func GroupBy(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
+	if t.seg != nil {
+		return groupBySeg(t, keys, aggs)
+	}
 	if CurrentExecMode() == ExecRowAtATime {
 		return groupByRows(t, keys, aggs)
 	}
@@ -406,6 +440,19 @@ func GroupBy(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 
 // groupByRows is the row-at-a-time reference implementation of GroupBy.
 func groupByRows(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
+	return groupByStream(t, keys, aggs, func(visit func(Row, LineageSet)) error {
+		for ri, r := range t.Rows {
+			visit(r, t.RowLineage(ri))
+		}
+		return nil
+	})
+}
+
+// groupByStream is the row-at-a-time GroupBy core over an arbitrary row
+// stream: the in-memory reference iterates t.Rows, the segment-backed
+// path streams decoded partitions through it one at a time. t supplies
+// schema, name and provenance only — rows always come from iterate.
+func groupByStream(t *Table, keys []string, aggs []AggSpec, iterate func(visit func(Row, LineageSet)) error) (*Table, error) {
 	keyIdx := make([]int, len(keys))
 	for i, k := range keys {
 		idx := t.Schema.Index(k)
@@ -439,7 +486,7 @@ func groupByRows(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 	groups := map[string]*group{}
 	var order []string
 
-	for ri, r := range t.Rows {
+	err := iterate(func(r Row, lin LineageSet) {
 		var kb strings.Builder
 		keyVals := make(Row, len(keyIdx))
 		for i, ki := range keyIdx {
@@ -460,7 +507,7 @@ func groupByRows(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 		g.members++
 		// Accumulate raw refs; normalized once per group on emit (an
 		// incremental sorted merge is quadratic in the group size).
-		g.lineage = append(g.lineage, t.RowLineage(ri)...)
+		g.lineage = append(g.lineage, lin...)
 		for i, a := range aggs {
 			st := g.states[i]
 			if aggIdx[i] < 0 { // COUNT(*)
@@ -497,6 +544,9 @@ func groupByRows(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 				st.distinct[v.Key()] = true
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := &Table{Name: t.Name + "_grp"}
@@ -559,6 +609,9 @@ func groupByRows(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 // Distinct removes duplicate rows; the surviving row's lineage is the union
 // of all duplicates' lineage (the duplicates all "support" the output row).
 func Distinct(t *Table) *Table {
+	if t.seg != nil {
+		t = t.mustMaterialize()
+	}
 	if CurrentExecMode() == ExecRowAtATime {
 		return distinctRows(t)
 	}
@@ -593,6 +646,17 @@ func distinctRows(t *Table) *Table {
 // Union appends the rows of b to a (schemas must be compatible), keeping
 // duplicates (UNION ALL semantics); wrap with Distinct for set union.
 func Union(a, b *Table) (*Table, error) {
+	if a.seg != nil || b.seg != nil {
+		am, err := a.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		bm, err := b.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		a, b = am, bm
+	}
 	if a.Schema.Len() != b.Schema.Len() {
 		return nil, fmt.Errorf("relation: union arity mismatch: %s vs %s", a.Schema, b.Schema)
 	}
@@ -619,6 +683,13 @@ type SortKey struct {
 
 // Sort orders the table by the given keys (stable).
 func Sort(t *Table, keys ...SortKey) (*Table, error) {
+	if t.seg != nil {
+		mt, err := t.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		t = mt
+	}
 	idx := make([]int, len(keys))
 	for i, k := range keys {
 		ci := t.Schema.Index(k.Col)
@@ -666,6 +737,9 @@ func Sort(t *Table, keys ...SortKey) (*Table, error) {
 
 // Limit returns the first n rows.
 func Limit(t *Table, n int) *Table {
+	if t.seg != nil {
+		t = t.mustMaterialize()
+	}
 	out := t.derived(t.Name + "_lim")
 	if n > len(t.Rows) {
 		n = len(t.Rows)

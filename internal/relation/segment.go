@@ -1,0 +1,647 @@
+package relation
+
+// segment.go implements the on-disk columnar segment format behind the
+// out-of-core tables (see segstore.go / segtable.go and docs/STORAGE.md).
+//
+// A segment holds one partition of one table, column-major:
+//
+//	"PLSEG001"                     8-byte magic
+//	uint32 LE header length
+//	header JSON                    segHeader: table, partition, row range,
+//	                               per-column type/encoding/zone map
+//	uint32 LE CRC32-IEEE(header)
+//	per column, in schema order:
+//	  uint32 LE block length
+//	  block bytes                  encoding per segColMeta.Enc
+//	  uint32 LE CRC32-IEEE(block)
+//
+// Every length and checksum is validated on decode; any mismatch fails
+// closed with a *CorruptError (never garbage rows). Encoding is fully
+// deterministic — struct-ordered JSON, first-seen dictionary order — so
+// re-encoding decoded rows reproduces the input byte for byte (the golden
+// test pins this).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+// segMagic opens every segment file. The trailing digits version the
+// physical layout; incompatible changes bump them.
+const segMagic = "PLSEG001"
+
+// segVersion is the header version written by this build.
+const segVersion = 1
+
+// Column block encodings. Typed encodings apply when every non-null value
+// of the column shares one kind; mixed columns fall back to the generic
+// per-value encoding.
+const (
+	encGeneric = iota // per value: kind byte + payload
+	encInt            // null bitmap + 8-byte little-endian two's complement
+	encFloat          // null bitmap + 8-byte IEEE-754 bits
+	encString         // null bitmap + dictionary + 4-byte codes
+	encBool           // null bitmap + 1 byte per value
+	encDate           // null bitmap + 8-byte unix seconds (UTC midnight)
+)
+
+// Value kind tags used by the generic encoding.
+const (
+	svNull byte = iota
+	svStr
+	svInt
+	svFloat
+	svBool
+	svDate
+)
+
+// ErrSegmentCorrupt is the sentinel behind every segment-decode failure,
+// matched with errors.Is.
+var ErrSegmentCorrupt = errors.New("relation: segment corrupt")
+
+// CorruptError reports a segment that failed validation (bad magic,
+// length out of range, checksum mismatch, malformed block). It unwraps to
+// ErrSegmentCorrupt and is never retried: corruption is permanent.
+type CorruptError struct {
+	// Path is the segment file, when known.
+	Path string
+	// Detail says what failed.
+	Detail string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return "relation: segment corrupt: " + e.Detail
+	}
+	return fmt.Sprintf("relation: segment %s corrupt: %s", e.Path, e.Detail)
+}
+
+// Unwrap lets errors.Is(err, ErrSegmentCorrupt) succeed.
+func (e *CorruptError) Unwrap() error { return ErrSegmentCorrupt }
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Detail: fmt.Sprintf(format, args...)}
+}
+
+// segVal is a JSON-serializable zone-map bound. K tags the kind
+// ("s"/"i"/"f"/"b"/"d"); dates store unix seconds of their UTC midnight,
+// which round-trips exactly because Date() truncates to day granularity.
+type segVal struct {
+	K string  `json:"k"`
+	S string  `json:"s,omitempty"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+// segValOf serializes v as a zone bound; nil when the value has no
+// serializable form (NULL, or non-finite floats JSON cannot carry).
+func segValOf(v Value) *segVal {
+	switch v.Kind {
+	case TString:
+		return &segVal{K: "s", S: v.S}
+	case TInt:
+		return &segVal{K: "i", I: v.I}
+	case TFloat:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return nil
+		}
+		return &segVal{K: "f", F: v.F}
+	case TBool:
+		return &segVal{K: "b", B: v.B}
+	case TDate:
+		return &segVal{K: "d", I: v.T.Unix()}
+	default:
+		return nil
+	}
+}
+
+// value reconstructs the bound.
+func (sv *segVal) value() (Value, error) {
+	switch sv.K {
+	case "s":
+		return Str(sv.S), nil
+	case "i":
+		return Int(sv.I), nil
+	case "f":
+		return Float(sv.F), nil
+	case "b":
+		return Bool(sv.B), nil
+	case "d":
+		return Date(time.Unix(sv.I, 0).UTC()), nil
+	default:
+		return Null(), corruptf("zone value kind %q", sv.K)
+	}
+}
+
+// segColMeta is the per-column header entry: name/type for decoding
+// without an external schema, the block encoding, and the zone map
+// (Min/Max present together, over non-null values only).
+type segColMeta struct {
+	Name    string  `json:"name"`
+	Type    int     `json:"type"`
+	Enc     int     `json:"enc"`
+	HasNull bool    `json:"has_null,omitempty"`
+	AllNull bool    `json:"all_null,omitempty"`
+	Min     *segVal `json:"min,omitempty"`
+	Max     *segVal `json:"max,omitempty"`
+}
+
+// segHeader is the JSON header of one segment.
+type segHeader struct {
+	Version int          `json:"version"`
+	Table   string       `json:"table"`
+	Part    int          `json:"part"`
+	Start   int          `json:"start"`
+	Rows    int          `json:"rows"`
+	Cols    []segColMeta `json:"cols"`
+}
+
+// colZone is the in-memory zone map of one column of one partition:
+// min/max over the non-null values (valid only when hasZone), plus null
+// presence. Pruning consults it before any block is decoded.
+type colZone struct {
+	hasZone  bool
+	hasNull  bool
+	allNull  bool
+	min, max Value
+}
+
+// zone reconstructs the colZone of a decoded column header.
+func (cm *segColMeta) zone() (colZone, error) {
+	z := colZone{hasNull: cm.HasNull, allNull: cm.AllNull}
+	if cm.Min != nil && cm.Max != nil {
+		mn, err := cm.Min.value()
+		if err != nil {
+			return z, err
+		}
+		mx, err := cm.Max.value()
+		if err != nil {
+			return z, err
+		}
+		z.hasZone, z.min, z.max = true, mn, mx
+	}
+	return z, nil
+}
+
+// computeZones scans the rows once and builds each column's zone map.
+// Columns whose values are mutually incomparable (mixed kinds) or contain
+// non-finite floats get no min/max — pruning then treats every predicate
+// over them as potentially true.
+func computeZones(rows []Row, ncols int) []colZone {
+	zones := make([]colZone, ncols)
+	for ci := range zones {
+		z := &zones[ci]
+		z.allNull, z.hasZone = true, true
+		for _, r := range rows {
+			v := r[ci]
+			if v.IsNull() {
+				z.hasNull = true
+				continue
+			}
+			if v.Kind == TFloat && (math.IsNaN(v.F) || math.IsInf(v.F, 0)) {
+				z.hasZone = false
+			}
+			if z.allNull {
+				z.allNull = false
+				z.min, z.max = v, v
+				continue
+			}
+			if !z.hasZone {
+				continue
+			}
+			if c, ok := v.Compare(z.min); !ok {
+				z.hasZone = false
+				continue
+			} else if c < 0 {
+				z.min = v
+			}
+			if c, ok := v.Compare(z.max); !ok {
+				z.hasZone = false
+			} else if c > 0 {
+				z.max = v
+			}
+		}
+		if z.allNull {
+			z.hasZone = false
+		}
+	}
+	return zones
+}
+
+// chooseEnc picks the block encoding of column ci: typed when every
+// non-null value shares one kind, generic otherwise.
+func chooseEnc(rows []Row, ci int, z colZone) int {
+	if z.allNull {
+		return encGeneric
+	}
+	kind := TNull
+	for _, r := range rows {
+		v := r[ci]
+		if v.IsNull() {
+			continue
+		}
+		if kind == TNull {
+			kind = v.Kind
+			continue
+		}
+		if v.Kind != kind {
+			return encGeneric
+		}
+	}
+	switch kind {
+	case TInt:
+		return encInt
+	case TFloat:
+		return encFloat
+	case TString:
+		return encString
+	case TBool:
+		return encBool
+	case TDate:
+		return encDate
+	default:
+		return encGeneric
+	}
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// encodeSegment serializes one partition of rows and returns the segment
+// bytes plus the computed zone maps (kept in memory for pruning).
+func encodeSegment(table string, part, start int, schema *Schema, rows []Row) ([]byte, []colZone, error) {
+	ncols := schema.Len()
+	if ncols == 0 {
+		return nil, nil, fmt.Errorf("relation: segment: empty schema for %s", table)
+	}
+	for _, r := range rows {
+		if len(r) != ncols {
+			return nil, nil, fmt.Errorf("relation: segment: row arity %d does not match schema %s", len(r), schema)
+		}
+	}
+	zones := computeZones(rows, ncols)
+	h := segHeader{Version: segVersion, Table: table, Part: part, Start: start, Rows: len(rows)}
+	encs := make([]int, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		encs[ci] = chooseEnc(rows, ci, zones[ci])
+		cm := segColMeta{
+			Name:    schema.Columns[ci].Name,
+			Type:    int(schema.Columns[ci].Type),
+			Enc:     encs[ci],
+			HasNull: zones[ci].hasNull,
+			AllNull: zones[ci].allNull,
+		}
+		if zones[ci].hasZone {
+			cm.Min, cm.Max = segValOf(zones[ci].min), segValOf(zones[ci].max)
+			if cm.Min == nil || cm.Max == nil {
+				cm.Min, cm.Max = nil, nil
+				zones[ci].hasZone = false
+			}
+		}
+		h.Cols = append(h.Cols, cm)
+	}
+	hb, err := json.Marshal(h)
+	if err != nil {
+		return nil, nil, fmt.Errorf("relation: segment header: %w", err)
+	}
+	buf := make([]byte, 0, len(segMagic)+8+len(hb)+len(rows)*ncols*4)
+	buf = append(buf, segMagic...)
+	buf = appendU32(buf, uint32(len(hb)))
+	buf = append(buf, hb...)
+	buf = appendU32(buf, crc32.ChecksumIEEE(hb))
+	for ci := 0; ci < ncols; ci++ {
+		block, err := encodeColumn(rows, ci, encs[ci])
+		if err != nil {
+			return nil, nil, err
+		}
+		buf = appendU32(buf, uint32(len(block)))
+		buf = append(buf, block...)
+		buf = appendU32(buf, crc32.ChecksumIEEE(block))
+	}
+	return buf, zones, nil
+}
+
+// encodeColumn serializes one column block under the chosen encoding.
+func encodeColumn(rows []Row, ci, enc int) ([]byte, error) {
+	n := len(rows)
+	if enc == encGeneric {
+		var b []byte
+		for _, r := range rows {
+			v := r[ci]
+			switch v.Kind {
+			case TNull:
+				b = append(b, svNull)
+			case TString:
+				b = append(b, svStr)
+				b = appendU32(b, uint32(len(v.S)))
+				b = append(b, v.S...)
+			case TInt:
+				b = append(b, svInt)
+				b = appendU64(b, uint64(v.I))
+			case TFloat:
+				b = append(b, svFloat)
+				b = appendU64(b, math.Float64bits(v.F))
+			case TBool:
+				b = append(b, svBool)
+				if v.B {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+			case TDate:
+				b = append(b, svDate)
+				b = appendU64(b, uint64(v.T.Unix()))
+			default:
+				return nil, fmt.Errorf("relation: segment: unsupported value kind %v", v.Kind)
+			}
+		}
+		return b, nil
+	}
+	bm := make([]byte, (n+7)/8)
+	for i, r := range rows {
+		if r[ci].IsNull() {
+			bm[i>>3] |= 1 << uint(i&7)
+		}
+	}
+	b := bm
+	switch enc {
+	case encInt:
+		for _, r := range rows {
+			b = appendU64(b, uint64(r[ci].I))
+		}
+	case encFloat:
+		for _, r := range rows {
+			b = appendU64(b, math.Float64bits(r[ci].F))
+		}
+	case encDate:
+		for _, r := range rows {
+			v := r[ci]
+			if v.IsNull() {
+				b = appendU64(b, 0)
+			} else {
+				b = appendU64(b, uint64(v.T.Unix()))
+			}
+		}
+	case encBool:
+		for _, r := range rows {
+			v := r[ci]
+			if !v.IsNull() && v.B {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	case encString:
+		// Dictionary-encode through the join interner: every value is a
+		// string here, so ids come out dense and first-seen ordered — the
+		// deterministic order the golden test relies on.
+		in := newInterner(n)
+		var dict []string
+		codes := make([]uint32, n)
+		for i, r := range rows {
+			v := r[ci]
+			if v.IsNull() {
+				continue
+			}
+			id := in.id(v)
+			if int(id) == len(dict)+1 {
+				dict = append(dict, v.S)
+			}
+			codes[i] = id
+		}
+		b = appendU32(b, uint32(len(dict)))
+		for _, s := range dict {
+			b = appendU32(b, uint32(len(s)))
+			b = append(b, s...)
+		}
+		for _, c := range codes {
+			b = appendU32(b, c)
+		}
+	default:
+		return nil, fmt.Errorf("relation: segment: unknown encoding %d", enc)
+	}
+	return b, nil
+}
+
+// decodeSegment parses and validates a segment, returning its header and
+// rows. Every failure is a *CorruptError: a segment either decodes
+// exactly or not at all.
+func decodeSegment(data []byte) (*segHeader, []Row, error) {
+	if len(data) < len(segMagic)+4 {
+		return nil, nil, corruptf("truncated at %d bytes", len(data))
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return nil, nil, corruptf("bad magic %q", data[:len(segMagic)])
+	}
+	off := len(segMagic)
+	hlen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if hlen < 0 || off+hlen+4 > len(data) {
+		return nil, nil, corruptf("header length %d out of range", hlen)
+	}
+	hb := data[off : off+hlen]
+	off += hlen
+	if crc32.ChecksumIEEE(hb) != binary.LittleEndian.Uint32(data[off:]) {
+		return nil, nil, corruptf("header checksum mismatch")
+	}
+	off += 4
+	var h segHeader
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return nil, nil, corruptf("header: %v", err)
+	}
+	if h.Version != segVersion {
+		return nil, nil, corruptf("unsupported version %d", h.Version)
+	}
+	if h.Rows < 0 {
+		return nil, nil, corruptf("negative row count %d", h.Rows)
+	}
+	if len(h.Cols) == 0 && h.Rows != 0 {
+		return nil, nil, corruptf("%d rows with no columns", h.Rows)
+	}
+	cols := make([][]Value, len(h.Cols))
+	for ci := range h.Cols {
+		if off+4 > len(data) {
+			return nil, nil, corruptf("column %d: truncated block length", ci)
+		}
+		blen := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if blen < 0 || off+blen+4 > len(data) {
+			return nil, nil, corruptf("column %d: block length %d out of range", ci, blen)
+		}
+		block := data[off : off+blen]
+		off += blen
+		if crc32.ChecksumIEEE(block) != binary.LittleEndian.Uint32(data[off:]) {
+			return nil, nil, corruptf("column %d: block checksum mismatch", ci)
+		}
+		off += 4
+		vals, err := decodeColumn(block, ci, h.Cols[ci].Enc, h.Rows)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[ci] = vals
+	}
+	if off != len(data) {
+		return nil, nil, corruptf("%d trailing bytes", len(data)-off)
+	}
+	nc := len(h.Cols)
+	flat := make([]Value, h.Rows*nc)
+	rows := make([]Row, h.Rows)
+	for ri := range rows {
+		r := flat[ri*nc : (ri+1)*nc : (ri+1)*nc]
+		for ci := range cols {
+			r[ci] = cols[ci][ri]
+		}
+		rows[ri] = Row(r)
+	}
+	return &h, rows, nil
+}
+
+// decodeColumn parses one column block into n values.
+func decodeColumn(block []byte, ci, enc, n int) ([]Value, error) {
+	if enc == encGeneric {
+		// Each value takes at least one byte, bounding the allocation by
+		// the block size before trusting the declared row count.
+		if len(block) < n {
+			return nil, corruptf("column %d: generic block %d bytes for %d rows", ci, len(block), n)
+		}
+		vals := make([]Value, n)
+		off := 0
+		for i := 0; i < n; i++ {
+			kind := block[off]
+			off++
+			switch kind {
+			case svNull:
+				vals[i] = Null()
+			case svStr:
+				if off+4 > len(block) {
+					return nil, corruptf("column %d: truncated string length", ci)
+				}
+				sl := int(binary.LittleEndian.Uint32(block[off:]))
+				off += 4
+				if sl < 0 || off+sl > len(block) {
+					return nil, corruptf("column %d: string length %d out of range", ci, sl)
+				}
+				vals[i] = Str(string(block[off : off+sl]))
+				off += sl
+			case svInt, svFloat, svDate:
+				if off+8 > len(block) {
+					return nil, corruptf("column %d: truncated value", ci)
+				}
+				u := binary.LittleEndian.Uint64(block[off:])
+				off += 8
+				switch kind {
+				case svInt:
+					vals[i] = Int(int64(u))
+				case svFloat:
+					vals[i] = Float(math.Float64frombits(u))
+				default:
+					vals[i] = Date(time.Unix(int64(u), 0).UTC())
+				}
+			case svBool:
+				if off >= len(block) {
+					return nil, corruptf("column %d: truncated bool", ci)
+				}
+				vals[i] = Bool(block[off] != 0)
+				off++
+			default:
+				return nil, corruptf("column %d: unknown value kind %d", ci, kind)
+			}
+			if off > len(block) {
+				return nil, corruptf("column %d: truncated block", ci)
+			}
+		}
+		if off != len(block) {
+			return nil, corruptf("column %d: %d trailing block bytes", ci, len(block)-off)
+		}
+		return vals, nil
+	}
+
+	bmLen := (n + 7) / 8
+	if len(block) < bmLen {
+		return nil, corruptf("column %d: truncated null bitmap", ci)
+	}
+	bm := block[:bmLen]
+	body := block[bmLen:]
+	isNull := func(i int) bool { return bm[i>>3]&(1<<uint(i&7)) != 0 }
+	vals := make([]Value, n)
+	switch enc {
+	case encInt, encFloat, encDate:
+		if len(body) != 8*n {
+			return nil, corruptf("column %d: block body %d bytes, want %d", ci, len(body), 8*n)
+		}
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				continue
+			}
+			u := binary.LittleEndian.Uint64(body[8*i:])
+			switch enc {
+			case encInt:
+				vals[i] = Int(int64(u))
+			case encFloat:
+				vals[i] = Float(math.Float64frombits(u))
+			default:
+				vals[i] = Date(time.Unix(int64(u), 0).UTC())
+			}
+		}
+	case encBool:
+		if len(body) != n {
+			return nil, corruptf("column %d: block body %d bytes, want %d", ci, len(body), n)
+		}
+		for i := 0; i < n; i++ {
+			if !isNull(i) {
+				vals[i] = Bool(body[i] != 0)
+			}
+		}
+	case encString:
+		if len(body) < 4 {
+			return nil, corruptf("column %d: truncated dictionary", ci)
+		}
+		dictLen := int(binary.LittleEndian.Uint32(body))
+		off := 4
+		// Every entry takes at least its 4-byte length prefix.
+		if dictLen < 0 || dictLen > (len(body)-off)/4 {
+			return nil, corruptf("column %d: dictionary size %d out of range", ci, dictLen)
+		}
+		dict := make([]string, dictLen)
+		for d := 0; d < dictLen; d++ {
+			if off+4 > len(body) {
+				return nil, corruptf("column %d: truncated dictionary entry", ci)
+			}
+			sl := int(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+			if sl < 0 || off+sl > len(body) {
+				return nil, corruptf("column %d: dictionary entry length %d out of range", ci, sl)
+			}
+			dict[d] = string(body[off : off+sl])
+			off += sl
+		}
+		if len(body)-off != 4*n {
+			return nil, corruptf("column %d: code block %d bytes, want %d", ci, len(body)-off, 4*n)
+		}
+		for i := 0; i < n; i++ {
+			code := binary.LittleEndian.Uint32(body[off+4*i:])
+			if isNull(i) {
+				continue
+			}
+			if code < 1 || int(code) > dictLen {
+				return nil, corruptf("column %d: code %d outside dictionary of %d", ci, code, dictLen)
+			}
+			vals[i] = Str(dict[code-1])
+		}
+	default:
+		return nil, corruptf("column %d: unknown encoding %d", ci, enc)
+	}
+	return vals, nil
+}

@@ -1,0 +1,209 @@
+package relation
+
+// segprune.go decides, from a partition's zone maps alone, whether a
+// pushed-down predicate could select any row of that partition. The
+// contract is one-sided: zonesMayMatch may return true for a partition
+// the predicate rejects entirely (wasted decode, never wrong), but must
+// never return false for a partition containing a selected row. The
+// rules below mirror the engine's three-valued logic in expr.go — a
+// predicate selects a row only when it evaluates to exactly TRUE, so
+// "the predicate is NULL or FALSE on every row" is enough to prune.
+
+// zonesMayMatch reports whether pred could be TRUE on some row of a
+// partition with the given per-column zones. Unknown predicate shapes
+// and unresolvable columns are conservatively scannable.
+func zonesMayMatch(pred Expr, s *Schema, zones []colZone) bool {
+	if pred == nil {
+		return true
+	}
+	switch e := pred.(type) {
+	case *LitExpr:
+		return e.V.Kind == TBool && e.V.B
+	case *ColExpr:
+		// A bare column predicate selects rows where the value is the
+		// bool TRUE; an all-null column never is.
+		if z, ok := zoneOf(e.Name, s, zones); ok && z.allNull {
+			return false
+		}
+		return true
+	case *BinExpr:
+		switch e.Op {
+		case OpAnd:
+			return zonesMayMatch(e.L, s, zones) && zonesMayMatch(e.R, s, zones)
+		case OpOr:
+			return zonesMayMatch(e.L, s, zones) || zonesMayMatch(e.R, s, zones)
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
+			col, lit, op, ok := colLit(e)
+			if !ok {
+				return true
+			}
+			z, ok := zoneOf(col, s, zones)
+			if !ok {
+				return true
+			}
+			// Comparing NULL yields NULL (never TRUE): an all-null column
+			// or a NULL literal cannot satisfy any comparison.
+			if z.allNull || lit.IsNull() {
+				return false
+			}
+			if op == OpLike || !z.hasZone {
+				return true
+			}
+			return rangeMayMatch(op, z, lit)
+		default:
+			return true
+		}
+	case *NotExpr:
+		// NOT inverts TRUE and FALSE but maps NULL to NULL; refuting
+		// "NOT p can be TRUE" needs "p is TRUE everywhere", which zone
+		// bounds cannot establish. Always scan.
+		return true
+	case *IsNullExpr:
+		switch inner := e.E.(type) {
+		case *ColExpr:
+			z, ok := zoneOf(inner.Name, s, zones)
+			if !ok {
+				return true
+			}
+			if e.Negate { // IS NOT NULL: some non-null value must exist
+				return !z.allNull
+			}
+			return z.hasNull
+		case *LitExpr:
+			return inner.V.IsNull() != e.Negate
+		default:
+			return true
+		}
+	case *InExpr:
+		col, isCol := e.E.(*ColExpr)
+		if !isCol {
+			return true
+		}
+		z, ok := zoneOf(col.Name, s, zones)
+		if !ok {
+			return true
+		}
+		// A NULL subject makes IN and NOT IN both NULL (see InExpr.Eval),
+		// so an all-null column satisfies neither polarity.
+		if z.allNull {
+			return false
+		}
+		if e.Negate || !z.hasZone {
+			return true
+		}
+		for _, le := range e.List {
+			lit, isLit := le.(*LitExpr)
+			if !isLit {
+				return true
+			}
+			if lit.V.IsNull() {
+				continue
+			}
+			if rangeMayMatch(OpEq, z, lit.V) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// predTotal reports whether evaluating pred over rows of s can never
+// return an error. Predicate-evaluation errors in this engine are
+// data-independent — unknown columns, unknown functions, bad arities,
+// unknown operators — so a total predicate errors on no row at all, and
+// skipping a partition cannot suppress an error the in-memory path would
+// have reported. Pruning is gated on this: a non-total predicate scans
+// every partition so both paths fail identically. Function calls are
+// conservatively non-total (their arity rules live in callScalar).
+func predTotal(pred Expr, s *Schema) bool {
+	switch e := pred.(type) {
+	case nil:
+		return true
+	case *LitExpr:
+		return true
+	case *ColExpr:
+		return s.Index(e.Name) >= 0
+	case *BinExpr:
+		switch e.Op {
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr,
+			OpAdd, OpSub, OpMul, OpDiv, OpMod, OpLike, OpConcat:
+			return predTotal(e.L, s) && predTotal(e.R, s)
+		default:
+			return false
+		}
+	case *NotExpr:
+		return predTotal(e.E, s)
+	case *NegExpr:
+		return predTotal(e.E, s)
+	case *IsNullExpr:
+		return predTotal(e.E, s)
+	case *InExpr:
+		if !predTotal(e.E, s) {
+			return false
+		}
+		for _, le := range e.List {
+			if !predTotal(le, s) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// colLit destructures a comparison into (column, literal, op), flipping
+// the operator when the literal is on the left.
+func colLit(e *BinExpr) (col string, lit Value, op BinOp, ok bool) {
+	if c, isCol := e.L.(*ColExpr); isCol {
+		if l, isLit := e.R.(*LitExpr); isLit {
+			return c.Name, l.V, e.Op, true
+		}
+		return "", Value{}, 0, false
+	}
+	if l, isLit := e.L.(*LitExpr); isLit {
+		if c, isCol := e.R.(*ColExpr); isCol {
+			return c.Name, l.V, flipCmp(e.Op), true
+		}
+	}
+	return "", Value{}, 0, false
+}
+
+// zoneOf resolves a column name to its zone.
+func zoneOf(name string, s *Schema, zones []colZone) (colZone, bool) {
+	ci := s.Index(name)
+	if ci < 0 || ci >= len(zones) {
+		return colZone{}, false
+	}
+	return zones[ci], true
+}
+
+// rangeMayMatch reports whether `col op lit` could be TRUE given the
+// column's [min, max] over non-null values. Incomparable bounds (mixed
+// kinds meeting an incompatible literal) are conservatively scannable.
+func rangeMayMatch(op BinOp, z colZone, lit Value) bool {
+	cmin, okMin := lit.Compare(z.min)
+	cmax, okMax := lit.Compare(z.max)
+	if !okMin || !okMax {
+		return true
+	}
+	switch op {
+	case OpEq:
+		return cmin >= 0 && cmax <= 0
+	case OpNe:
+		// Only prunable when every value equals the literal.
+		return !(cmin == 0 && cmax == 0)
+	case OpLt: // some value < lit  ⇔  min < lit
+		return cmin > 0
+	case OpLe:
+		return cmin >= 0
+	case OpGt: // some value > lit  ⇔  max > lit
+		return cmax < 0
+	case OpGe:
+		return cmax <= 0
+	default:
+		return true
+	}
+}

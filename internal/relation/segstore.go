@@ -1,0 +1,286 @@
+package relation
+
+// segstore.go is the file-backed side of the out-of-core tables: a
+// SegmentStore owns a directory of columnar segments (segment.go), a
+// SegmentWriter streams rows into fixed-size partitions without ever
+// holding more than one partition in memory, and Spill converts an
+// in-memory table into a segment-backed one preserving its provenance.
+//
+// Reads go through the relation.segment.read fault site: transient
+// failures (injected or real I/O) are retried under the store's policy,
+// while corruption is marked permanent and fails closed immediately.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"plabi/internal/fault"
+	"plabi/internal/obs"
+)
+
+// DefaultPartitionRows is the number of rows per segment partition when
+// the store is not configured otherwise.
+const DefaultPartitionRows = 1 << 16
+
+// SegmentStore writes and reads columnar segments under one directory.
+// The zero configuration is usable immediately: the directory is created
+// lazily on first write, partitions default to DefaultPartitionRows, and
+// metrics/faults/retry wiring is optional. All methods are safe for
+// concurrent use.
+type SegmentStore struct {
+	dir      string
+	partRows atomic.Int64
+	workers  atomic.Int64
+	metrics  atomic.Pointer[obs.Metrics]
+	faults   atomic.Pointer[fault.Injector]
+	retry    atomic.Pointer[fault.RetryPolicy]
+	seq      atomic.Uint64
+}
+
+// NewSegmentStore returns a store rooted at dir. The directory is not
+// created until the first write, so construction cannot fail.
+func NewSegmentStore(dir string) *SegmentStore {
+	return &SegmentStore{dir: dir}
+}
+
+// Dir returns the store's root directory.
+func (s *SegmentStore) Dir() string { return s.dir }
+
+// SetPartitionRows sets the rows-per-partition of subsequent writers;
+// values below 1 restore the default.
+func (s *SegmentStore) SetPartitionRows(n int) {
+	s.partRows.Store(int64(n))
+}
+
+// PartitionRows returns the configured rows per partition.
+func (s *SegmentStore) PartitionRows() int {
+	if n := s.partRows.Load(); n > 0 {
+		return int(n)
+	}
+	return DefaultPartitionRows
+}
+
+// SetScanWorkers bounds the parallel partition decodes per scan; 0
+// restores the default (GOMAXPROCS), 1 forces sequential scans.
+func (s *SegmentStore) SetScanWorkers(n int) {
+	s.workers.Store(int64(n))
+}
+
+// ScanWorkers returns the configured scan parallelism (0 = default).
+func (s *SegmentStore) ScanWorkers() int {
+	return int(s.workers.Load())
+}
+
+// SetMetrics attaches an observability registry; the store maintains the
+// segment.* counters on it.
+func (s *SegmentStore) SetMetrics(m *obs.Metrics) { s.metrics.Store(m) }
+
+// Metrics returns the attached registry (nil-safe to use).
+func (s *SegmentStore) Metrics() *obs.Metrics {
+	if s == nil {
+		return nil
+	}
+	return s.metrics.Load()
+}
+
+// SetFaults attaches a fault injector consulted at relation.segment.read.
+func (s *SegmentStore) SetFaults(fi *fault.Injector) { s.faults.Store(fi) }
+
+// SetRetryPolicy sets the retry policy for transient segment-read
+// failures. The zero value (default) performs a single attempt.
+func (s *SegmentStore) SetRetryPolicy(p fault.RetryPolicy) { s.retry.Store(&p) }
+
+func (s *SegmentStore) retryPolicy() fault.RetryPolicy {
+	if p := s.retry.Load(); p != nil {
+		return *p
+	}
+	return fault.RetryPolicy{}
+}
+
+// segDirName sanitizes a table name into a filesystem-safe directory
+// component.
+func segDirName(table string) string {
+	var b strings.Builder
+	for _, r := range table {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "table"
+	}
+	return b.String()
+}
+
+// SegmentWriter streams rows into per-partition segment files. Only the
+// current partition is buffered in memory; Close returns the
+// segment-backed base table.
+type SegmentWriter struct {
+	store    *SegmentStore
+	table    string
+	schema   *Schema
+	dir      string
+	partRows int
+	buf      []Row
+	parts    []segPart
+	start    int // global row index of the first buffered row
+	total    int
+	closed   bool
+}
+
+// NewWriter opens a writer for one table. Each writer gets a fresh
+// subdirectory (<dir>/<table>-<seq>) so repeated loads of the same table
+// never collide.
+func (s *SegmentStore) NewWriter(table string, schema *Schema) (*SegmentWriter, error) {
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("relation: segment writer for %s: empty schema", table)
+	}
+	dir := filepath.Join(s.dir, fmt.Sprintf("%s-%06d", segDirName(table), s.seq.Add(1)))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("relation: segment writer for %s: %w", table, err)
+	}
+	return &SegmentWriter{store: s, table: table, schema: schema, dir: dir, partRows: s.PartitionRows()}, nil
+}
+
+// Append buffers one row, flushing a partition whenever the buffer
+// reaches the configured size. The row is retained until the flush and
+// must not be mutated by the caller.
+func (w *SegmentWriter) Append(r Row) error {
+	if w.closed {
+		return fmt.Errorf("relation: segment writer for %s: closed", w.table)
+	}
+	if len(r) != w.schema.Len() {
+		return fmt.Errorf("relation: row arity %d does not match schema %s", len(r), w.schema)
+	}
+	w.buf = append(w.buf, r)
+	w.total++
+	if len(w.buf) >= w.partRows {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush encodes and writes the buffered partition.
+func (w *SegmentWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	idx := len(w.parts)
+	data, zones, err := encodeSegment(w.table, idx, w.start, w.schema, w.buf)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(w.dir, fmt.Sprintf("part-%06d.seg", idx))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("relation: segment write %s: %w", path, err)
+	}
+	m := w.store.Metrics()
+	m.Counter("segment.write.partitions").Inc()
+	m.Counter("segment.write.rows").Add(uint64(len(w.buf)))
+	m.Counter("segment.write.bytes").Add(uint64(len(data)))
+	w.parts = append(w.parts, segPart{path: path, index: idx, start: w.start, rows: len(w.buf), zones: zones})
+	w.start = w.total
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the final partition and returns the segment-backed base
+// table. The writer is unusable afterwards.
+func (w *SegmentWriter) Close() (*Table, error) {
+	if w.closed {
+		return nil, fmt.Errorf("relation: segment writer for %s: closed", w.table)
+	}
+	w.closed = true
+	if err := w.flush(); err != nil {
+		return nil, err
+	}
+	w.buf = nil
+	t := &Table{Name: w.table, Schema: w.schema.Clone(), Base: true}
+	t.seg = &segBacking{store: w.store, origin: w.table, parts: w.parts, rows: w.total, cache: &segCache{lastPart: -1}}
+	return t, nil
+}
+
+// Abort discards the writer and removes any partitions already written.
+func (w *SegmentWriter) Abort() {
+	w.closed = true
+	w.buf = nil
+	os.RemoveAll(w.dir)
+}
+
+// Spill converts an in-memory table into a segment-backed one, writing
+// its rows out and preserving name, schema, base flag, lineage and
+// column origins. Derived-table lineage stays resident (only the rows
+// move out of core); a table that is already segment-backed is returned
+// unchanged.
+func (s *SegmentStore) Spill(t *Table) (*Table, error) {
+	if t.seg != nil {
+		return t, nil
+	}
+	w, err := s.NewWriter(t.Name, t.Schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range t.Rows {
+		if err := w.Append(r); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	out, err := w.Close()
+	if err != nil {
+		w.Abort()
+		return nil, err
+	}
+	m := s.Metrics()
+	m.Counter("segment.spill.tables").Inc()
+	m.Counter("segment.spill.rows").Add(uint64(len(t.Rows)))
+	out.Base = t.Base
+	out.Lineage = t.Lineage
+	out.ColOrigin = t.ColOrigin
+	return out, nil
+}
+
+// readPartition loads and decodes one partition under the fault site and
+// retry policy. Corruption is permanent (fails closed, no retry);
+// transient read faults are retried when a policy is configured.
+func (s *SegmentStore) readPartition(p *segPart) ([]Row, error) {
+	m := s.Metrics()
+	var rows []Row
+	err := fault.Retry(context.Background(), s.retryPolicy(), m, func(ctx context.Context) error {
+		if err := s.faults.Load().Hit(ctx, fault.SiteSegmentRead); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(p.path)
+		if err != nil {
+			return err
+		}
+		h, rs, err := decodeSegment(data)
+		if err != nil {
+			if ce, ok := err.(*CorruptError); ok && ce.Path == "" {
+				err = &CorruptError{Path: p.path, Detail: ce.Detail}
+			}
+			return fault.Permanent(err)
+		}
+		if h.Rows != p.rows {
+			return fault.Permanent(&CorruptError{Path: p.path,
+				Detail: fmt.Sprintf("row count %d, manifest says %d", h.Rows, p.rows)})
+		}
+		m.Counter("segment.read.bytes").Add(uint64(len(data)))
+		rows = rs
+		return nil
+	})
+	if err != nil {
+		m.Counter("segment.read.errors").Inc()
+		return nil, err
+	}
+	m.Counter("segment.read.partitions").Inc()
+	m.Counter("segment.read.rows").Add(uint64(p.rows))
+	return rows, nil
+}

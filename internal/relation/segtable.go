@@ -1,0 +1,358 @@
+package relation
+
+// segtable.go ties segment files (segment.go, segstore.go) into the
+// Table API. A segment-backed Table keeps Rows empty and carries a
+// *segBacking describing its partitions; operators either stream it
+// partition by partition (Select, GroupBy, Join, via the scanner here)
+// or materialize it first (everything else — see Materialize).
+//
+// Lineage stays implicit: a segment-backed base table's row i has
+// lineage {origin#i} exactly like an in-memory base table, so renames
+// and partition sub-tables reconstruct lineage positionally instead of
+// materializing one LineageSet per row.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// segPart is one on-disk partition: a contiguous row range of the table
+// with per-column zone maps consulted before decode.
+type segPart struct {
+	path  string
+	index int
+	start int
+	rows  int
+	zones []colZone
+}
+
+// segBacking is the out-of-core state of a segment-backed Table. It is
+// immutable after construction and safely shared between clones and
+// renames; only the cache mutates, under its own lock.
+type segBacking struct {
+	store *SegmentStore
+	// origin is the lineage origin: the name the table was written
+	// under. Renames keep it, exactly as in-memory Rename materializes
+	// lineage pointing at the pre-rename name.
+	origin string
+	parts  []segPart
+	rows   int
+	cache  *segCache
+}
+
+// segCache holds decoded rows shared by every view of one backing: the
+// full materialization (built at most once) and the most recently
+// decoded single partition for point accesses.
+type segCache struct {
+	mu       sync.Mutex
+	all      []Row
+	lastPart int
+	lastRows []Row
+}
+
+// Materialize returns an in-memory view of the table: t itself when it
+// already holds its rows, otherwise a shallow copy with every partition
+// decoded (cached on the shared backing, so repeated calls read disk
+// once). Derived tables without explicit lineage get it materialized
+// positionally, matching what the in-memory operators would have built.
+func (t *Table) Materialize() (*Table, error) {
+	if t.seg == nil {
+		return t, nil
+	}
+	rows, err := t.seg.materialize()
+	if err != nil {
+		return nil, err
+	}
+	c := *t
+	c.Rows = rows
+	c.seg = nil
+	if !c.Base && c.Lineage == nil {
+		refs := make([]RowRef, len(rows))
+		lin := make([]LineageSet, len(rows))
+		for i := range rows {
+			refs[i] = RowRef{Table: t.seg.origin, Row: i}
+			lin[i] = LineageSet(refs[i : i+1 : i+1])
+		}
+		c.Lineage = lin
+	}
+	return &c, nil
+}
+
+// mustMaterialize is Materialize for operators without an error return
+// (Distinct, Limit, String). The SQL executor never routes a
+// segment-backed table into those — projections and aggregations run
+// first — so a failure here means direct library misuse over a broken
+// store, and failing loudly beats returning fabricated rows.
+func (t *Table) mustMaterialize() *Table {
+	mt, err := t.Materialize()
+	if err != nil {
+		panic("relation: cannot materialize segment-backed table " + t.Name + ": " + err.Error())
+	}
+	return mt
+}
+
+// ValueAt returns the value at (row, column index), decoding at most one
+// partition and caching it for sequential access patterns. Out-of-range
+// coordinates yield NULL, like Get.
+func (t *Table) ValueAt(row, ci int) (Value, error) {
+	if t.seg != nil {
+		return t.seg.valueAt(row, ci)
+	}
+	if row < 0 || row >= len(t.Rows) || ci < 0 || ci >= len(t.Rows[row]) {
+		return Null(), nil
+	}
+	return t.Rows[row][ci], nil
+}
+
+func (b *segBacking) materialize() ([]Row, error) {
+	b.cache.mu.Lock()
+	defer b.cache.mu.Unlock()
+	if b.cache.all != nil {
+		return b.cache.all, nil
+	}
+	rows := make([]Row, 0, b.rows)
+	for pi := range b.parts {
+		rs, err := b.store.readPartition(&b.parts[pi])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	b.cache.all = rows
+	return rows, nil
+}
+
+func (b *segBacking) valueAt(row, ci int) (Value, error) {
+	if row < 0 || row >= b.rows || ci < 0 {
+		return Null(), nil
+	}
+	b.cache.mu.Lock()
+	defer b.cache.mu.Unlock()
+	if b.cache.all != nil {
+		r := b.cache.all[row]
+		if ci >= len(r) {
+			return Null(), nil
+		}
+		return r[ci], nil
+	}
+	pi := sort.Search(len(b.parts), func(i int) bool { return b.parts[i].start > row }) - 1
+	p := &b.parts[pi]
+	if b.cache.lastPart != pi {
+		rows, err := b.store.readPartition(p)
+		if err != nil {
+			return Null(), err
+		}
+		b.cache.lastPart, b.cache.lastRows = pi, rows
+	}
+	r := b.cache.lastRows[row-p.start]
+	if ci >= len(r) {
+		return Null(), nil
+	}
+	return r[ci], nil
+}
+
+// partTable decodes partition pi and wraps it as an in-memory sub-table
+// of t: same name, schema and column origins, with lineage rebuilt as
+// the global row references of the partition's row range. Operators
+// applied to it therefore produce byte-identical output to the same
+// operator over the full in-memory table, restricted to this range.
+func (b *segBacking) partTable(t *Table, pi int) (*Table, error) {
+	p := &b.parts[pi]
+	rows, err := b.store.readPartition(p)
+	if err != nil {
+		return nil, err
+	}
+	pt := &Table{Name: t.Name, Schema: t.Schema, Rows: rows, ColOrigin: t.ColOrigin}
+	if t.Lineage != nil {
+		pt.Lineage = t.Lineage[p.start : p.start+p.rows]
+	} else {
+		refs := make([]RowRef, p.rows)
+		lin := make([]LineageSet, p.rows)
+		for j := 0; j < p.rows; j++ {
+			refs[j] = RowRef{Table: b.origin, Row: p.start + j}
+			lin[j] = LineageSet(refs[j : j+1 : j+1])
+		}
+		pt.Lineage = lin
+	}
+	return pt, nil
+}
+
+// segPartResult carries one decoded partition through the scan pipeline.
+type segPartResult struct {
+	pt  *Table
+	err error
+}
+
+// segScan streams the partitions of a segment-backed table that survive
+// zone-map pruning, in partition order. With more than one worker the
+// decodes run concurrently on a bounded pool while results are consumed
+// through index-tagged slots, so output order is deterministic
+// regardless of decode completion order.
+type segScan struct {
+	t       *Table
+	parts   []int
+	pruned  int
+	workers int
+
+	next    int
+	done    bool
+	started bool
+	slots   []chan segPartResult
+	sem     chan struct{}
+	cancel  chan struct{}
+}
+
+// newSegScan plans a scan of t under pred: partitions whose zone maps
+// prove the predicate cannot be TRUE on any of their rows are skipped
+// before any byte is read.
+func newSegScan(t *Table, pred Expr) *segScan {
+	b := t.seg
+	sc := &segScan{t: t}
+	prune := pred != nil && predTotal(pred, t.Schema)
+	for pi := range b.parts {
+		if prune && !zonesMayMatch(pred, t.Schema, b.parts[pi].zones) {
+			sc.pruned++
+			continue
+		}
+		sc.parts = append(sc.parts, pi)
+	}
+	m := b.store.Metrics()
+	m.Counter("segment.read.segments").Add(uint64(len(sc.parts)))
+	m.Counter("segment.read.pruned").Add(uint64(sc.pruned))
+	sc.workers = b.store.ScanWorkers()
+	if sc.workers <= 0 {
+		sc.workers = runtime.GOMAXPROCS(0)
+	}
+	if sc.workers > len(sc.parts) {
+		sc.workers = len(sc.parts)
+	}
+	return sc
+}
+
+// start launches the bounded-parallel decode pipeline. The semaphore is
+// acquired before each decode and released only when its result is
+// consumed, so at most `workers` decoded partitions are in flight — the
+// scan's memory ceiling.
+func (sc *segScan) start() {
+	sc.started = true
+	sc.slots = make([]chan segPartResult, len(sc.parts))
+	for i := range sc.slots {
+		sc.slots[i] = make(chan segPartResult, 1)
+	}
+	sc.sem = make(chan struct{}, sc.workers)
+	sc.cancel = make(chan struct{})
+	// Locals: Close nils the fields from the consumer goroutine while the
+	// dispatcher is still selecting on them.
+	cancel, sem := sc.cancel, sc.sem
+	go func() {
+		for i, pi := range sc.parts {
+			select {
+			case <-cancel:
+				return
+			case sem <- struct{}{}:
+			}
+			go func(slot chan segPartResult, pi int) {
+				pt, err := sc.t.seg.partTable(sc.t, pi)
+				slot <- segPartResult{pt: pt, err: err} // buffered: never blocks
+			}(sc.slots[i], pi)
+		}
+	}()
+}
+
+// nextTable returns the next surviving partition as an in-memory
+// sub-table, or (nil, nil) when the scan is exhausted.
+func (sc *segScan) nextTable() (*Table, error) {
+	if sc.done || sc.next >= len(sc.parts) {
+		sc.done = true
+		return nil, nil
+	}
+	if sc.workers <= 1 {
+		pi := sc.parts[sc.next]
+		sc.next++
+		pt, err := sc.t.seg.partTable(sc.t, pi)
+		if err != nil {
+			sc.done = true
+			return nil, err
+		}
+		return pt, nil
+	}
+	if !sc.started {
+		sc.start()
+	}
+	res := <-sc.slots[sc.next]
+	sc.next++
+	<-sc.sem
+	if res.err != nil {
+		sc.done = true
+		return nil, res.err
+	}
+	return res.pt, nil
+}
+
+// Close stops the pipeline. In-flight decodes finish into their buffered
+// slots and exit; the dispatcher unblocks via the cancel channel, so no
+// goroutine outlives the scan.
+func (sc *segScan) Close() {
+	if sc.cancel != nil && !sc.done {
+		close(sc.cancel)
+	}
+	sc.done = true
+	sc.cancel = nil
+}
+
+// Scanner is the public streaming reader over a table: segment-backed
+// tables yield one Batch per surviving partition (zone-map pruned,
+// decoded in parallel, delivered in order); in-memory tables yield a
+// single Batch. Callers must Close the scanner when abandoning it early.
+type Scanner struct {
+	scan  *segScan
+	inMem *Table
+	done  bool
+}
+
+// NewScanner opens a scan of t. pred (optional) drives partition
+// pruning; Pruned reports how many partitions it eliminated.
+func NewScanner(t *Table, pred Expr) *Scanner {
+	if t.seg == nil {
+		return &Scanner{inMem: t}
+	}
+	return &Scanner{scan: newSegScan(t, pred)}
+}
+
+// Next returns the next batch, or (nil, nil) when the scan is done.
+func (s *Scanner) Next() (*Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	if s.scan == nil {
+		s.done = true
+		return NewBatch(s.inMem), nil
+	}
+	pt, err := s.scan.nextTable()
+	if err != nil {
+		s.done = true
+		return nil, err
+	}
+	if pt == nil {
+		s.done = true
+		return nil, nil
+	}
+	return NewBatch(pt), nil
+}
+
+// Pruned returns the number of partitions skipped by zone-map pruning.
+func (s *Scanner) Pruned() int {
+	if s.scan == nil {
+		return 0
+	}
+	return s.scan.pruned
+}
+
+// Close releases the scan's workers. Safe to call repeatedly.
+func (s *Scanner) Close() {
+	s.done = true
+	if s.scan != nil {
+		s.scan.Close()
+	}
+}

@@ -171,6 +171,10 @@ type Table struct {
 	// ColOrigin holds, for each column, the set of base (table, column)
 	// pairs it derives from. For base tables it is nil.
 	ColOrigin []ColRefSet
+
+	// seg, when non-nil, backs the table with on-disk columnar segments
+	// instead of Rows (see segtable.go). Rows is empty in that case.
+	seg *segBacking
 }
 
 // NewBase creates an empty base table with the given name and schema.
@@ -182,6 +186,9 @@ func NewBase(name string, schema *Schema) *Table {
 // caller must maintain Lineage alongside; Append is intended for base
 // tables and simple construction.
 func (t *Table) Append(r Row) error {
+	if t.seg != nil {
+		return fmt.Errorf("relation: cannot append to segment-backed table %s", t.Name)
+	}
 	if len(r) != t.Schema.Len() {
 		return fmt.Errorf("relation: row arity %d does not match schema %s", len(r), t.Schema)
 	}
@@ -197,12 +204,22 @@ func (t *Table) AppendVals(vals ...Value) error {
 }
 
 // NumRows returns the number of rows.
-func (t *Table) NumRows() int { return len(t.Rows) }
+func (t *Table) NumRows() int {
+	if t.seg != nil {
+		return t.seg.rows
+	}
+	return len(t.Rows)
+}
 
 // RowLineage returns the lineage set of row i. For base tables this is the
 // singleton {t#i}.
 func (t *Table) RowLineage(i int) LineageSet {
 	if t.Base || t.Lineage == nil {
+		if !t.Base && t.seg != nil {
+			// A renamed segment-backed table keeps lineage implicit:
+			// row i derives from {origin#i}, the name it was written under.
+			return LineageSet{{Table: t.seg.origin, Row: i}}
+		}
 		return LineageSet{{Table: t.Name, Row: i}}
 	}
 	return t.Lineage[i]
@@ -260,6 +277,8 @@ func (t *Table) Clone() *Table {
 			c.ColOrigin[i] = append(ColRefSet(nil), o...)
 		}
 	}
+	// The segment backing is immutable; clones share it (and its cache).
+	c.seg = t.seg
 	return c
 }
 
@@ -278,8 +297,15 @@ func (t *Table) derived(name string) *Table {
 // columns, which keeps report rendering total.
 func (t *Table) Get(row int, col string) Value {
 	i := t.Schema.Index(col)
-	if i < 0 || row < 0 || row >= len(t.Rows) {
+	if i < 0 || row < 0 || row >= t.NumRows() {
 		return Null()
+	}
+	if t.seg != nil {
+		v, err := t.ValueAt(row, i)
+		if err != nil {
+			return Null()
+		}
+		return v
 	}
 	return t.Rows[row][i]
 }
@@ -287,6 +313,9 @@ func (t *Table) Get(row int, col string) Value {
 // String renders the table as an aligned text grid (used by reports, the
 // CLI tools and tests).
 func (t *Table) String() string {
+	if t.seg != nil {
+		t = t.mustMaterialize()
+	}
 	names := t.Schema.ColumnNames()
 	widths := make([]int, len(names))
 	for i, n := range names {

@@ -163,6 +163,9 @@ type options struct {
 	retrySites map[string]fault.RetryPolicy
 	failClosed bool
 	compiled   bool
+	segmentDir string
+	segmentSet bool
+	spillRows  int
 	// allowNilMetrics preserves Open's documented WithMetrics(nil)
 	// semantics (disable instrumentation) through validation.
 	allowNilMetrics bool
@@ -188,6 +191,12 @@ func (o *options) validate() error {
 		if err := validRetry("WithRetryPolicy", *o.retry); err != nil {
 			return err
 		}
+	}
+	if o.segmentSet && o.segmentDir == "" {
+		return fmt.Errorf("plabi: WithSegmentStore(\"\"): directory cannot be empty; omit the option instead")
+	}
+	if o.spillRows < 0 {
+		return fmt.Errorf("plabi: WithSpillThreshold(%d): threshold cannot be negative", o.spillRows)
 	}
 	known := map[string]bool{}
 	for _, s := range fault.Sites() {
@@ -233,6 +242,12 @@ func (o *options) clampMisuse() {
 	}
 	if o.faultsSet && o.faults == nil {
 		o.faultsSet = false
+	}
+	if o.segmentSet && o.segmentDir == "" {
+		o.segmentSet = false
+	}
+	if o.spillRows < 0 {
+		o.spillRows = 0
 	}
 	if o.retry != nil && validRetry("", *o.retry) != nil {
 		o.retry = &RetryPolicy{}
@@ -280,6 +295,13 @@ func (o *options) apply(ce *core.Engine) {
 	}
 	if o.faultsSet && o.faults != nil {
 		ce.SetFaults(o.faults)
+	}
+	// After metrics/faults/retry so the store inherits the final wiring.
+	if o.segmentSet {
+		ce.SetSegmentStore(o.segmentDir)
+	}
+	if o.spillRows > 0 {
+		ce.SetSpillThreshold(o.spillRows)
 	}
 }
 
@@ -377,6 +399,25 @@ func WithFailClosed() Option {
 // the constant-folded result.
 func WithCompiledRenders() Option {
 	return func(o *options) { o.compiled = true }
+}
+
+// WithSegmentStore roots the engine's out-of-core columnar storage at
+// dir: ETL staging tables that reach the WithSpillThreshold row count
+// are written out as partitioned, zone-mapped segment files and queried
+// from disk with partition-pruned parallel scans, byte-identically to
+// the in-memory path. The directory is created lazily on first spill.
+// Omitting the option (the default) keeps every relation in memory.
+// OpenHealthcare rejects an empty dir; Open drops the option.
+func WithSegmentStore(dir string) Option {
+	return func(o *options) { o.segmentDir = dir; o.segmentSet = true }
+}
+
+// WithSpillThreshold sets the staging-table row count at or above which
+// ETL outputs spill to the WithSegmentStore directory. 0 (the default)
+// disables spilling even when a store is configured. OpenHealthcare
+// rejects negative thresholds; Open clamps them to 0.
+func WithSpillThreshold(n int) Option {
+	return func(o *options) { o.spillRows = n }
 }
 
 // WithFaultInjector attaches a fault injector to every instrumented
