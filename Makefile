@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race lint cover bench-smoke bench bench-core bench-compiled scale-ceiling bench-scale serve-bench fuzz-smoke chaos ci
+.PHONY: build vet test race lint cover bench-smoke bench bench-core bench-compiled bench-delta scale-ceiling bench-scale serve-bench fuzz-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,14 @@ bench-core:
 bench-compiled:
 	$(GO) test -run '^$$' -bench '^BenchmarkCoreRender(Compiled)?$$' -benchtime=5x -benchmem . | tee bench_compiled.txt
 	$(GO) run ./cmd/benchjson -in bench_compiled.txt -out BENCH_compiled.json -check-compiled -min-compiled 1.5
+
+# Incremental-refresh lane: stream delta batches through the warehouse
+# under background render traffic, in both refresh modes at 1k/10k/100k,
+# converted to BENCH_delta.json with the >=5x delta-over-rebuild floor
+# and the >=50% plan-cache retention floor enforced at 100k.
+bench-delta:
+	$(GO) test -run '^$$' -bench '^BenchmarkDeltaRefresh$$' -benchtime=5x -benchmem . | tee bench_delta.txt
+	$(GO) run ./cmd/benchjson -in bench_delta.txt -out BENCH_delta.json -suite delta -check-delta
 
 # Memory-ceiling check: stream 1M rows through a SegmentWriter and scan
 # them back (pruned select, full scan, aggregation) with the runtime's

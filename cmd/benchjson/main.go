@@ -146,7 +146,9 @@ func parseLine(line string) (Benchmark, bool) {
 	for _, seg := range strings.Split(b.Name, "/") {
 		switch {
 		case strings.HasPrefix(seg, "Benchmark"):
-			b.Family = strings.TrimPrefix(seg, "BenchmarkCore")
+			// Core families drop the whole BenchmarkCore prefix; other
+			// suites (BenchmarkDeltaRefresh) just drop Benchmark.
+			b.Family = strings.TrimPrefix(strings.TrimPrefix(seg, "BenchmarkCore"), "Benchmark")
 		case strings.HasPrefix(seg, "n="):
 			b.N, _ = strconv.Atoi(seg[2:])
 		case strings.HasPrefix(seg, "mode="):
@@ -211,6 +213,11 @@ func speedups(benchmarks []Benchmark) []Speedup {
 			parent := strings.TrimSuffix(b.Family, "Compiled")
 			if base, ok := ns[key{parent, b.N, "vectorized", ""}]; ok && base > 0 {
 				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "vectorized",
+					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
+			}
+		case "delta":
+			if base, ok := ns[key{b.Family, b.N, "rebuild", ""}]; ok && base > 0 {
+				out = append(out, Speedup{Family: b.Family, N: b.N, Baseline: "rebuild",
 					FastNs: b.NsPerOp, BaselineNs: base, Speedup: base / b.NsPerOp})
 			}
 		}
@@ -280,6 +287,34 @@ func checkScale(row *ScaleRow, minPrune float64) error {
 	return nil
 }
 
+// checkDelta enforces the incremental-refresh floors at the largest
+// measured scale: the delta-mode refresh must be at least minDelta× the
+// full rebuild measured in the same run, and the render plan cache must
+// have retained at least minRetained of its entries across a delta
+// batch (per-table-epoch invalidation; generation-keyed discard would
+// score zero).
+func checkDelta(benchmarks []Benchmark, sp []Speedup, minDelta, minRetained float64) error {
+	if err := enforceFloor(sp, "DeltaRefresh", "rebuild", minDelta); err != nil {
+		return err
+	}
+	maxN, retained := 0, -1.0
+	for _, b := range benchmarks {
+		if b.Family == "DeltaRefresh" && b.Mode == "delta" && b.N > maxN {
+			if v, ok := b.Metrics["cache_retained"]; ok {
+				maxN, retained = b.N, v
+			}
+		}
+	}
+	if retained < 0 {
+		return fmt.Errorf("missing cache_retained metric on the delta-mode benchmark")
+	}
+	if retained < minRetained {
+		return fmt.Errorf("plan cache retained only %.0f%% of entries across a delta at n=%d (floor %.0f%%)",
+			retained*100, maxN, minRetained*100)
+	}
+	return nil
+}
+
 // check enforces the acceptance floors: at the largest measured scale,
 // the hash join must be ≥ min× the nested-loop baseline, the batched
 // render ≥ min× the row-at-a-time baseline, and the compiled render
@@ -327,9 +362,11 @@ func main() {
 	doCheck := flag.Bool("check", false, "fail unless the 100k join/render speedup floors hold")
 	doCheckCompiled := flag.Bool("check-compiled", false, "fail unless the 100k compiled-render floor holds (for runs without the join families)")
 	doCheckScale := flag.Bool("check-scale", false, "fail unless the segment render was measured and the pruning floor holds")
+	doCheckDelta := flag.Bool("check-delta", false, "fail unless the delta-over-rebuild refresh floor and the plan-cache retention floor hold")
 	min := flag.Float64("min", 5.0, "vectorized-over-reference speedup floor enforced by -check")
 	minCompiled := flag.Float64("min-compiled", 1.5, "compiled-over-vectorized render floor enforced by -check and -check-compiled")
 	minPrune := flag.Float64("min-prune", 0.5, "pruned-segment fraction floor enforced by -check-scale")
+	minRetained := flag.Float64("min-retained", 0.5, "plan-cache retention floor across a delta enforced by -check-delta")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -384,6 +421,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("scale floors hold (pruning >= %.0f%%)\n", *minPrune*100)
+	}
+	if *doCheckDelta {
+		if err := checkDelta(rep.Benchmarks, rep.Speedups, *min, *minRetained); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("delta floors hold (>= %.1fx vs rebuild, cache retention >= %.0f%%)\n", *min, *minRetained*100)
 	}
 	if *doCheck {
 		if err := check(rep.Speedups, *min, *minCompiled); err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -17,6 +18,7 @@ import (
 	"plabi/internal/audit"
 	"plabi/internal/fault"
 	"plabi/internal/obs"
+	"plabi/internal/relation"
 	"plabi/internal/report"
 	"plabi/internal/workload"
 )
@@ -46,6 +48,7 @@ func chaosInjector(seed int64) *fault.Injector {
 	fi.Enable(fault.SiteAuditSink, fault.SiteConfig{ErrorRate: 0.2, Transient: true})
 	fi.Enable(fault.SiteETLExtract, fault.SiteConfig{ErrorRate: 0.1, Transient: true})
 	fi.Enable(fault.SiteETLStep, fault.SiteConfig{ErrorRate: 0.02, PanicRate: 0.01})
+	fi.Enable(fault.SiteETLDelta, fault.SiteConfig{ErrorRate: 0.08, PanicRate: 0.02})
 	fi.Enable(fault.SiteRenderWorker, fault.SiteConfig{
 		ErrorRate: 0.02, PanicRate: 0.02,
 		LatencyRate: 0.05, Latency: 200 * time.Microsecond,
@@ -330,4 +333,158 @@ func dumpChaosArtifacts(t *testing.T, seed int64, fi *fault.Injector, sink *byte
 	} else {
 		t.Logf("chaos audit log written to %s", path)
 	}
+}
+
+// materializedRetry decodes a possibly segment-backed table, retrying
+// injected segment-read faults.
+func materializedRetry(t *testing.T, tb *relation.Table) *relation.Table {
+	t.Helper()
+	for attempt := 0; attempt < 100; attempt++ {
+		m, err := tb.Materialize()
+		if err == nil {
+			return m
+		}
+		if !tolerable(err) {
+			t.Fatalf("materialize: intolerable error: %v", err)
+		}
+	}
+	t.Fatal("table never materialized under the chaos schedule")
+	return nil
+}
+
+// TestChaosDeltaConvergence streams delta batches through a fail-closed,
+// segment-backed deployment while faults fire mid-delta at the etl.delta
+// site (plus the extract/step/segment/audit boundaries), and asserts the
+// incremental-refresh invariants hold under chaos:
+//
+//  1. a failed delta is atomic — the retry applies the identical batch
+//     against identical pre-delta state;
+//  2. after the stream, every warehouse table and every render is
+//     byte-identical to a fresh no-fault engine built from the final
+//     source versions (delta refresh converges with full rebuild);
+//  3. renders keep serving between batches.
+func TestChaosDeltaConvergence(t *testing.T) {
+	cfg := workload.DefaultConfig(13)
+	cfg.Prescriptions = 500
+	cfg.Patients = 60
+	cfg.LabResults = 30
+	consumers := []report.Consumer{
+		{Name: "a1", Role: "analyst", Purpose: "quality"},
+		{Name: "a2", Role: "auditor", Purpose: "quality"},
+		{Name: "a3", Role: "analyst", Purpose: "reimbursement"},
+	}
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer fault.CheckLeaks(t)()
+			fi := chaosInjector(seed)
+			var sink bytes.Buffer
+			t.Cleanup(func() { dumpChaosArtifacts(t, seed, fi, &sink) })
+
+			var e *Engine
+			var ds *workload.Dataset
+			segDir := t.TempDir()
+			for attempt := 0; ; attempt++ {
+				var err error
+				e, ds, err = BuildHealthcareEngineWith(cfg, func(e *Engine) {
+					e.SetRetryPolicy(chaosRetry())
+					e.SetFailClosed(true)
+					e.Audit.SetSink(&sink)
+					e.SetFaults(fi)
+					s := e.SetSegmentStore(segDir)
+					s.SetPartitionRows(64)
+					e.SetSpillThreshold(1)
+				})
+				if err == nil {
+					break
+				}
+				if !tolerable(err) {
+					t.Fatalf("build attempt %d: intolerable error: %v", attempt, err)
+				}
+				if attempt >= 50 {
+					t.Fatalf("scenario build did not survive chaos in %d attempts: %v", attempt, err)
+				}
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			served := 0
+			for round := 0; round < 4; round++ {
+				applyWithRetry(t, e, randomBatch(t, rng, ds, e, round))
+				// The engine keeps serving mid-stream; chaos failures
+				// degrade to typed errors, never wrong data.
+				for _, c := range consumers {
+					if _, err := e.Render("drug-consumption", c); err == nil {
+						served++
+					} else if !tolerable(err) {
+						t.Fatalf("round %d render: intolerable error: %v", round, err)
+					}
+				}
+			}
+			if served == 0 {
+				t.Fatal("chaos schedule starved every mid-stream render")
+			}
+
+			// Fresh no-fault, in-memory mirror from the final sources.
+			final := func(source, table string) *relation.Table {
+				src, _ := e.Source(source)
+				tb, _ := src.Table(table)
+				return materializedRetry(t, tb).Clone()
+			}
+			mirror, err := buildEngineFromTables(
+				final("hospital", "prescriptions"),
+				final("familydoctors", "familydoctor"),
+				final("healthagency", "drugcost"),
+				final("laboratory", "labresults"),
+				final("municipality", "residents"),
+			)
+			if err != nil {
+				t.Fatalf("mirror build: %v", err)
+			}
+
+			for _, name := range []string{"prescriptions", "familydoctor", "drugcost",
+				"familydoctor_resolved", "rx_cost", "rx_wide"} {
+				lt, lok := e.Table(name)
+				mt, mok := mirror.Table(name)
+				if !lok || !mok {
+					t.Fatalf("table %q: live=%v mirror=%v", name, lok, mok)
+				}
+				if got, want := materializedRetry(t, lt).String(), mt.String(); got != want {
+					t.Fatalf("table %q diverges from full rebuild after chaos deltas:\n got:\n%s\nwant:\n%s", name, got, want)
+				}
+			}
+			for _, def := range StandardReports() {
+				for _, c := range consumers {
+					if !containsRole(def.Roles, c.Role) {
+						continue
+					}
+					want := renderKey(mirror, def.ID, c)
+					for attempt := 0; ; attempt++ {
+						enf, err := e.Render(def.ID, c)
+						if err != nil {
+							if !tolerable(err) {
+								t.Fatalf("render %s/%s: intolerable error: %v", def.ID, c.Name, err)
+							}
+							if attempt >= 100 {
+								t.Fatalf("render %s/%s never succeeded", def.ID, c.Name)
+							}
+							continue
+						}
+						if got := renderString(enf); got != want {
+							t.Fatalf("render %s/%s diverges from full rebuild:\n got:\n%s\nwant:\n%s", def.ID, c.Name, got, want)
+						}
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func containsRole(roles []string, role string) bool {
+	for _, r := range roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"plabi/internal/enforce"
+	"plabi/internal/etl"
+	"plabi/internal/fault"
+	"plabi/internal/relation"
+	"plabi/internal/report"
+	"plabi/internal/workload"
+)
+
+// dumpTable renders a table with its per-row lineage, so convergence
+// checks cover provenance byte-for-byte, not just cell values.
+func dumpTable(t *relation.Table) string {
+	var b strings.Builder
+	b.WriteString(t.String())
+	for i := 0; i < t.NumRows(); i++ {
+		for _, ref := range t.RowLineage(i) {
+			b.WriteString(ref.String())
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// buildEngineFromTables assembles the full healthcare deployment over
+// explicit source-table versions — the fresh-rebuild oracle an
+// incrementally refreshed engine must converge to.
+func buildEngineFromTables(rx, fd, dc, lr, res *relation.Table) (*Engine, error) {
+	e := New()
+	e.AddSource(etl.NewSource("hospital", "hospital", rx))
+	e.AddSource(etl.NewSource("familydoctors", "familydoctors", fd))
+	e.AddSource(etl.NewSource("healthagency", "healthagency", dc))
+	e.AddSource(etl.NewSource("laboratory", "laboratory", lr))
+	e.AddSource(etl.NewSource("municipality", "municipality", res))
+	if err := e.AddPLAs(ScenarioPLAs); err != nil {
+		return nil, err
+	}
+	if _, err := e.RunETL(HealthcarePipeline(e), false); err != nil {
+		return nil, err
+	}
+	for _, d := range StandardReports() {
+		if err := e.DefineReport(d); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := e.DeriveMetaReports(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// sourceTable fetches the current version of a source table.
+func sourceTable(t *testing.T, e *Engine, source, table string) *relation.Table {
+	t.Helper()
+	src, ok := e.Source(source)
+	if !ok {
+		t.Fatalf("no source %q", source)
+	}
+	tb, ok := src.Table(table)
+	if !ok {
+		t.Fatalf("source %q has no table %q", source, table)
+	}
+	return tb
+}
+
+// randRxRow synthesizes a prescriptions row referencing existing
+// patients and drugs, so joins and thresholds stay exercised.
+func randRxRow(rng *rand.Rand, ds *workload.Dataset, id int) relation.Row {
+	return relation.Row{
+		relation.Int(int64(1_000_000 + id)),
+		relation.Str(ds.PatientNames[rng.Intn(len(ds.PatientNames))]),
+		relation.Str("Dr. " + ds.PatientNames[rng.Intn(len(ds.PatientNames))]),
+		relation.Str(ds.DrugNames[rng.Intn(len(ds.DrugNames))]),
+		relation.Str(ds.Diseases[rng.Intn(len(ds.Diseases))]),
+		relation.DateYMD(2008, time.Month(1+rng.Intn(12)), 1+rng.Intn(28)),
+	}
+}
+
+// dirtyName re-cases a canonical patient name the way the workload's
+// dirty references do, so entity resolution has real work on deltas.
+func dirtyName(rng *rand.Rand, name string) string {
+	switch rng.Intn(3) {
+	case 0:
+		return strings.ToUpper(name)
+	case 1:
+		return strings.ToLower(name)
+	default:
+		return " " + name + "  "
+	}
+}
+
+// randomBatch builds one seed-deterministic delta batch: insert-heavy
+// prescriptions traffic, dirty family-doctor references, occasional
+// in-place updates and (every third round) deletes.
+func randomBatch(t *testing.T, rng *rand.Rand, ds *workload.Dataset, e *Engine, round int) etl.Batch {
+	t.Helper()
+	var b etl.Batch
+	rx := sourceTable(t, e, "hospital", "prescriptions")
+	n := rx.NumRows()
+	d := etl.Delta{Source: "hospital", Table: "prescriptions"}
+	for i := 0; i < 10+rng.Intn(10); i++ {
+		d.Inserts = append(d.Inserts, randRxRow(rng, ds, round*1000+i))
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		d.Updates = append(d.Updates, etl.RowUpdate{Row: rng.Intn(n), Vals: randRxRow(rng, ds, round*1000+500+i)})
+	}
+	if round%3 == 2 {
+		d.Deletes = append(d.Deletes, rng.Intn(n), rng.Intn(n))
+	}
+	b.Deltas = append(b.Deltas, d)
+
+	fd := etl.Delta{Source: "familydoctors", Table: "familydoctor"}
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		fd.Inserts = append(fd.Inserts, relation.Row{
+			relation.Str(dirtyName(rng, ds.PatientNames[rng.Intn(len(ds.PatientNames))])),
+			relation.Str("Dr. " + ds.PatientNames[rng.Intn(len(ds.PatientNames))]),
+		})
+	}
+	b.Deltas = append(b.Deltas, fd)
+
+	if round%2 == 1 {
+		dc := sourceTable(t, e, "healthagency", "drugcost")
+		ri := rng.Intn(dc.NumRows())
+		b.Deltas = append(b.Deltas, etl.Delta{Source: "healthagency", Table: "drugcost",
+			Updates: []etl.RowUpdate{{Row: ri, Vals: relation.Row{
+				dc.Get(ri, "drug"), relation.Int(int64(5 + rng.Intn(95)))}}},
+		})
+	}
+	return b
+}
+
+// applyWithRetry pushes one batch through ApplyDelta, retrying the
+// tolerable chaos outcomes (injected faults, isolated panics); every
+// failed attempt must have rolled back, so the retry applies the same
+// pre-delta row indices.
+func applyWithRetry(t *testing.T, e *Engine, b etl.Batch) etl.DeltaResult {
+	t.Helper()
+	for attempt := 0; attempt < 100; attempt++ {
+		res, err := e.ApplyDelta(context.Background(), b)
+		if err == nil {
+			return res
+		}
+		if !tolerable(err) {
+			t.Fatalf("attempt %d: intolerable delta error: %v", attempt, err)
+		}
+	}
+	t.Fatal("delta batch never applied within the retry budget")
+	return etl.DeltaResult{}
+}
+
+// deltaChaosInjector enables faults on the boundaries a delta crosses:
+// the per-step etl.delta site (errors and panics), the full-rebuild
+// path's step/extract sites, and the audit sink.
+func deltaChaosInjector(seed int64) *fault.Injector {
+	fi := fault.NewInjector(seed)
+	fi.Enable(fault.SiteETLDelta, fault.SiteConfig{ErrorRate: 0.1, PanicRate: 0.03})
+	fi.Enable(fault.SiteETLStep, fault.SiteConfig{ErrorRate: 0.02})
+	fi.Enable(fault.SiteETLExtract, fault.SiteConfig{ErrorRate: 0.05, Transient: true})
+	fi.Enable(fault.SiteAuditSink, fault.SiteConfig{ErrorRate: 0.05, Transient: true})
+	return fi
+}
+
+// oracleConsumers enumerates every (report, consumer) pair of the
+// standard portfolio.
+func oracleConsumers(def *report.Definition) []report.Consumer {
+	var out []report.Consumer
+	for _, role := range def.Roles {
+		out = append(out, report.Consumer{Name: "probe-" + role, Role: role, Purpose: def.Purpose})
+	}
+	return out
+}
+
+// renderString serializes everything observable about one render: the
+// enforced table, every decision, and the suppression counters.
+func renderString(enf *enforce.Enforced) string {
+	var b strings.Builder
+	b.WriteString(dumpTable(enf.Table))
+	for _, d := range enf.Decisions {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "masked=%d suppressed=%d\n", enf.MaskedCells, enf.SuppressedRows)
+	return b.String()
+}
+
+// renderKey renders and serializes, folding errors into the key so a
+// blocked render must be blocked identically on both engines.
+func renderKey(e *Engine, id string, c report.Consumer) string {
+	enf, err := e.Render(id, c)
+	if err != nil {
+		return "err:" + err.Error()
+	}
+	return renderString(enf)
+}
+
+// TestDeltaConvergenceOracle streams randomized delta batches — under
+// fault injection at the delta boundary — into the live healthcare
+// deployment, then rebuilds a fresh engine from the final source tables
+// and asserts byte-identical state: every staging and source table in
+// the catalog (values and lineage), every render of every report for
+// every consumer (tables, decisions, counters), and provenance traces
+// sampled from the wide table. Run under -race in CI.
+func TestDeltaConvergenceOracle(t *testing.T) {
+	for _, seed := range []int64{11, 22, 33} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDeltaOracle(t, seed)
+		})
+	}
+}
+
+func runDeltaOracle(t *testing.T, seed int64) {
+	cfg := workload.DefaultConfig(seed)
+	cfg.Prescriptions = 800
+	cfg.Patients = 120
+	cfg.LabResults = 50
+
+	fi := deltaChaosInjector(seed)
+	var live *Engine
+	var ds *workload.Dataset
+	for attempt := 0; ; attempt++ {
+		var err error
+		live, ds, err = BuildHealthcareEngineWith(cfg, func(e *Engine) {
+			e.SetRetryPolicy(chaosRetry())
+			e.SetFaults(fi)
+		})
+		if err == nil {
+			break
+		}
+		if !tolerable(err) {
+			t.Fatalf("build attempt %d: intolerable error: %v", attempt, err)
+		}
+		if attempt > 20 {
+			t.Fatalf("build never succeeded: %v", err)
+		}
+	}
+
+	probe := report.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+	rng := rand.New(rand.NewSource(seed * 7))
+	incremental := 0
+	for round := 0; round < 6; round++ {
+		res := applyWithRetry(t, live, randomBatch(t, rng, ds, live, round))
+		incremental += res.StepsIncremental
+		// Keep renders interleaved with the stream: plans and folds must
+		// keep serving between (and across) deltas.
+		if _, err := live.Render("drug-consumption", probe); err != nil {
+			t.Fatalf("round %d render: %v", round, err)
+		}
+	}
+	if incremental == 0 {
+		t.Error("no step ever recomputed incrementally across the stream")
+	}
+
+	mirror, err := buildEngineFromTables(
+		sourceTable(t, live, "hospital", "prescriptions").Clone(),
+		sourceTable(t, live, "familydoctors", "familydoctor").Clone(),
+		sourceTable(t, live, "healthagency", "drugcost").Clone(),
+		sourceTable(t, live, "laboratory", "labresults").Clone(),
+		sourceTable(t, live, "municipality", "residents").Clone(),
+	)
+	if err != nil {
+		t.Fatalf("mirror build: %v", err)
+	}
+
+	// 1. Catalog state: every source and staging table byte-identical.
+	for _, name := range []string{
+		"prescriptions", "familydoctor", "drugcost", "residents",
+		"familydoctor_clean", "familydoctor_resolved", "rx_cost", "rx_wide",
+	} {
+		lt, lok := live.Table(name)
+		mt, mok := mirror.Table(name)
+		if !lok || !mok {
+			t.Fatalf("table %q: live=%v mirror=%v", name, lok, mok)
+		}
+		if dumpTable(lt) != dumpTable(mt) {
+			t.Errorf("table %q diverges from full rebuild (%d vs %d rows)",
+				name, lt.NumRows(), mt.NumRows())
+		}
+	}
+
+	// 2. Every render of every report for every consumer.
+	for _, def := range StandardReports() {
+		for _, c := range oracleConsumers(def) {
+			lk := renderKey(live, def.ID, c)
+			mk := renderKey(mirror, def.ID, c)
+			if lk != mk {
+				t.Errorf("render %s/%s diverges:\nlive:\n%s\nmirror:\n%s", def.ID, c.Role, lk, mk)
+			}
+		}
+	}
+
+	// 3. Provenance traces sampled across the wide table.
+	lw, _ := live.Table("rx_wide")
+	mw, _ := mirror.Table("rx_wide")
+	for _, ri := range []int{0, lw.NumRows() / 2, lw.NumRows() - 1} {
+		lrt, lerr := live.Tracer.TraceRow(lw, ri)
+		mrt, merr := mirror.Tracer.TraceRow(mw, ri)
+		if (lerr == nil) != (merr == nil) {
+			t.Fatalf("TraceRow(%d): live err=%v mirror err=%v", ri, lerr, merr)
+		}
+		if fmt.Sprint(lrt.Rows) != fmt.Sprint(mrt.Rows) || fmt.Sprint(lrt.Support) != fmt.Sprint(mrt.Support) {
+			t.Errorf("row %d lineage diverges: %v vs %v", ri, lrt, mrt)
+		}
+		lct, lerr := live.Tracer.TraceCell(lw, ri, "drug")
+		mct, merr := mirror.Tracer.TraceCell(mw, ri, "drug")
+		if (lerr == nil) != (merr == nil) {
+			t.Fatalf("TraceCell(%d): live err=%v mirror err=%v", ri, lerr, merr)
+		}
+		if lct.String() != mct.String() {
+			t.Errorf("cell trace %d diverges: %s vs %s", ri, lct, mct)
+		}
+	}
+
+	// 4. The stream left an audit trail of committed deltas.
+	if len(live.Audit.ByKind("delta")) == 0 {
+		t.Error("no delta audit events recorded")
+	}
+
+	// 5. Plan-cache survival: a delta bumps data epochs, not the plan
+	// generations — cached plans must outlive it and keep hitting.
+	for _, def := range StandardReports() {
+		for _, c := range oracleConsumers(def) {
+			_ = renderKey(live, def.ID, c)
+		}
+	}
+	before := live.CacheStats()
+	applyWithRetry(t, live, etl.Batch{Deltas: []etl.Delta{{
+		Source: "hospital", Table: "prescriptions",
+		Inserts: []relation.Row{randRxRow(rng, ds, 999_000)},
+	}}})
+	after := live.CacheStats()
+	if after.Entries*2 < before.Entries {
+		t.Errorf("plan cache lost %d -> %d entries across a delta", before.Entries, after.Entries)
+	}
+	if _, err := live.Render("drug-consumption", probe); err != nil {
+		t.Fatalf("post-delta render: %v", err)
+	}
+	final := live.CacheStats()
+	if final.Hits <= after.Hits {
+		t.Errorf("post-delta render missed the plan cache: hits %d -> %d", after.Hits, final.Hits)
+	}
+}
+
+// TestFoldEpochGranularInvalidation pins the partition-granular fold
+// invalidation: a delta to a table outside a report's read set leaves
+// its folded render untouched, while a delta to a table it reads drops
+// only the fold — the plan survives and re-folds over the new data.
+func TestFoldEpochGranularInvalidation(t *testing.T) {
+	cfg := workload.DefaultConfig(5)
+	cfg.Prescriptions = 400
+	cfg.Patients = 80
+	cfg.LabResults = 20
+	e, ds, err := BuildHealthcareEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetCompiledRenders(true)
+	probe := report.Consumer{Name: "ana", Role: "analyst", Purpose: "quality"}
+
+	first, err := e.Render("drug-consumption", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := e.Render("drug-consumption", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Table.String() != first.Table.String() {
+		t.Fatal("fold replay diverges")
+	}
+	snap := e.Obs().Snapshot().Counters
+	if snap["compile.fold.hits"] == 0 {
+		t.Fatalf("no fold replay recorded: %v", snap)
+	}
+
+	// Unrelated delta: familydoctor feeds familydoctor_resolved only —
+	// drug-consumption reads rx_wide and its base tables, none of which
+	// move — so the fold must keep replaying with zero invalidations.
+	if _, err := e.ApplyDelta(context.Background(), etl.Batch{Deltas: []etl.Delta{{
+		Source: "familydoctors", Table: "familydoctor",
+		Inserts: []relation.Row{{relation.Str(ds.PatientNames[0]), relation.Str("Dr. New")}},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	afterUnrelated, err := e.Render("drug-consumption", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = e.Obs().Snapshot().Counters
+	if snap["compile.fold.invalidations"] != 0 {
+		t.Fatalf("unrelated delta invalidated the fold: %v", snap["compile.fold.invalidations"])
+	}
+	if afterUnrelated.Table.String() != first.Table.String() {
+		t.Fatal("render changed after an unrelated delta")
+	}
+
+	// Touching delta: a prescriptions insert moves rx_wide's epoch. The
+	// fold drops, the plan survives (no cache invalidation), and the
+	// re-fold serves the new data.
+	statsBefore := e.CacheStats()
+	if _, err := e.ApplyDelta(context.Background(), etl.Batch{Deltas: []etl.Delta{{
+		Source: "hospital", Table: "prescriptions",
+		Inserts: []relation.Row{{
+			relation.Int(2_000_000), relation.Str(ds.PatientNames[0]), relation.Str("Dr. A"),
+			relation.Str(ds.DrugNames[0]), relation.Str(ds.Diseases[0]), relation.DateYMD(2008, 9, 9),
+		}},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	refolded, err := e.Render("drug-consumption", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = e.Obs().Snapshot().Counters
+	if snap["compile.fold.invalidations"] != 1 {
+		t.Fatalf("fold invalidations = %d, want 1", snap["compile.fold.invalidations"])
+	}
+	statsAfter := e.CacheStats()
+	if statsAfter.Invalidations != statsBefore.Invalidations {
+		t.Errorf("delta invalidated render plans: %d -> %d",
+			statsBefore.Invalidations, statsAfter.Invalidations)
+	}
+	if statsAfter.Entries < statsBefore.Entries {
+		t.Errorf("delta dropped plan entries: %d -> %d", statsBefore.Entries, statsAfter.Entries)
+	}
+
+	// The re-fold must equal a fresh rebuild's render.
+	mirror, err := buildEngineFromTables(
+		sourceTable(t, e, "hospital", "prescriptions").Clone(),
+		sourceTable(t, e, "familydoctors", "familydoctor").Clone(),
+		sourceTable(t, e, "healthagency", "drugcost").Clone(),
+		sourceTable(t, e, "laboratory", "labresults").Clone(),
+		sourceTable(t, e, "municipality", "residents").Clone(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mirror.Render("drug-consumption", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refolded.Table.String() != want.Table.String() {
+		t.Fatalf("re-fold diverges from rebuild:\n%s\nvs\n%s", refolded.Table, want.Table)
+	}
+}
+
+// TestDeltaRecoveryAfterDroppedContext: when a failed delta drops a
+// pipeline's retained staging context, the next delta must rebuild the
+// pipeline wholesale instead of silently skipping it.
+func TestDeltaRecoveryAfterDroppedContext(t *testing.T) {
+	cfg := workload.DefaultConfig(9)
+	cfg.Prescriptions = 300
+	cfg.Patients = 60
+	cfg.LabResults = 20
+	e, ds, err := BuildHealthcareEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the post-failure state: the retained context is gone.
+	e.mu.Lock()
+	delete(e.etlCtxs, "healthcare")
+	e.mu.Unlock()
+
+	res, err := e.ApplyDelta(context.Background(), etl.Batch{Deltas: []etl.Delta{{
+		Source: "hospital", Table: "prescriptions",
+		Inserts: []relation.Row{randRxRow(rand.New(rand.NewSource(1)), ds, 1)},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepsRebuilt == 0 {
+		t.Fatalf("dropped context not rebuilt: %+v", res)
+	}
+	// The catalog serves the refreshed wide table.
+	mirror, err := buildEngineFromTables(
+		sourceTable(t, e, "hospital", "prescriptions").Clone(),
+		sourceTable(t, e, "familydoctors", "familydoctor").Clone(),
+		sourceTable(t, e, "healthagency", "drugcost").Clone(),
+		sourceTable(t, e, "laboratory", "labresults").Clone(),
+		sourceTable(t, e, "municipality", "residents").Clone(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, _ := e.Table("rx_wide")
+	mt, _ := mirror.Table("rx_wide")
+	if dumpTable(lt) != dumpTable(mt) {
+		t.Fatal("rebuilt pipeline state diverges from fresh build")
+	}
+}

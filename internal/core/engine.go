@@ -48,6 +48,15 @@ type Engine struct {
 	assign    map[string]string
 	pipelines []*etl.Pipeline
 	workers   int
+	// etlCtxs retains the latest staging context per pipeline name; it is
+	// the base state ApplyDelta propagates source deltas through.
+	etlCtxs map[string]*etl.Context
+
+	// deltaMu serializes pipeline runs and delta applications: both
+	// mutate the retained staging contexts and the per-step incremental
+	// state. Renders are unaffected — they read the catalog, whose
+	// tables swap atomically at commit.
+	deltaMu sync.Mutex
 
 	enforcer   *enforce.ReportEnforcer
 	obsp       atomic.Pointer[obs.Metrics]
@@ -72,6 +81,7 @@ func New() *Engine {
 		Audit:    audit.NewLog(),
 		sources:  map[string]*etl.Source{},
 		assign:   map[string]string{},
+		etlCtxs:  map[string]*etl.Context{},
 	}
 	e.enforcer = enforce.NewReportEnforcer(e.Policies, e.Catalog, e.Tracer)
 	e.SetMetrics(obs.New())
@@ -387,28 +397,14 @@ func (e *Engine) RunETL(p *etl.Pipeline, continueOnViolation bool) (etl.Result, 
 
 // RunETLContext is RunETL honouring ctx between pipeline waves.
 func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnViolation bool) (etl.Result, error) {
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
 	m := e.Obs()
 	ctx, span := m.StartSpan(ctx, "etl")
 	span.Set("pipeline", p.Name)
 	defer span.End()
-	trace := span.ID()
-	ectx := etl.NewContext(enforce.NewPLAGuard(e.Policies))
-	ectx.Graph = e.Graph
-	ectx.Metrics = m
-	ectx.Faults = e.Faults()
-	ectx.Retry = e.RetryPolicyFor(fault.SiteETLExtract)
-	ectx.SpillStore = e.SegmentStore()
-	ectx.SpillThreshold = e.SpillThreshold()
-	ectx.Observe = func(step, op, output string, rowsIn, rowsOut int, err error) {
-		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
-			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut),
-			Trace:  trace}
-		if err != nil {
-			ev.Kind = "violation"
-			ev.Detail = err.Error()
-		}
-		_, _ = e.Audit.AppendChecked(ctx, ev)
-	}
+	ectx := e.newETLContext()
+	ectx.Observe = e.observeETL(ctx, span.ID())
 	if p.Workers == 0 {
 		e.mu.RLock()
 		p.Workers = e.workers
@@ -417,6 +413,12 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 	e.recordPipeline(p)
 	res, err := p.RunContext(ctx, ectx, continueOnViolation)
 	span.Set("violations", fmt.Sprint(len(res.Violations)))
+	// Retain the staging context as the base state for ApplyDelta — even
+	// after a failed run, so the retained state always matches whatever
+	// the registration loop below published to the catalog.
+	e.mu.Lock()
+	e.etlCtxs[p.Name] = ectx
+	e.mu.Unlock()
 	// Register every staging output for reporting and tracing.
 	for name, t := range ectx.Staging {
 		reg := t
@@ -430,6 +432,240 @@ func (e *Engine) RunETLContext(ctx context.Context, p *etl.Pipeline, continueOnV
 		}
 	}
 	return res, err
+}
+
+// newETLContext builds a fresh staging context wired to the engine's
+// guard, provenance graph, metrics, fault injector and spill config.
+func (e *Engine) newETLContext() *etl.Context {
+	ectx := etl.NewContext(enforce.NewPLAGuard(e.Policies))
+	ectx.Graph = e.Graph
+	ectx.Metrics = e.Obs()
+	ectx.Faults = e.Faults()
+	ectx.Retry = e.RetryPolicyFor(fault.SiteETLExtract)
+	ectx.SpillStore = e.SegmentStore()
+	ectx.SpillThreshold = e.SpillThreshold()
+	return ectx
+}
+
+// observeETL builds the Observe callback that streams pipeline events
+// into the audit trail under one trace id.
+func (e *Engine) observeETL(ctx context.Context, trace string) func(step, op, output string, rowsIn, rowsOut int, err error) {
+	return func(step, op, output string, rowsIn, rowsOut int, err error) {
+		ev := audit.Event{Kind: "transform", Actor: step, Object: output,
+			Detail: fmt.Sprintf("%s %d->%d rows", op, rowsIn, rowsOut),
+			Trace:  trace}
+		if err != nil {
+			ev.Kind = "violation"
+			ev.Detail = err.Error()
+			if etl.IsSkipped(err) {
+				ev.Kind = "skip"
+			}
+		}
+		_, _ = e.Audit.AppendChecked(ctx, ev)
+	}
+}
+
+// ApplyDelta applies a batch of source deltas — inserts, in-place
+// updates and deletes keyed per source table — and incrementally
+// refreshes every recorded pipeline's staging state derived from them.
+// Steps untouched by the changes are skipped entirely; row-wise
+// transforms, filters, left-append joins, entity resolution over an
+// unchanged canon and retained aggregates recompute only the delta;
+// everything else reruns. Nothing commits until the whole batch
+// succeeds: on any error (injected fault at the etl.delta site, a
+// violation from a guard re-check, validation) the sources and staging
+// areas are restored and the previous catalog state keeps serving.
+//
+// On success the new source versions and changed staging outputs commit
+// via Catalog.Refresh — bumping per-table data epochs, not the catalog
+// generation — so cached render plans survive and only folded renders
+// whose read set moved recompute. The provenance tracer extends its
+// column dictionaries in place for append-only changes.
+func (e *Engine) ApplyDelta(ctx context.Context, b etl.Batch) (etl.DeltaResult, error) {
+	m := e.Obs()
+	ctx, span := m.StartSpan(ctx, "delta")
+	defer span.End()
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	m.Counter("delta.total").Inc()
+
+	var zero etl.DeltaResult
+	fail := func(err error) (etl.DeltaResult, error) {
+		m.Counter("delta.errors").Inc()
+		span.Set("decision", "error")
+		return zero, err
+	}
+
+	// Phase 1: compute the new source-table versions copy-on-write;
+	// nothing observable changes yet.
+	type swap struct {
+		src  *etl.Source
+		key  string // table key inside src.Tables
+		old  *relation.Table
+		next *relation.Table
+		ch   etl.Change
+	}
+	swaps := map[string]*swap{} // keyed "source.table", lower-cased
+	var order []string
+	for i := range b.Deltas {
+		d := &b.Deltas[i]
+		src, ok := e.Source(d.Source)
+		if !ok {
+			return fail(fmt.Errorf("core: delta for unknown source %q", d.Source))
+		}
+		qk := strings.ToLower(d.Source + "." + d.Table)
+		sw := swaps[qk]
+		if sw == nil {
+			cur, ok := src.Table(d.Table)
+			if !ok {
+				return fail(fmt.Errorf("core: source %q has no table %q", d.Source, d.Table))
+			}
+			sw = &swap{src: src, key: strings.ToLower(d.Table), old: cur, next: cur}
+			swaps[qk] = sw
+			order = append(order, qk)
+		}
+		next, ch, err := d.Apply(sw.next)
+		if err != nil {
+			return fail(err)
+		}
+		sw.next = next
+		sw.ch = sw.ch.Merge(ch)
+	}
+	changes := map[string]etl.Change{}
+	for qk, sw := range swaps {
+		sw.ch = sw.ch.Normalize(sw.next.NumRows())
+		changes[qk] = sw.ch
+	}
+
+	// Phase 2: swap the sources in place so extract steps re-point at
+	// the new versions; rolled back wholesale on any pipeline failure.
+	for _, sw := range swaps {
+		sw.src.Tables[sw.key] = sw.next
+	}
+	rollbackSources := func() {
+		for _, sw := range swaps {
+			sw.src.Tables[sw.key] = sw.old
+		}
+	}
+
+	// Phase 3: propagate through every pipeline with a retained staging
+	// context. Each pipeline's ApplyDelta is atomic over its own staging;
+	// if a later pipeline fails, earlier ones have already refreshed
+	// their staging against the rolled-back sources, so their retained
+	// contexts are dropped — the next run or delta rebuilds them — while
+	// the catalog (nothing committed) keeps serving the old state.
+	agg := etl.DeltaResult{Changed: map[string]etl.Change{}}
+	for k, v := range changes {
+		agg.Changed[k] = v
+	}
+	type refreshed struct {
+		ectx *etl.Context
+		res  etl.DeltaResult
+	}
+	var applied []refreshed
+	var appliedNames []string
+	abort := func(err error) (etl.DeltaResult, error) {
+		rollbackSources()
+		e.mu.Lock()
+		for _, name := range appliedNames {
+			delete(e.etlCtxs, name)
+		}
+		e.mu.Unlock()
+		return fail(err)
+	}
+	for _, p := range e.Pipelines() {
+		e.mu.RLock()
+		ectx := e.etlCtxs[p.Name]
+		e.mu.RUnlock()
+		var res etl.DeltaResult
+		if ectx == nil {
+			// A previously failed delta dropped this pipeline's retained
+			// state; rebuild it with a full run against the swapped
+			// sources and commit its whole staging as rebuilt.
+			ectx = e.newETLContext()
+			ectx.Observe = e.observeETL(ctx, span.ID())
+			if _, err := p.RunContext(ctx, ectx, false); err != nil {
+				return abort(fmt.Errorf("core: delta rebuild of pipeline %q: %w", p.Name, err))
+			}
+			e.mu.Lock()
+			e.etlCtxs[p.Name] = ectx
+			e.mu.Unlock()
+			res = etl.DeltaResult{StepsRebuilt: len(p.Steps), Changed: map[string]etl.Change{}}
+			for name := range ectx.Staging {
+				res.Changed[name] = etl.Change{Rebuilt: true}
+			}
+		} else {
+			ectx.Observe = e.observeETL(ctx, span.ID())
+			var err error
+			res, err = p.ApplyDelta(ctx, ectx, changes)
+			if err != nil {
+				return abort(fmt.Errorf("core: delta through pipeline %q: %w", p.Name, err))
+			}
+		}
+		applied = append(applied, refreshed{ectx, res})
+		appliedNames = append(appliedNames, p.Name)
+		agg.StepsIncremental += res.StepsIncremental
+		agg.StepsRebuilt += res.StepsRebuilt
+		agg.StepsUntouched += res.StepsUntouched
+		for k, v := range res.Changed {
+			if prev, ok := agg.Changed[k]; ok {
+				v = prev.Merge(v)
+			}
+			agg.Changed[k] = v
+		}
+	}
+
+	// Phase 4: commit. Changed source tables and staging outputs swap
+	// into the catalog via Refresh (epoch bump, no generation bump) and
+	// into the tracer (append-only changes extend the cached column
+	// dictionaries instead of dropping them).
+	committed := map[string]bool{}
+	refreshTable := func(t *relation.Table, ch etl.Change) {
+		key := strings.ToLower(t.Name)
+		if committed[key] {
+			return
+		}
+		committed[key] = true
+		if err := e.Catalog.Refresh(t); err != nil {
+			e.Catalog.Register(t)
+		}
+		if t.Base {
+			appendFrom := -1
+			if ch.AppendOnly() {
+				appendFrom = t.NumRows() - ch.Appended
+			}
+			e.Tracer.RefreshBase(t, appendFrom)
+		}
+	}
+	for _, qk := range order {
+		sw := swaps[qk]
+		refreshTable(sw.next, sw.ch)
+		detail := fmt.Sprintf("+%d rows, %d updated", sw.ch.Appended, len(sw.ch.Updated))
+		if sw.ch.Rebuilt {
+			detail = fmt.Sprintf("rebuilt at %d rows", sw.next.NumRows())
+		}
+		_, _ = e.Audit.AppendChecked(ctx, audit.Event{Kind: "delta", Actor: sw.src.Owner,
+			Object: sw.next.Name, Detail: detail, Trace: span.ID()})
+	}
+	for _, r := range applied {
+		for name, ch := range r.res.Changed {
+			t, err := r.ectx.Get(name)
+			if err != nil {
+				continue // source-qualified inputs are not staging entries
+			}
+			reg := t
+			if reg.Name != name {
+				reg = t.Clone()
+				reg.Name = name
+			}
+			refreshTable(reg, ch)
+		}
+	}
+	m.Counter("delta.steps.incremental").Add(uint64(agg.StepsIncremental))
+	m.Counter("delta.steps.rebuilt").Add(uint64(agg.StepsRebuilt))
+	span.Set("tables", fmt.Sprint(len(order)))
+	span.Set("decision", "applied")
+	return agg, nil
 }
 
 // recordPipeline keeps the plan of every pipeline the engine has run

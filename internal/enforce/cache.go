@@ -74,6 +74,13 @@ type renderPlan struct {
 	prof *sql.Profile
 	comp *policy.Composite
 
+	// reads is the plan's data read set: every relation the query names
+	// in FROM plus every base table it derives from (thresholds and
+	// intensional conditions read base rows through the tracer). Folded
+	// renders validate against the catalog epochs of exactly this set, so
+	// a delta to an unrelated table leaves the fold untouched.
+	reads []string
+
 	static  []Decision // static-check outcomes for role/purpose
 	aggCols map[string]bool
 	// thresholds are the merged aggregation thresholds, sorted by
@@ -115,6 +122,25 @@ type foldedRender struct {
 	masked     int
 	suppressed int
 	rowsIn     int
+	// epochs snapshots the catalog epochs of the plan's read set at fold
+	// time. A replay first re-reads the current epochs: any movement —
+	// i.e. a committed delta touching a table this render depends on —
+	// invalidates the fold (and only the fold; the plan survives).
+	epochs map[string]uint64
+}
+
+// epochsEqual reports whether two epoch snapshots over the same read set
+// agree.
+func epochsEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 const defaultCacheShards = 16
@@ -178,8 +204,15 @@ func (c *planCache) get(k planKey, at gens) (*renderPlan, bool) {
 	}
 	if ok {
 		s.mu.Lock()
-		// Re-check: a concurrent put may have refreshed the entry.
-		if cur, still := s.entries[k]; still && cur.at != at {
+		// Re-check: a concurrent put may have refreshed the entry to
+		// exactly the caller's generations — in that race the refreshed
+		// plan is the answer, not a miss that forces a redundant rebuild.
+		if cur, still := s.entries[k]; still {
+			if cur.at == at {
+				s.mu.Unlock()
+				c.hits.Add(1)
+				return cur, true
+			}
 			delete(s.entries, k)
 			c.invalidations.Add(1)
 		}

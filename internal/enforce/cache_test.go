@@ -84,3 +84,41 @@ func TestCacheStatsHitRate(t *testing.T) {
 		t.Errorf("hit rate = %v, want 0.75", r)
 	}
 }
+
+// TestPlanCacheRefreshRace pins the stale-eviction re-check: a get that
+// sees a stale entry under the read lock must re-read under the write
+// lock before evicting, because a concurrent put may have refreshed the
+// entry to exactly the caller's generations. Without the re-check the
+// racing get deletes the freshly refreshed plan, and every later lookup
+// pays a redundant rebuild. Run under -race.
+func TestPlanCacheRefreshRace(t *testing.T) {
+	k := planKey{report: "r", role: "analyst", purpose: "quality"}
+	oldAt := gens{version: 1}
+	newAt := gens{version: 2}
+	for iter := 0; iter < 300; iter++ {
+		c := newPlanCache(0)
+		c.put(k, &renderPlan{at: oldAt})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				c.get(k, newAt) // may observe the stale entry mid-refresh
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			c.put(k, &renderPlan{at: newAt})
+		}()
+		close(start)
+		wg.Wait()
+		// The refresh must survive the racing stale evictions.
+		if p, ok := c.get(k, newAt); !ok || p.at != newAt {
+			t.Fatalf("iter %d: refreshed plan evicted by a racing get", iter)
+		}
+	}
+}

@@ -274,6 +274,7 @@ func (e *ReportEnforcer) buildPlan(def *report.Definition, role, purpose string,
 		aggPLAs:    comp.AggregationPLAs(),
 		filterPLAs: comp.FilterPLAs(),
 	}
+	plan.reads = readSet(prof, sel)
 	plan.static = e.staticDecisions(comp, prof, sel, role, purpose)
 	plan.prog = e.compileProgram(plan, def, role, purpose, at)
 	plan.thresholds = plan.prog.Thresholds
@@ -620,8 +621,21 @@ func (e *ReportEnforcer) renderInterpreted(ctx context.Context, def *report.Defi
 // the same decisions into the audit trail.
 func (e *ReportEnforcer) renderCompiled(ctx context.Context, def *report.Definition, consumer report.Consumer, plan *renderPlan, hit bool) (*Enforced, error) {
 	m := e.obs()
+	// Epoch check: the fold is a constant of the plan's *data*, not only
+	// its generations. An incremental refresh (Catalog.Refresh) moves the
+	// per-table epochs without moving the catalog generation, so the plan
+	// survives a delta while folds over touched tables re-fold. The
+	// snapshot is taken before query execution; a commit racing the fold
+	// can only make the stored snapshot stale, forcing one extra re-fold —
+	// never a stale replay.
+	cur := e.Catalog.EpochsFor(plan.reads)
 	plan.foldMu.Lock()
 	fold := plan.fold
+	if fold != nil && !epochsEqual(fold.epochs, cur) {
+		plan.fold = nil
+		fold = nil
+		m.Counter("compile.fold.invalidations").Inc()
+	}
 	plan.foldMu.Unlock()
 	if fold == nil {
 		m.Counter("compile.fold.misses").Inc()
@@ -636,6 +650,7 @@ func (e *ReportEnforcer) renderCompiled(ctx context.Context, def *report.Definit
 			masked:     enf.MaskedCells,
 			suppressed: enf.SuppressedRows,
 			rowsIn:     enf.Table.NumRows() + enf.SuppressedRows,
+			epochs:     cur,
 		}
 		plan.foldMu.Lock()
 		if plan.fold == nil {
@@ -936,6 +951,30 @@ func lineageEvidence(rt provenance.RowTrace) []string {
 		}
 		out = append(out, ref.String())
 	}
+	return out
+}
+
+// readSet is the sorted, deduplicated set of relations a plan's render
+// reads: the FROM-clause names (staging/warehouse tables the query
+// executes over) united with the profile's base tables (which thresholds,
+// row filters and intensional conditions read through the tracer).
+func readSet(prof *sql.Profile, sel *sql.SelectStmt) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n string) {
+		n = strings.ToLower(n)
+		if n != "" && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range fromNames(sel) {
+		add(n)
+	}
+	for _, n := range prof.BaseTables {
+		add(n)
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,405 @@
+package etl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"plabi/internal/fault"
+	"plabi/internal/obs"
+	"plabi/internal/relation"
+	"plabi/internal/workload"
+)
+
+// dump renders a table with its per-row lineage, so equivalence checks
+// cover provenance byte-for-byte, not just cell values.
+func dump(t *relation.Table) string {
+	var b strings.Builder
+	b.WriteString(t.String())
+	for i := 0; i < t.NumRows(); i++ {
+		for _, ref := range t.RowLineage(i) {
+			b.WriteString(ref.String())
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestDeltaApplyCopyOnWrite(t *testing.T) {
+	base := workload.PrescriptionsFixture()
+	before := dump(base)
+	d := &Delta{Source: "hospital", Table: "prescriptions",
+		Inserts: []relation.Row{
+			{relation.Str("Zoe"), relation.Str("Luis"), relation.Str("DM"), relation.Str("diabetes"), relation.DateYMD(2008, 1, 2)},
+		},
+		Updates: []RowUpdate{{Row: 2, Vals: relation.Row{
+			relation.Str("Bob"), relation.Str("Anne"), relation.Str("DR"), relation.Str("flu"), relation.DateYMD(2007, 8, 10)}}},
+	}
+	next, ch, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump(base) != before {
+		t.Fatal("Apply mutated the old version")
+	}
+	if next.NumRows() != 6 || next.Get(2, "disease").S != "flu" || next.Get(5, "patient").S != "Zoe" {
+		t.Fatalf("next = %v", next.Rows)
+	}
+	if ch.Appended != 1 || len(ch.Updated) != 1 || ch.Updated[0] != 2 || ch.Rebuilt {
+		t.Fatalf("change = %+v", ch)
+	}
+	// Deletes shift indices: the change degrades to Rebuilt.
+	_, ch2, err := (&Delta{Deletes: []int{0, 3, 3}}).Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch2.Rebuilt {
+		t.Fatalf("delete change = %+v, want Rebuilt", ch2)
+	}
+}
+
+func TestDeltaApplyValidation(t *testing.T) {
+	base := workload.DrugCostFixture()
+	cases := []*Delta{
+		{Updates: []RowUpdate{{Row: 99, Vals: relation.Row{relation.Str("X"), relation.Int(1)}}}},
+		{Updates: []RowUpdate{{Row: 0, Vals: relation.Row{relation.Str("X")}}}},
+		{Deletes: []int{-1}},
+		{Inserts: []relation.Row{{relation.Str("X")}}},
+	}
+	for i, d := range cases {
+		if _, _, err := d.Apply(base); err == nil {
+			t.Errorf("case %d: invalid delta accepted", i)
+		}
+	}
+}
+
+// deltaPipeline exercises every delta-aware step kind: extract,
+// row-wise cleanse, filter, left-append join, aggregate.
+func deltaPipeline(hosp, agency *Source) *Pipeline {
+	return &Pipeline{Name: "dp", Steps: []Step{
+		NewExtract("e1", hosp, "prescriptions", ""),
+		NewExtract("e2", agency, "drugcost", ""),
+		NewCleanse("cl", "prescriptions", "rx_clean", "patient"),
+		NewFilter("fl", "rx_clean", "rx_chronic", relation.ColEqStr("disease", "asthma")),
+		NewJoin("j", "rx_clean", "drugcost",
+			relation.Eq(relation.ColRefExpr("l.drug"), relation.ColRefExpr("r.drug")),
+			relation.InnerJoin, "rx_cost"),
+		NewAggregate("agg", "rx_cost", "by_disease",
+			[]string{"disease"}, []relation.AggSpec{
+				{Kind: relation.AggCount, As: "n"},
+				{Kind: relation.AggSum, Col: "cost", As: "total"},
+			}),
+	}}
+}
+
+// runFreshMirror runs the pipeline from scratch against the given table
+// versions and returns the staging dumps — the oracle an incremental
+// refresh must match byte-for-byte.
+func runFreshMirror(t *testing.T, rx, cost *relation.Table) map[string]string {
+	t.Helper()
+	hosp := NewSource("hospital", "hospital", rx)
+	agency := NewSource("healthagency", "healthagency", cost)
+	c := NewContext(nil)
+	if _, err := deltaPipeline(hosp, agency).Run(c, false); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, name := range []string{"prescriptions", "rx_clean", "rx_chronic", "rx_cost", "by_disease"} {
+		tb, err := c.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = dump(tb)
+	}
+	return out
+}
+
+// applyAndPropagate swaps the new table version into the source and
+// pushes the change through the pipeline.
+func applyAndPropagate(t *testing.T, p *Pipeline, c *Context, src *Source, d *Delta) DeltaResult {
+	t.Helper()
+	old, ok := src.Table(d.Table)
+	if !ok {
+		t.Fatalf("source has no table %q", d.Table)
+	}
+	next, ch, err := d.Apply(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Tables[strings.ToLower(d.Table)] = next
+	res, err := p.ApplyDelta(context.Background(), c,
+		map[string]Change{src.Name + "." + d.Table: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestApplyDeltaInsertOnlyConvergence: an insert-only delta must refresh
+// every staging table to exactly what a fresh full run over the new data
+// produces — values and lineage — while recomputing incrementally.
+func TestApplyDeltaInsertOnlyConvergence(t *testing.T) {
+	hosp := NewSource("hospital", "hospital", workload.PrescriptionsFixture())
+	agency := NewSource("healthagency", "healthagency", workload.DrugCostFixture())
+	p := deltaPipeline(hosp, agency)
+	c := NewContext(nil)
+	c.Metrics = obs.New()
+	if _, err := p.Run(c, false); err != nil {
+		t.Fatal(err)
+	}
+
+	ins := func(pat, drug, dis string) *Delta {
+		return &Delta{Source: "hospital", Table: "prescriptions", Inserts: []relation.Row{
+			{relation.Str("  " + pat + " "), relation.Str("Luis"), relation.Str(drug), relation.Str(dis), relation.DateYMD(2008, 5, 1)},
+		}}
+	}
+	// First delta: the aggregate rebuilds its retained state (a full Run
+	// drops it); everything else touched is incremental, and the drugcost
+	// extract — whose input never changed — is untouched.
+	res1 := applyAndPropagate(t, p, c, hosp, ins("Dana", "DR", "asthma"))
+	if res1.StepsIncremental != 4 || res1.StepsRebuilt != 1 || res1.StepsUntouched != 1 {
+		t.Fatalf("first delta: incremental=%d rebuilt=%d untouched=%d",
+			res1.StepsIncremental, res1.StepsRebuilt, res1.StepsUntouched)
+	}
+	// Second delta: the retained aggregate state is live — every touched
+	// step is now incremental.
+	res2 := applyAndPropagate(t, p, c, hosp, ins("Evan", "DM", "diabetes"))
+	if res2.StepsIncremental != 5 || res2.StepsRebuilt != 0 || res2.StepsUntouched != 1 {
+		t.Fatalf("second delta: incremental=%d rebuilt=%d untouched=%d",
+			res2.StepsIncremental, res2.StepsRebuilt, res2.StepsUntouched)
+	}
+
+	rx, _ := hosp.Table("prescriptions")
+	want := runFreshMirror(t, rx, workload.DrugCostFixture())
+	for name, w := range want {
+		got, err := c.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dump(got) != w {
+			t.Errorf("%s diverges from full rebuild:\nincremental:\n%s\nfull:\n%s", name, dump(got), w)
+		}
+	}
+	if got := c.Metrics.Counter("etl.deltas").Value(); got != 2 {
+		t.Errorf("etl.deltas = %d", got)
+	}
+}
+
+// TestApplyDeltaUpdateConvergence: in-place updates splice through
+// row-wise steps and force reruns where positions cannot be trusted; the
+// result must still match a full rebuild exactly.
+func TestApplyDeltaUpdateConvergence(t *testing.T) {
+	hosp := NewSource("hospital", "hospital", workload.PrescriptionsFixture())
+	agency := NewSource("healthagency", "healthagency", workload.DrugCostFixture())
+	p := deltaPipeline(hosp, agency)
+	c := NewContext(nil)
+	if _, err := p.Run(c, false); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &Delta{Source: "hospital", Table: "prescriptions",
+		Updates: []RowUpdate{{Row: 1, Vals: relation.Row{
+			relation.Str(" chris  "), relation.Str("Anne"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2007, 3, 10)}}},
+		Inserts: []relation.Row{
+			{relation.Str("Fay"), relation.Str("Mark"), relation.Str("DV"), relation.Str("HIV"), relation.DateYMD(2008, 6, 6)},
+		},
+	}
+	applyAndPropagate(t, p, c, hosp, d)
+
+	rx, _ := hosp.Table("prescriptions")
+	want := runFreshMirror(t, rx, workload.DrugCostFixture())
+	for name, w := range want {
+		got, err := c.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dump(got) != w {
+			t.Errorf("%s diverges from full rebuild:\nincremental:\n%s\nfull:\n%s", name, dump(got), w)
+		}
+	}
+}
+
+// TestApplyDeltaDeleteConvergence: deletes degrade to per-step rebuilds
+// but must converge all the same.
+func TestApplyDeltaDeleteConvergence(t *testing.T) {
+	hosp := NewSource("hospital", "hospital", workload.PrescriptionsFixture())
+	agency := NewSource("healthagency", "healthagency", workload.DrugCostFixture())
+	p := deltaPipeline(hosp, agency)
+	c := NewContext(nil)
+	if _, err := p.Run(c, false); err != nil {
+		t.Fatal(err)
+	}
+	applyAndPropagate(t, p, c, hosp,
+		&Delta{Source: "hospital", Table: "prescriptions", Deletes: []int{0, 4}})
+
+	rx, _ := hosp.Table("prescriptions")
+	if rx.NumRows() != 3 {
+		t.Fatalf("rows after delete = %d", rx.NumRows())
+	}
+	want := runFreshMirror(t, rx, workload.DrugCostFixture())
+	for name, w := range want {
+		got, err := c.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dump(got) != w {
+			t.Errorf("%s diverges from full rebuild:\nincremental:\n%s\nfull:\n%s", name, dump(got), w)
+		}
+	}
+}
+
+// TestApplyDeltaEntityResolution: appended and updated rows re-resolve
+// against the unchanged canonical table; the spliced output matches a
+// fresh resolution of the whole input.
+func TestApplyDeltaEntityResolution(t *testing.T) {
+	canon := relation.NewBase("residents", relation.NewSchema(relation.Col("patient", relation.TString)))
+	for _, n := range []string{"Alice Rossi", "Bruno Verdi", "Carla Bianchi"} {
+		canon.AppendVals(relation.Str(n))
+	}
+	mkDirty := func() *relation.Table {
+		dirty := relation.NewBase("familydoctor", relation.NewSchema(
+			relation.Col("patient", relation.TString),
+			relation.Col("doctor", relation.TString)))
+		dirty.AppendVals(relation.Str("Alice Rosi"), relation.Str("Dr. A"))
+		dirty.AppendVals(relation.Str("BRUNO verdi"), relation.Str("Dr. B"))
+		return dirty
+	}
+	fam := NewSource("familydoctors", "familydoctors", mkDirty())
+	canonSrc := NewSource("municipality", "municipality", canon)
+	p := &Pipeline{Steps: []Step{
+		NewExtract("e1", fam, "familydoctor", ""),
+		NewExtract("e2", canonSrc, "residents", ""),
+		NewEntityResolution("er", "familydoctor", "patient", "residents", "patient",
+			"familydoctors", 0.9, "resolved"),
+	}}
+	c := NewContext(nil)
+	if _, err := p.Run(c, false); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &Delta{Source: "familydoctors", Table: "familydoctor",
+		Inserts: []relation.Row{{relation.Str("carla BIANCHI"), relation.Str("Dr. C")}},
+		Updates: []RowUpdate{{Row: 0, Vals: relation.Row{relation.Str("alice rossi"), relation.Str("Dr. A2")}}},
+	}
+	res := applyAndPropagate(t, p, c, fam, d)
+	if res.StepsIncremental != 2 || res.StepsRebuilt != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	out, err := c.Get("resolved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"Alice Rossi", "Bruno Verdi", "Carla Bianchi"} {
+		if got := out.Get(i, "patient").S; got != want {
+			t.Errorf("row %d = %q, want %q", i, got, want)
+		}
+	}
+	if out.Get(0, "doctor").S != "Dr. A2" {
+		t.Errorf("updated doctor = %q", out.Get(0, "doctor").S)
+	}
+}
+
+// TestApplyDeltaAtomicRollback: a fault injected at the etl.delta site
+// aborts the application and restores the staging area exactly; the
+// retried delta then lands.
+func TestApplyDeltaAtomicRollback(t *testing.T) {
+	hosp := NewSource("hospital", "hospital", workload.PrescriptionsFixture())
+	agency := NewSource("healthagency", "healthagency", workload.DrugCostFixture())
+	p := deltaPipeline(hosp, agency)
+	c := NewContext(nil)
+	c.Metrics = obs.New()
+	if _, err := p.Run(c, false); err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]string{}
+	for name := range c.Staging {
+		before[name] = dump(c.Staging[name])
+	}
+
+	fi := fault.NewInjector(9)
+	fi.Enable(fault.SiteETLDelta, fault.SiteConfig{ErrorRate: 1, Times: 1})
+	c.Faults = fi
+
+	old, _ := hosp.Table("prescriptions")
+	d := &Delta{Source: "hospital", Table: "prescriptions", Inserts: []relation.Row{
+		{relation.Str("Gil"), relation.Str("Anne"), relation.Str("DH"), relation.Str("HIV"), relation.DateYMD(2008, 7, 7)},
+	}}
+	next, ch, err := d.Apply(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosp.Tables["prescriptions"] = next
+	changes := map[string]Change{"hospital.prescriptions": ch}
+
+	_, derr := p.ApplyDelta(context.Background(), c, changes)
+	if !errors.Is(derr, fault.ErrInjected) {
+		t.Fatalf("want injected error, got %v", derr)
+	}
+	if len(c.Staging) != len(before) {
+		t.Fatalf("staging size changed: %d != %d", len(c.Staging), len(before))
+	}
+	for name, w := range before {
+		if dump(c.Staging[name]) != w {
+			t.Errorf("staging %q not rolled back", name)
+		}
+	}
+	// The fault budget is spent; the retry applies cleanly and converges.
+	if _, err := p.ApplyDelta(context.Background(), c, changes); err != nil {
+		t.Fatal(err)
+	}
+	want := runFreshMirror(t, next, workload.DrugCostFixture())
+	for name, w := range want {
+		got, err := c.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dump(got) != w {
+			t.Errorf("%s diverges after rollback+retry", name)
+		}
+	}
+}
+
+// TestApplyDeltaViolationRollsBack: a join permission revoked between
+// the full run and the delta surfaces as a violation and rolls back.
+func TestApplyDeltaViolationRollsBack(t *testing.T) {
+	hosp := NewSource("hospital", "hospital", workload.PrescriptionsFixture())
+	agency := NewSource("healthagency", "healthagency", workload.DrugCostFixture())
+	guard := &flipGuard{}
+	p := deltaPipeline(hosp, agency)
+	c := NewContext(guard)
+	if _, err := p.Run(c, false); err != nil {
+		t.Fatal(err)
+	}
+	joinedBefore, _ := c.Get("rx_cost")
+	want := dump(joinedBefore)
+
+	guard.deny = true
+	old, _ := hosp.Table("prescriptions")
+	d := &Delta{Source: "hospital", Table: "prescriptions", Inserts: []relation.Row{
+		{relation.Str("Hal"), relation.Str("Mark"), relation.Str("DR"), relation.Str("asthma"), relation.DateYMD(2008, 8, 8)},
+	}}
+	next, ch, _ := d.Apply(old)
+	hosp.Tables["prescriptions"] = next
+	_, derr := p.ApplyDelta(context.Background(), c, map[string]Change{"hospital.prescriptions": ch})
+	if !IsViolation(derr) {
+		t.Fatalf("want violation, got %v", derr)
+	}
+	after, _ := c.Get("rx_cost")
+	if dump(after) != want {
+		t.Fatal("violating delta leaked into staging")
+	}
+}
+
+// flipGuard allows everything until deny is set.
+type flipGuard struct{ deny bool }
+
+func (g *flipGuard) CheckJoin(l, r string) error {
+	if g.deny {
+		return fmt.Errorf("join %s-%s revoked", l, r)
+	}
+	return nil
+}
+func (g *flipGuard) CheckIntegration(string, string) error { return nil }

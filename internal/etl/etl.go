@@ -8,6 +8,7 @@ package etl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -197,6 +198,11 @@ type Result struct {
 	// Violations collects the enforcement errors of failed steps
 	// (the run stops at the first one unless ContinueOnViolation).
 	Violations []error
+	// Skipped counts steps not executed because a transitive upstream
+	// step was blocked by a violation and its output never materialized
+	// (continue-on-violation runs only). Each is recorded via Observe
+	// with a *SkippedError and counted under the etl.skipped metric.
+	Skipped int
 }
 
 // Run executes the pipeline. Enforcement errors (etl.ViolationError)
@@ -230,14 +236,22 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	done := make([]bool, n)    // step recorded (success or skipped violation)
+	done := make([]bool, n)    // step recorded (success, violation or skip)
+	// blockedOut marks staging relations whose producer was blocked by a
+	// violation (or skipped downstream of one) without leaving any output.
+	// A ready step reading such a relation cannot run — its Get would fail
+	// with an operational "staging table not found" error and abort a
+	// continue-on-violation run — so it is skipped and recorded instead.
+	blockedOut := map[string]bool{}
 	completed := 0
 	for completed < n {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		// Collect the next wave: every unfinished step whose dependencies
-		// are all done.
+		// are all done. Steps downstream of a blocked producer are skipped
+		// inline (marking them done immediately lets a whole dependent
+		// chain cascade within one collection pass, in step order).
 		var wave []int
 		for i := 0; i < n; i++ {
 			if done[i] {
@@ -250,9 +264,29 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 					break
 				}
 			}
-			if ready {
-				wave = append(wave, i)
+			if !ready {
+				continue
 			}
+			if up := p.blockedInput(c, blockedOut, i); up != "" {
+				s := p.Steps[i]
+				serr := &SkippedError{Step: s.Name(), Upstream: up}
+				if c.Observe != nil {
+					c.Observe(s.Name(), s.Op(), s.Output(), 0, 0, serr)
+				}
+				res.Skipped++
+				c.Metrics.Counter("etl.skipped").Inc()
+				if _, ok := c.rows(s.Output()); !ok {
+					blockedOut[strings.ToLower(s.Output())] = true
+				}
+				done[i] = true
+				completed++
+				continue
+			}
+			wave = append(wave, i)
+		}
+		if len(wave) == 0 {
+			// The whole remainder of the pipeline was skipped.
+			continue
 		}
 		// Dependencies only point backwards, so a wave is never empty.
 		waveStart := time.Now()
@@ -300,6 +334,13 @@ func (p *Pipeline) RunContext(ctx context.Context, c *Context, continueOnViolati
 					if continueOnViolation {
 						done[si] = true
 						completed++
+						// A blocked step that produced no output poisons its
+						// readers; one that overwrote an existing relation
+						// leaves the previous version for them (identical to
+						// sequential semantics, where their Get succeeds).
+						if _, ok := c.rows(s.Output()); !ok {
+							blockedOut[strings.ToLower(s.Output())] = true
+						}
 						continue
 					}
 					return res, o.err
@@ -328,9 +369,30 @@ func (p *Pipeline) execStep(ctx context.Context, c *Context, si int, o *stepOutc
 		}
 		return s.Run(c)
 	})
-	if rows, ok := c.rows(s.Output()); ok {
-		o.rowsOut = rows
+	// Only a successful step owns its output's row count: a failed step
+	// that would have overwritten an existing staging relation must not
+	// report the stale table's rows to Observe and the audit trail.
+	if o.err == nil {
+		if rows, ok := c.rows(s.Output()); ok {
+			o.rowsOut = rows
+		}
 	}
+}
+
+// blockedInput returns the first input of step si that is both absent
+// from staging and marked as the output of a blocked producer ("" when
+// the step can run).
+func (p *Pipeline) blockedInput(c *Context, blockedOut map[string]bool, si int) string {
+	for _, in := range p.Steps[si].Inputs() {
+		key := strings.ToLower(in)
+		if !blockedOut[key] {
+			continue
+		}
+		if _, ok := c.rows(key); !ok {
+			return in
+		}
+	}
+	return ""
 }
 
 // dependencies computes, per step, the indices of earlier steps it must
@@ -367,6 +429,27 @@ func countRows(c *Context, names []string) int {
 		}
 	}
 	return n
+}
+
+// SkippedError marks a step that was not executed because a transitive
+// upstream step was blocked by a privacy violation and left no output
+// for it to read. It is recorded via Observe (so audit trails show the
+// cascade) but is neither a violation nor an operational failure: a
+// continue-on-violation run carries on past it.
+type SkippedError struct {
+	Step     string
+	Upstream string // missing staging relation whose producer was blocked
+}
+
+// Error implements error.
+func (e *SkippedError) Error() string {
+	return fmt.Sprintf("etl: step %q skipped: upstream relation %q blocked by violation", e.Step, e.Upstream)
+}
+
+// IsSkipped reports whether err is (or wraps) a SkippedError.
+func IsSkipped(err error) bool {
+	var se *SkippedError
+	return errors.As(err, &se)
 }
 
 // ViolationError marks a privacy-enforcement failure (as opposed to an

@@ -1,0 +1,146 @@
+package etl
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"plabi/internal/obs"
+	"plabi/internal/relation"
+)
+
+// TestSkipCascadeTwoDeep: a violation-blocked join leaves no output, so
+// its direct dependent and that dependent's dependent must both be
+// skipped (not abort the run with "staging table not found"), recorded
+// via Observe in step order and counted under etl.skipped, while
+// unrelated steps still run.
+func TestSkipCascadeTwoDeep(t *testing.T) {
+	hosp, fam, _ := sources()
+	c := NewContext(denyGuard{joinA: "prescriptions", joinB: "familydoctor"})
+	c.Metrics = obs.New()
+	type ev struct {
+		step string
+		err  error
+	}
+	var events []ev
+	c.Observe = func(step, op, output string, in, out int, err error) {
+		events = append(events, ev{step, err})
+	}
+	p := &Pipeline{Name: "cascade", Steps: []Step{
+		NewExtract("e1", hosp, "prescriptions", ""),
+		NewExtract("e2", fam, "familydoctor", ""),
+		NewJoin("bad", "prescriptions", "familydoctor",
+			relation.Eq(relation.ColRefExpr("l.patient"), relation.ColRefExpr("r.patient")),
+			relation.InnerJoin, "joined"),
+		NewProject("lvl1", "joined", "slim", "l_patient"),
+		NewProject("lvl2", "slim", "slimmer", "l_patient"),
+		NewFilter("good", "prescriptions", "ok_out", relation.ColEqStr("disease", "asthma")),
+	}}
+	res, err := p.Run(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 || res.Skipped != 2 || res.StepsRun != 3 {
+		t.Fatalf("violations=%d skipped=%d steps=%d", len(res.Violations), res.Skipped, res.StepsRun)
+	}
+	if got := c.Metrics.Counter("etl.skipped").Value(); got != 2 {
+		t.Errorf("etl.skipped = %d, want 2", got)
+	}
+	// The unrelated branch still ran.
+	if _, gerr := c.Get("ok_out"); gerr != nil {
+		t.Error("independent step should have run past the blocked branch")
+	}
+	// Neither skipped step left an output.
+	for _, name := range []string{"joined", "slim", "slimmer"} {
+		if _, gerr := c.Get(name); gerr == nil {
+			t.Errorf("blocked/skipped output %q must be absent", name)
+		}
+	}
+	// Observe saw both skips, in step order, as *SkippedError naming the
+	// missing upstream relation.
+	var skips []ev
+	for _, e := range events {
+		if IsSkipped(e.err) {
+			skips = append(skips, e)
+		}
+	}
+	if len(skips) != 2 || skips[0].step != "lvl1" || skips[1].step != "lvl2" {
+		t.Fatalf("skip events = %+v", skips)
+	}
+	var se *SkippedError
+	if !errors.As(skips[0].err, &se) || se.Upstream != "joined" {
+		t.Errorf("lvl1 skip = %v", skips[0].err)
+	}
+	if !errors.As(skips[1].err, &se) || se.Upstream != "slim" {
+		t.Errorf("lvl2 skip = %v", skips[1].err)
+	}
+	// A skip is neither a violation nor silent.
+	if IsViolation(skips[0].err) {
+		t.Error("skip must not classify as a violation")
+	}
+}
+
+// TestSkipSparesOverwriteReaders: when the blocked step would have
+// overwritten a relation that already exists, its readers see the prior
+// version (identical to sequential semantics) and must not be skipped.
+func TestSkipSparesOverwriteReaders(t *testing.T) {
+	hosp, fam, _ := sources()
+	c := NewContext(denyGuard{joinA: "prescriptions", joinB: "familydoctor"})
+	c.Metrics = obs.New()
+	prior := relation.NewBase("joined", relation.NewSchema(relation.Col("l_patient", relation.TString)))
+	prior.AppendVals(relation.Str("Alice Rossi"))
+	c.Put("joined", prior)
+	p := &Pipeline{Steps: []Step{
+		NewExtract("e1", hosp, "prescriptions", ""),
+		NewExtract("e2", fam, "familydoctor", ""),
+		NewJoin("bad", "prescriptions", "familydoctor",
+			relation.Eq(relation.ColRefExpr("l.patient"), relation.ColRefExpr("r.patient")),
+			relation.InnerJoin, "joined"),
+		NewProject("reader", "joined", "slim", "l_patient"),
+	}}
+	res, err := p.Run(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 0 || len(res.Violations) != 1 {
+		t.Fatalf("skipped=%d violations=%d", res.Skipped, len(res.Violations))
+	}
+	out, gerr := c.Get("slim")
+	if gerr != nil {
+		t.Fatalf("reader of the surviving prior version must run: %v", gerr)
+	}
+	if out.NumRows() != 1 {
+		t.Errorf("reader saw %d rows, want the 1 prior row", out.NumRows())
+	}
+}
+
+// TestFailedOverwriteReportsZeroRows: a step that fails while its output
+// name already holds a staging table must report rowsOut == 0 to
+// Observe, not the stale table's row count.
+func TestFailedOverwriteReportsZeroRows(t *testing.T) {
+	hosp, _, _ := sources()
+	c := NewContext(nil)
+	var failedRowsOut = -1
+	c.Observe = func(step, op, output string, in, out int, err error) {
+		if step == "boom" {
+			failedRowsOut = out
+		}
+	}
+	p := &Pipeline{Steps: []Step{
+		NewExtract("e", hosp, "prescriptions", ""),
+		// Overwrites "prescriptions" and fails: the five extracted rows
+		// are still in staging under that name, but the failed step must
+		// not claim them.
+		NewTransform("boom", "explode", "prescriptions", "prescriptions",
+			func(context.Context, *relation.Table) (*relation.Table, error) {
+				return nil, errors.New("kaboom")
+			}),
+	}}
+	_, err := p.Run(c, false)
+	if err == nil {
+		t.Fatal("run must fail")
+	}
+	if failedRowsOut != 0 {
+		t.Errorf("failed step reported rowsOut = %d, want 0", failedRowsOut)
+	}
+}

@@ -71,6 +71,25 @@ func (e *Extract) Run(c *Context) error {
 	return nil
 }
 
+// DeltaKind classifies how a Transform's function distributes over row
+// deltas, which decides how much of it ApplyDelta can recompute
+// incrementally.
+type DeltaKind int
+
+const (
+	// DeltaOpaque (the default) promises nothing: any input change reruns
+	// the whole step.
+	DeltaOpaque DeltaKind = iota
+	// DeltaRowWise marks a 1:1 per-row function (cleanse, derive,
+	// project): output row i depends only on input row i, so changed rows
+	// are recomputed in isolation and spliced into the previous output.
+	DeltaRowWise
+	// DeltaFilter marks a row-wise row-dropping function (filter):
+	// appended input rows are filtered independently and concatenated
+	// onto the previous output; updates or deletes rerun the step.
+	DeltaFilter
+)
+
 // Transform applies an arbitrary relational function to one staging table.
 // It is the generic building block for cleansing and standardization.
 type Transform struct {
@@ -78,6 +97,9 @@ type Transform struct {
 	OpName string
 	Input  string
 	Out    string
+	// Kind declares how Fn distributes over deltas (DeltaOpaque unless
+	// the constructor knows better).
+	Kind DeltaKind
 	// Fn receives the run's context so long row loops can honour
 	// cancellation mid-table.
 	Fn func(context.Context, *relation.Table) (*relation.Table, error)
@@ -114,7 +136,7 @@ func (t *Transform) Run(c *Context) error {
 // NewCleanse builds a transform that trims whitespace in the given string
 // columns — the canonical data-quality step.
 func NewCleanse(name, input, output string, cols ...string) *Transform {
-	return NewTransform(name, "cleanse", input, output, func(ctx context.Context, t *relation.Table) (*relation.Table, error) {
+	return newKindedTransform(name, "cleanse", input, output, DeltaRowWise, func(ctx context.Context, t *relation.Table) (*relation.Table, error) {
 		out := t
 		var err error
 		for _, col := range cols {
@@ -136,23 +158,30 @@ func NewCleanse(name, input, output string, cols ...string) *Transform {
 	})
 }
 
+// newKindedTransform is NewTransform plus a delta-kind declaration.
+func newKindedTransform(name, op, input, output string, kind DeltaKind, fn func(context.Context, *relation.Table) (*relation.Table, error)) *Transform {
+	t := NewTransform(name, op, input, output, fn)
+	t.Kind = kind
+	return t
+}
+
 // NewFilter builds a row-filtering step.
 func NewFilter(name, input, output string, pred relation.Expr) *Transform {
-	return NewTransform(name, "filter", input, output, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
+	return newKindedTransform(name, "filter", input, output, DeltaFilter, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
 		return relation.Select(t, pred)
 	})
 }
 
 // NewDerive builds a computed-column step.
 func NewDerive(name, input, output, col string, e relation.Expr) *Transform {
-	return NewTransform(name, "derive", input, output, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
+	return newKindedTransform(name, "derive", input, output, DeltaRowWise, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
 		return relation.Extend(t, col, e)
 	})
 }
 
 // NewProject builds a column-selection step.
 func NewProject(name, input, output string, cols ...string) *Transform {
-	return NewTransform(name, "project", input, output, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
+	return newKindedTransform(name, "project", input, output, DeltaRowWise, func(_ context.Context, t *relation.Table) (*relation.Table, error) {
 		return relation.ProjectCols(t, cols...)
 	})
 }
@@ -232,6 +261,12 @@ type AggregateStep struct {
 	Out   string
 	Keys  []string
 	Aggs  []relation.AggSpec
+
+	// state is the retained GroupBy accumulator the delta path extends
+	// and re-emits from. Run drops it: after a full recompute the next
+	// delta rebuilds the state from the refreshed input. Access is
+	// serialized by the pipeline (one run or delta at a time).
+	state *relation.GroupByState
 }
 
 // NewAggregate builds an aggregation step.
@@ -250,6 +285,7 @@ func (a *AggregateStep) Output() string { return a.Out }
 
 // Run implements Step.
 func (a *AggregateStep) Run(c *Context) error {
+	a.state = nil
 	in, err := c.Get(a.Input)
 	if err != nil {
 		return err

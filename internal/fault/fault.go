@@ -38,6 +38,9 @@ const (
 	SiteETLExtract = "etl.extract"
 	// SiteETLStep wraps every ETL step execution.
 	SiteETLStep = "etl.step"
+	// SiteETLDelta wraps each per-step delta application during an
+	// incremental refresh (Pipeline.ApplyDelta).
+	SiteETLDelta = "etl.delta"
 	// SiteRenderWorker wraps each render row-enforcement chunk.
 	SiteRenderWorker = "render.worker"
 	// SiteAuditSink wraps each audit-sink write (retryable).
@@ -50,7 +53,7 @@ const (
 
 // Sites lists every registered injection site.
 func Sites() []string {
-	return []string{SiteETLExtract, SiteETLStep, SiteRenderWorker, SiteAuditSink, SiteReleaseSource, SiteSegmentRead}
+	return []string{SiteETLExtract, SiteETLStep, SiteETLDelta, SiteRenderWorker, SiteAuditSink, SiteReleaseSource, SiteSegmentRead}
 }
 
 // ErrInjected is the sentinel behind every injected error, matched with

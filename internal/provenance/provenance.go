@@ -116,10 +116,43 @@ func (t *Tracer) distinctSupportRows(rt RowTrace, base *relation.Table, table st
 }
 
 // colDict is an immutable dictionary encoding of one base-table column:
-// codes[row] is a dense id of the value's Key-equivalence class.
+// codes[row] is a dense id of the value's Key-equivalence class. ids
+// retains the value-to-code assignment so an append-only base refresh
+// can extend the encoding instead of rebuilding it; readers only ever
+// touch codes/card.
 type colDict struct {
 	codes []int32
 	card  int
+	ids   map[relation.ValKey]int32
+}
+
+// extend returns a new dictionary covering base's rows, reusing this
+// dictionary's prefix (rows [0, from)) and encoding the appended rows
+// with the retained id assignment — first-seen code order is identical
+// to rebuilding from scratch. Copy-on-write: concurrent readers keep
+// using the old dictionary safely.
+func (d *colDict) extend(base *relation.Table, ci, from int) (*colDict, bool) {
+	n := base.NumRows()
+	codes := make([]int32, n)
+	copy(codes, d.codes[:from])
+	ids := make(map[relation.ValKey]int32, len(d.ids))
+	for k, v := range d.ids {
+		ids[k] = v
+	}
+	for ri := from; ri < n; ri++ {
+		v, err := base.ValueAt(ri, ci)
+		if err != nil {
+			return nil, false
+		}
+		k := relation.MapKey(v)
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(ids))
+			ids[k] = id
+		}
+		codes[ri] = id
+	}
+	return &colDict{codes: codes, card: len(ids), ids: ids}, true
 }
 
 // colDict returns (building and caching on first use) the dictionary
@@ -138,7 +171,7 @@ func (t *Tracer) colDict(table string, base *relation.Table, ci int) *colDict {
 	t.mu.RUnlock()
 	n := base.NumRows()
 	ids := make(map[relation.ValKey]int32, n)
-	d := &colDict{codes: make([]int32, n)}
+	d := &colDict{codes: make([]int32, n), ids: ids}
 	// ValueAt walks a segment-backed base sequentially, keeping one
 	// decoded partition resident; an in-memory base reads its rows
 	// directly. First-seen code order is identical either way.
@@ -189,6 +222,34 @@ func (t *Tracer) RegisterBase(tb *relation.Table) {
 	key := strings.ToLower(tb.Name)
 	t.bases[key] = tb
 	delete(t.dicts, key) // cached encodings no longer describe the table
+}
+
+// RefreshBase swaps in a new version of a registered base table. When
+// appendFrom >= 0 and the new version is the old one with rows appended
+// starting at that index, the cached column dictionaries are extended
+// copy-on-write instead of dropped; any other shape of change (or an
+// unregistered name) degrades to RegisterBase semantics. The table and
+// its dictionaries swap under one critical section, so a reader that
+// sees the new table also sees dictionaries covering all of its rows.
+func (t *Tracer) RefreshBase(tb *relation.Table, appendFrom int) {
+	key := strings.ToLower(tb.Name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.bases[key]
+	if !ok || appendFrom < 0 || appendFrom > tb.NumRows() || old.NumRows() != appendFrom {
+		t.bases[key] = tb
+		delete(t.dicts, key)
+		return
+	}
+	t.bases[key] = tb
+	for ci, d := range t.dicts[key] {
+		nd, ok := d.extend(tb, ci, appendFrom)
+		if !ok {
+			delete(t.dicts[key], ci)
+			continue
+		}
+		t.dicts[key][ci] = nd
+	}
 }
 
 func (t *Tracer) base(name string) (*relation.Table, bool) {

@@ -453,157 +453,14 @@ func groupByRows(t *Table, keys []string, aggs []AggSpec) (*Table, error) {
 // path streams decoded partitions through it one at a time. t supplies
 // schema, name and provenance only — rows always come from iterate.
 func groupByStream(t *Table, keys []string, aggs []AggSpec, iterate func(visit func(Row, LineageSet)) error) (*Table, error) {
-	keyIdx := make([]int, len(keys))
-	for i, k := range keys {
-		idx := t.Schema.Index(k)
-		if idx < 0 {
-			return nil, fmt.Errorf("relation: group key %q not in %s", k, t.Schema)
-		}
-		keyIdx[i] = idx
-	}
-	aggIdx := make([]int, len(aggs))
-	for i, a := range aggs {
-		if a.Col == "" {
-			if a.Kind != AggCount {
-				return nil, fmt.Errorf("relation: aggregate %s requires a column", a.Kind)
-			}
-			aggIdx[i] = -1
-			continue
-		}
-		idx := t.Schema.Index(a.Col)
-		if idx < 0 {
-			return nil, fmt.Errorf("relation: aggregate column %q not in %s", a.Col, t.Schema)
-		}
-		aggIdx[i] = idx
-	}
-
-	type group struct {
-		key     Row
-		states  []*aggState
-		lineage LineageSet
-		members int
-	}
-	groups := map[string]*group{}
-	var order []string
-
-	err := iterate(func(r Row, lin LineageSet) {
-		var kb strings.Builder
-		keyVals := make(Row, len(keyIdx))
-		for i, ki := range keyIdx {
-			keyVals[i] = r[ki]
-			kb.WriteString(r[ki].Key())
-			kb.WriteByte('|')
-		}
-		gk := kb.String()
-		g, ok := groups[gk]
-		if !ok {
-			g = &group{key: keyVals, states: make([]*aggState, len(aggs))}
-			for i := range aggs {
-				g.states[i] = &aggState{allInt: true, distinct: map[string]bool{}}
-			}
-			groups[gk] = g
-			order = append(order, gk)
-		}
-		g.members++
-		// Accumulate raw refs; normalized once per group on emit (an
-		// incremental sorted merge is quadratic in the group size).
-		g.lineage = append(g.lineage, lin...)
-		for i, a := range aggs {
-			st := g.states[i]
-			if aggIdx[i] < 0 { // COUNT(*)
-				st.n++
-				continue
-			}
-			v := r[aggIdx[i]]
-			if v.IsNull() {
-				continue
-			}
-			st.n++
-			switch a.Kind {
-			case AggSum, AggAvg:
-				if v.Kind == TInt {
-					st.sumInt += v.I
-					st.sum += float64(v.I)
-				} else if f, ok := v.AsFloat(); ok {
-					st.allInt = false
-					st.sum += f
-				}
-			case AggMin:
-				if st.min.IsNull() {
-					st.min = v
-				} else if c, ok := v.Compare(st.min); ok && c < 0 {
-					st.min = v
-				}
-			case AggMax:
-				if st.max.IsNull() {
-					st.max = v
-				} else if c, ok := v.Compare(st.max); ok && c > 0 {
-					st.max = v
-				}
-			case AggCountDistinct:
-				st.distinct[v.Key()] = true
-			}
-		}
-	})
+	st, err := NewGroupByState(t, keys, aggs)
 	if err != nil {
 		return nil, err
 	}
-
-	out := &Table{Name: t.Name + "_grp"}
-	cols := make([]Column, 0, len(keys)+len(aggs))
-	out.ColOrigin = make([]ColRefSet, 0, cap(cols))
-	for i, k := range keys {
-		cols = append(cols, Column{Name: baseName(k), Type: t.Schema.Columns[keyIdx[i]].Type})
-		out.ColOrigin = append(out.ColOrigin, t.ColumnOrigin(keyIdx[i]))
+	if err := iterate(st.Add); err != nil {
+		return nil, err
 	}
-	for i, a := range aggs {
-		cols = append(cols, Column{Name: a.outName(), Type: a.outType(t.Schema)})
-		if aggIdx[i] >= 0 {
-			out.ColOrigin = append(out.ColOrigin, t.ColumnOrigin(aggIdx[i]))
-		} else {
-			// COUNT(*) derives from the whole row; attribute it to all
-			// input columns so provenance over-approximates rather than
-			// under-approximates.
-			out.ColOrigin = append(out.ColOrigin, t.AllColumnOrigins())
-		}
-	}
-	out.Schema = &Schema{Columns: cols}
-
-	for _, gk := range order {
-		g := groups[gk]
-		nr := make(Row, 0, len(cols))
-		nr = append(nr, g.key...)
-		for i, a := range aggs {
-			st := g.states[i]
-			switch a.Kind {
-			case AggCount:
-				nr = append(nr, Int(st.n))
-			case AggSum:
-				if st.n == 0 {
-					nr = append(nr, Null())
-				} else if st.allInt {
-					nr = append(nr, Int(st.sumInt))
-				} else {
-					nr = append(nr, Float(st.sum))
-				}
-			case AggAvg:
-				if st.n == 0 {
-					nr = append(nr, Null())
-				} else {
-					nr = append(nr, Float(st.sum/float64(st.n)))
-				}
-			case AggMin:
-				nr = append(nr, st.min)
-			case AggMax:
-				nr = append(nr, st.max)
-			case AggCountDistinct:
-				nr = append(nr, Int(int64(len(st.distinct))))
-			}
-		}
-		out.Rows = append(out.Rows, nr)
-		out.Lineage = append(out.Lineage, g.lineage.normalize())
-	}
-	return out, nil
+	return st.Result(), nil
 }
 
 // Distinct removes duplicate rows; the surviving row's lineage is the union

@@ -61,6 +61,18 @@ type (
 	Step = etl.Step
 	// ETLResult reports one pipeline run.
 	ETLResult = etl.Result
+	// Delta is one source-table change set: inserts, in-place updates
+	// and deletes addressed by pre-delta row index.
+	Delta = etl.Delta
+	// RowUpdate replaces the values of one existing row in a delta.
+	RowUpdate = etl.RowUpdate
+	// DeltaBatch groups the deltas applied and committed together.
+	DeltaBatch = etl.Batch
+	// DeltaChange summarizes how one relation changed during a delta.
+	DeltaChange = etl.Change
+	// DeltaResult reports one incremental refresh: per-step recompute
+	// accounting and the set of changed relations.
+	DeltaResult = etl.DeltaResult
 	// Enforced is a rendered report after PLA enforcement.
 	Enforced = enforce.Enforced
 	// Decision is one enforcement decision (mask, suppress, block, ...).
@@ -75,6 +87,8 @@ type (
 	ComplianceTest = metareport.ComplianceTest
 	// Table is an in-memory relation with lineage.
 	Table = relation.Table
+	// Row is one relation row, as carried by delta batches.
+	Row = relation.Row
 	// AuditEvent is one audit-log record.
 	AuditEvent = audit.Event
 	// AuditLog is the append-only audit trail.
@@ -122,8 +136,8 @@ func NewMetrics() *Metrics { return obs.New() }
 func NewFaultInjector(seed int64) *FaultInjector { return fault.NewInjector(seed) }
 
 // FaultSites lists the canonical injection-site names the engine
-// consults: etl.extract, etl.step, render.worker, audit.sink.write,
-// release.source.
+// consults: etl.extract, etl.step, etl.delta, render.worker,
+// audit.sink.write, release.source, segment.read.
 func FaultSites() []string { return fault.Sites() }
 
 // DefaultRetryPolicy is the engine-wide default for retryable sites:
@@ -512,6 +526,20 @@ func (e *Engine) AddPLAs(dsl string) error { return e.core.AddPLAs(dsl) }
 // one aborts the run with an error wrapping ErrPLAViolation.
 func (e *Engine) RunETL(ctx context.Context, p *Pipeline, continueOnViolation bool) (ETLResult, error) {
 	return e.core.RunETLContext(ctx, p, continueOnViolation)
+}
+
+// ApplyDelta applies a batch of source deltas and incrementally
+// refreshes every previously run pipeline's outputs derived from them:
+// untouched steps are skipped, row-wise steps splice only the changed
+// rows, append-only joins and filters extend their previous output, and
+// aggregates re-emit from retained state. The application is atomic —
+// on any error (including injected faults at the etl.delta site)
+// sources and staging roll back and the previous state keeps serving —
+// and a successful commit bumps per-table data epochs rather than the
+// catalog generation, so cached render plans survive and only folded
+// renders reading a changed table recompute.
+func (e *Engine) ApplyDelta(ctx context.Context, b DeltaBatch) (DeltaResult, error) {
+	return e.core.ApplyDelta(ctx, b)
 }
 
 // DefineReport registers a report definition.

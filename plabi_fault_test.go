@@ -107,7 +107,7 @@ func TestInternalErrorExposesSiteAndStack(t *testing.T) {
 }
 
 func TestFaultSitesStable(t *testing.T) {
-	want := []string{"etl.extract", "etl.step", "render.worker", "audit.sink.write", "release.source", "relation.segment.read"}
+	want := []string{"etl.extract", "etl.step", "etl.delta", "render.worker", "audit.sink.write", "release.source", "relation.segment.read"}
 	got := FaultSites()
 	if len(got) != len(want) {
 		t.Fatalf("sites = %v", got)
